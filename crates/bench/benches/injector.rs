@@ -1,0 +1,76 @@
+//! Injection-phase (G-SWFIT step 2) performance.
+//!
+//! The paper's intrusiveness argument (Table 4) rests on step 2 being "a
+//! very simple and low intrusive task": applying a pre-computed mutation is
+//! a handful of word writes. These benches quantify the inject/restore
+//! cycle, including profile mode, per fault nature.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simos::{Edition, Os};
+use swfit_core::{FaultNature, Injector, Scanner};
+
+fn bench_inject_restore(c: &mut Criterion) {
+    let os = Os::boot(Edition::Nimbus2000).expect("boots");
+    let faultload = Scanner::standard().scan_image(os.program().image());
+    let mut group = c.benchmark_group("inject_restore_cycle");
+    for nature in [FaultNature::Missing, FaultNature::Wrong] {
+        let fault = faultload
+            .faults
+            .iter()
+            .find(|f| f.fault_type.nature() == nature)
+            .expect("fault of this nature exists")
+            .clone();
+        let mut image = os.program().image().clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nature}")),
+            &fault,
+            |b, fault| {
+                b.iter(|| {
+                    let mut injector = Injector::new();
+                    injector.inject(&mut image, fault).expect("injects");
+                    injector.restore(&mut image);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profile_mode(c: &mut Criterion) {
+    let os = Os::boot(Edition::Nimbus2000).expect("boots");
+    let faultload = Scanner::standard().scan_image(os.program().image());
+    let fault = faultload.faults[0].clone();
+    let mut image = os.program().image().clone();
+    c.bench_function("inject_restore_profile_mode", |b| {
+        b.iter(|| {
+            let mut injector = Injector::profile_mode();
+            injector.inject(&mut image, &fault).expect("injects");
+            injector.restore(&mut image);
+        })
+    });
+}
+
+fn bench_whole_faultload_sweep(c: &mut Criterion) {
+    // Applying and removing *every* fault once — the pure injection cost of
+    // an entire campaign, excluding workload execution.
+    let os = Os::boot(Edition::Nimbus2000).expect("boots");
+    let faultload = Scanner::standard().scan_image(os.program().image());
+    let mut image = os.program().image().clone();
+    c.bench_function("faultload_sweep_all_faults", |b| {
+        b.iter(|| {
+            let mut injector = Injector::new();
+            for fault in &faultload.faults {
+                injector.inject(&mut image, fault).expect("injects");
+                injector.restore(&mut image);
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_inject_restore,
+    bench_profile_mode,
+    bench_whole_faultload_sweep
+);
+criterion_main!(benches);

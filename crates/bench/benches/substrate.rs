@@ -1,0 +1,92 @@
+//! Substrate performance: VM interpreter and MiniC compiler throughput.
+//!
+//! These bound how fast campaigns can run: every OS call is interpreted MVM
+//! code, and every boot compiles the OS edition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvm::{Memory, NoHcalls, Vm, VmConfig};
+use simos::{source::os_source, Edition, Os, OsApi};
+
+fn bench_vm_throughput(c: &mut Criterion) {
+    // A tight arithmetic loop: ~6 instructions per iteration.
+    let program = minic::compile(
+        "loop",
+        r#"
+        fn spin(n) {
+            var acc = 0;
+            var i = 0;
+            while (i < n) {
+                acc = acc + i * 3;
+                i = i + 1;
+            }
+            return acc;
+        }
+        "#,
+    )
+    .expect("compiles");
+    let mut vm = Vm::with_config(VmConfig {
+        budget: 100_000_000,
+        ..VmConfig::default()
+    });
+    let mut mem = Memory::new(8192);
+    let iters: i64 = 10_000;
+    let mut group = c.benchmark_group("vm_interpreter");
+    group.throughput(Throughput::Elements(iters as u64 * 13)); // ≈ instrs
+    group.bench_function("arith_loop_10k", |b| {
+        b.iter(|| {
+            vm.call(program.image(), &mut mem, &mut NoHcalls, "spin", &[iters])
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minic_compile");
+    for edition in Edition::ALL {
+        let src = os_source(edition);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(edition.name()),
+            &src,
+            |b, src| b.iter(|| minic::compile("os", std::hint::black_box(src)).expect("compiles")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_os_boot(c: &mut Criterion) {
+    c.bench_function("os_boot_nimbus2000", |b| {
+        b.iter(|| Os::boot(Edition::Nimbus2000).expect("boots"))
+    });
+}
+
+fn bench_os_api_calls(c: &mut Criterion) {
+    let mut os = Os::boot(Edition::Nimbus2000).expect("boots");
+    os.devices_mut().add_file("/web/x", &[7u8; 2048]);
+    os.poke_cstr(209_000, "/web/x").expect("pokes");
+    let mut group = c.benchmark_group("os_api");
+    group.bench_function("alloc_free_pair", |b| {
+        b.iter(|| {
+            let p = os.call(OsApi::RtlAllocateHeap, &[64]).expect("alloc").value;
+            os.call(OsApi::RtlFreeHeap, &[p]).expect("free")
+        })
+    });
+    group.bench_function("open_read_close", |b| {
+        b.iter(|| {
+            let h = os.call(OsApi::NtOpenFile, &[209_000]).expect("open").value;
+            os.call(OsApi::ReadFile, &[h, 210_000, 512]).expect("read");
+            os.call(OsApi::CloseHandle, &[h]).expect("close")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vm_throughput,
+    bench_compiler,
+    bench_os_boot,
+    bench_os_api_calls
+);
+criterion_main!(benches);

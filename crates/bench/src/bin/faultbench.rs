@@ -1,0 +1,218 @@
+//! `faultbench` — command-line front end to the whole benchmark.
+//!
+//! ```text
+//! faultbench scan <edition> [--all] [--out FILE]   generate a faultload
+//! faultbench profile <edition>                     run the profiling phase
+//! faultbench campaign <edition> <server> [--faultload FILE] [--iterations N] [--out FILE]
+//! faultbench accuracy <edition>                    score the scanner
+//! ```
+//!
+//! Editions: `nimbus-2000`, `nimbus-xp`. Servers: `heron`, `wren`.
+
+use std::process::ExitCode;
+
+use depbench::report::{f, TextTable};
+use depbench::{Campaign, CampaignConfig, DependabilityMetrics};
+use simos::{Edition, Os};
+use swfit_core::{accuracy, Faultload, Scanner};
+use webserver::ServerKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("accuracy") => cmd_accuracy(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: faultbench <scan|profile|campaign|accuracy> …\n\
+                 see the module docs (`faultbench.rs`) for details"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("faultbench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_edition(s: Option<&String>) -> Result<Edition, String> {
+    match s.map(String::as_str) {
+        Some("nimbus-2000") | Some("w2k") => Ok(Edition::Nimbus2000),
+        Some("nimbus-xp") | Some("xp") => Ok(Edition::NimbusXp),
+        other => Err(format!(
+            "expected edition `nimbus-2000` or `nimbus-xp`, got {other:?}"
+        )),
+    }
+}
+
+fn parse_server(s: Option<&String>) -> Result<ServerKind, String> {
+    match s.map(String::as_str) {
+        Some("heron") => Ok(ServerKind::Heron),
+        Some("wren") => Ok(ServerKind::Wren),
+        other => Err(format!("expected server `heron` or `wren`, got {other:?}")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let edition = parse_edition(args.first())?;
+    let os = Os::boot(edition)?;
+    let faultload = if args.iter().any(|a| a == "--all") {
+        Scanner::standard().scan_image(os.program().image())
+    } else {
+        let api: Vec<String> = simos::OsApi::ALL
+            .iter()
+            .map(|f| f.symbol().to_string())
+            .collect();
+        Scanner::standard().scan_functions(os.program().image(), &api)
+    };
+    eprintln!("{}: {} faults", edition, faultload.len());
+    for (t, n) in faultload.counts_by_type() {
+        eprintln!("  {t:5} {n}");
+    }
+    eprintln!("per function:");
+    for (func, n) in faultload.per_function_counts() {
+        eprintln!("  {func:28} {n}");
+    }
+    let json = faultload.to_json().map_err(|e| e.to_string())?;
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let edition = parse_edition(args.first())?;
+    let cfg = depbench::ProfilePhaseConfig::default();
+    let set = depbench::profile_servers(edition, &ServerKind::ALL, &cfg);
+    let selected = set.select_functions(cfg.min_avg_pct);
+    let mut table = TextTable::new(["function", "average %", "selected"]);
+    for row in set.rows() {
+        table.row([
+            row.func.clone(),
+            f(row.average_pct, 2),
+            if selected.contains(&row.func) { "*" } else { "" }.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "selected {} functions, {:.1} % call coverage",
+        selected.len(),
+        set.coverage_pct(&selected)
+    );
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let edition = parse_edition(args.first())?;
+    let server = parse_server(args.get(1))?;
+    let iterations: u64 = flag_value(args, "--iterations")
+        .map(|v| v.parse().map_err(|_| format!("bad iteration count `{v}`")))
+        .transpose()?
+        .unwrap_or(1);
+    let faultload = match flag_value(args, "--faultload") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            Faultload::from_json(&json).map_err(|e| e.to_string())?
+        }
+        None => {
+            let os = Os::boot(edition)?;
+            let api: Vec<String> = simos::OsApi::ALL
+                .iter()
+                .map(|f| f.symbol().to_string())
+                .collect();
+            Scanner::standard().scan_functions(os.program().image(), &api)
+        }
+    };
+    {
+        let os = Os::boot(edition)?;
+        if !faultload.matches_image(os.program().image()) {
+            return Err(format!(
+                "faultload was generated from a different {edition} build; re-run `faultbench scan`"
+            ));
+        }
+    }
+    eprintln!(
+        "campaign: {edition} / {server}, {} faults, {iterations} iteration(s)",
+        faultload.len()
+    );
+    let campaign = Campaign::new(edition, server, CampaignConfig::default());
+    let baseline = campaign.run_profile_mode(0);
+    let mut metrics_out: Vec<DependabilityMetrics> = Vec::new();
+    let mut table = TextTable::new(["run", "SPC", "THR", "RTM", "ER%", "MIS", "KNS", "KCP", "ADMf"]);
+    table.row([
+        "baseline".to_string(),
+        baseline.spc().to_string(),
+        f(baseline.thr(), 1),
+        f(baseline.rtm(), 1),
+        f(baseline.er_pct(), 1),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        "0".to_string(),
+    ]);
+    for it in 0..iterations {
+        let res = campaign.run_injection(&faultload, it);
+        let m = DependabilityMetrics::from_runs(&baseline, &res);
+        table.row([
+            format!("iteration {}", it + 1),
+            m.spc_f.to_string(),
+            f(m.thr_f, 1),
+            f(m.rtm_f, 1),
+            f(m.er_pct_f, 1),
+            m.watchdog.mis.to_string(),
+            m.watchdog.kns.to_string(),
+            m.watchdog.kcp.to_string(),
+            m.admf().to_string(),
+        ]);
+        metrics_out.push(m);
+    }
+    print!("{}", table.render());
+    if let Some(path) = flag_value(args, "--out") {
+        let json =
+            serde_json::to_string_pretty(&metrics_out).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_accuracy(args: &[String]) -> Result<(), String> {
+    let edition = parse_edition(args.first())?;
+    let os = Os::boot(edition)?;
+    let fl = Scanner::standard().scan_image(os.program().image());
+    let report = accuracy::measure(&fl, os.program().constructs());
+    let mut table = TextTable::new(["type", "expected", "found", "matched", "precision", "recall"]);
+    for (t, pr) in &report.per_type {
+        table.row([
+            t.acronym().to_string(),
+            pr.expected.to_string(),
+            pr.found.to_string(),
+            pr.matched.to_string(),
+            f(pr.precision() * 100.0, 1),
+            f(pr.recall() * 100.0, 1),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "overall: precision {:.1} %, recall {:.1} %",
+        report.overall_precision() * 100.0,
+        report.overall_recall() * 100.0
+    );
+    Ok(())
+}

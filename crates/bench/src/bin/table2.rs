@@ -1,0 +1,55 @@
+//! Regenerates **Table 2** — the relevant API calls: per-server call share
+//! for every OS API function, the four-server average, the selected
+//! intersection and its total call coverage.
+
+use bench::run_profile_phase;
+use depbench::profilephase::module_of;
+use depbench::report::{f, TextTable};
+use depbench::ProfilePhaseConfig;
+use simos::{Edition, OsApi};
+
+fn main() {
+    let edition = Edition::Nimbus2000;
+    let set = run_profile_phase(edition);
+    let cfg = ProfilePhaseConfig::default();
+    let selected = set.select_functions(cfg.min_avg_pct);
+
+    let mut table = TextTable::new([
+        "Function name",
+        "Module",
+        "heron",
+        "wren",
+        "sparrow",
+        "swift",
+        "Average",
+        "Selected",
+    ]);
+    let mut rows = set.rows();
+    rows.sort_by(|a, b| {
+        (module_of(&a.func), &a.func).cmp(&(module_of(&b.func), &b.func))
+    });
+    for r in &rows {
+        let api = OsApi::from_symbol(&r.func);
+        let name = api.map_or(r.func.clone(), |a| a.paper_name().to_string());
+        let mut cells = vec![name, module_of(&r.func).to_string()];
+        cells.extend(r.per_bt_pct.iter().map(|p| f(*p, 2)));
+        cells.push(f(r.average_pct, 2));
+        cells.push(if selected.contains(&r.func) { "*" } else { "" }.to_string());
+        table.row(cells);
+    }
+    println!(
+        "Table 2 — Relevant API calls ({} / {})\n",
+        edition,
+        edition.paper_analogue()
+    );
+    print!("{}", table.render());
+    println!(
+        "\nSelected functions (used by ALL servers, avg share >= {} %): {}",
+        cfg.min_avg_pct,
+        selected.len()
+    );
+    println!(
+        "Total call coverage of the selection: {} %",
+        f(set.coverage_pct(&selected), 2)
+    );
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Table 5** — the full experimental results: three campaign
+//! iterations per (OS, server) pair plus their averages, reporting
+//! SPC/THR/RTM/ER% and the watchdog counters MIS/KCP/KNS.
+//!
+//! This is the headline experiment. The full run takes a few minutes in
+//! release mode; set `FAULTLOAD_QUICK=1` for a truncated smoke pass.
+
+use bench::tuned_faultload;
+use depbench::metrics::average_metrics;
+use depbench::report::{f, TextTable};
+use depbench::{Campaign, CampaignConfig, DependabilityMetrics};
+use simos::Edition;
+use webserver::ServerKind;
+
+fn main() {
+    let cfg = CampaignConfig::default();
+    let iterations: u64 = if bench::quick() { 1 } else { 3 };
+
+    for edition in Edition::ALL {
+        let faultload = tuned_faultload(edition);
+        println!(
+            "=== {} ({}) — faultload: {} faults ===\n",
+            edition,
+            edition.paper_analogue(),
+            faultload.len()
+        );
+        for kind in ServerKind::BENCHMARKED {
+            let campaign = Campaign::new(edition, kind, cfg);
+            let mut table = TextTable::new([
+                "Run", "SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS", "ADMf",
+            ]);
+            let baseline = campaign.run_profile_mode(0);
+            table.row([
+                "Baseline Perf.".to_string(),
+                baseline.spc().to_string(),
+                f(baseline.thr(), 1),
+                f(baseline.rtm(), 1),
+                f(baseline.er_pct(), 1),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+            ]);
+            let mut runs = Vec::new();
+            for it in 0..iterations {
+                let result = campaign.run_injection(&faultload, it);
+                let m = DependabilityMetrics::from_runs(&baseline, &result);
+                table.row([
+                    format!("Iteration {}", it + 1),
+                    m.spc_f.to_string(),
+                    f(m.thr_f, 1),
+                    f(m.rtm_f, 1),
+                    f(m.er_pct_f, 1),
+                    m.watchdog.mis.to_string(),
+                    m.watchdog.kcp.to_string(),
+                    m.watchdog.kns.to_string(),
+                    m.admf().to_string(),
+                ]);
+                runs.push(m);
+            }
+            let avg = average_metrics(&runs);
+            table.row([
+                "Average (all iter)".to_string(),
+                avg.spc_f.to_string(),
+                f(avg.thr_f, 1),
+                f(avg.rtm_f, 1),
+                f(avg.er_pct_f, 1),
+                avg.watchdog.mis.to_string(),
+                avg.watchdog.kcp.to_string(),
+                avg.watchdog.kns.to_string(),
+                avg.admf().to_string(),
+            ]);
+            println!(
+                "B.T. = {} ({} analogue)\n{}",
+                kind,
+                kind.paper_analogue(),
+                table.render()
+            );
+        }
+    }
+    println!("Shape checks (paper Table 5): the Heron/Apache column should show");
+    println!("higher SPCf and THRf, lower ER%f, lower MIS and lower ADMf than");
+    println!("Wren/Abyss, with the same ordering on both OS editions.");
+}

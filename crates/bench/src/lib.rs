@@ -1,0 +1,79 @@
+//! Shared plumbing for the table/figure regenerator binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | Binary    | Paper artifact |
+//! |-----------|----------------|
+//! | `table1`  | Table 1 — fault types and field coverage |
+//! | `table2`  | Table 2 — relevant API calls (profiling intersection) |
+//! | `table3`  | Table 3 — faultload details per OS edition |
+//! | `table4`  | Table 4 — injector intrusiveness (max perf vs profile mode) |
+//! | `table5`  | Table 5 — full campaign results, 3 iterations + averages |
+//! | `figure5` | Figure 5 — Heron/Wren comparison bars |
+//!
+//! Set `FAULTLOAD_QUICK=1` for a fast, truncated pass (CI smoke runs).
+
+use depbench::{profile_servers, ProfilePhaseConfig};
+use simos::{Edition, Os};
+use swfit_core::{Faultload, ProfileSet, Scanner};
+use webserver::ServerKind;
+
+/// True when `FAULTLOAD_QUICK=1` — binaries then shrink their workloads.
+pub fn quick() -> bool {
+    std::env::var("FAULTLOAD_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The profiling phase for an edition (all four servers, §2.4 defaults).
+pub fn run_profile_phase(edition: Edition) -> ProfileSet {
+    profile_servers(edition, &ServerKind::ALL, &ProfilePhaseConfig::default())
+}
+
+/// The FIT function subset selected by the profiling phase.
+pub fn selected_functions(edition: Edition) -> Vec<String> {
+    let cfg = ProfilePhaseConfig::default();
+    run_profile_phase(edition).select_functions(cfg.min_avg_pct)
+}
+
+/// The fine-tuned faultload for an edition: scan the OS image restricted to
+/// the profiled FIT subset — the complete §2 pipeline.
+pub fn tuned_faultload(edition: Edition) -> Faultload {
+    let os = Os::boot(edition).expect("OS boots");
+    let selected = selected_functions(edition);
+    let mut faultload = Scanner::standard().scan_functions(os.program().image(), &selected);
+    if quick() {
+        // Sample across the whole faultload (every k-th fault) so the quick
+        // pass still sees every fault type and function.
+        let stride = (faultload.len() / 60).max(1);
+        faultload.faults = faultload
+            .faults
+            .into_iter()
+            .step_by(stride)
+            .collect();
+    }
+    faultload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_faultloads_exist_for_both_editions() {
+        for edition in Edition::ALL {
+            let fl = tuned_faultload(edition);
+            assert!(fl.len() > 50, "{edition}: only {} faults", fl.len());
+        }
+    }
+
+    #[test]
+    fn xp_faultload_is_larger_as_in_table_3() {
+        let w2k = tuned_faultload(Edition::Nimbus2000);
+        let xp = tuned_faultload(Edition::NimbusXp);
+        assert!(
+            xp.len() > w2k.len(),
+            "xp {} vs w2k {}",
+            xp.len(),
+            w2k.len()
+        );
+    }
+}

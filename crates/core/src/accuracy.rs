@@ -1,0 +1,263 @@
+//! Scanner accuracy: precision/recall against the compiler's ground truth.
+//!
+//! The paper's emulation-accuracy claim rests on its reference \[13\], which
+//! validated that machine-code mutations correspond to the code real
+//! compilers generate for really-faulty source. Our substrate lets us go one
+//! step further and *measure* it: the MiniC compiler records where every
+//! construct landed ([`minic::Construct`]), and this module compares the
+//! scanner's findings against that map. The scanner itself never reads the
+//! map.
+
+use std::collections::BTreeMap;
+
+use minic::{Construct, ConstructKind};
+use serde::{Deserialize, Serialize};
+
+use crate::faultload::Faultload;
+use crate::taxonomy::FaultType;
+
+/// Precision/recall counters for one fault type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecisionRecall {
+    /// Ground-truth constructs the operator should find.
+    pub expected: usize,
+    /// Locations the scanner reported.
+    pub found: usize,
+    /// Reported locations that correspond to a ground-truth construct.
+    pub matched: usize,
+}
+
+impl PrecisionRecall {
+    /// Fraction of reported locations that are real constructs (1.0 when
+    /// nothing was reported).
+    pub fn precision(&self) -> f64 {
+        if self.found == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.found as f64
+        }
+    }
+
+    /// Fraction of real constructs that were found (1.0 when nothing was
+    /// expected).
+    pub fn recall(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.expected as f64
+        }
+    }
+}
+
+/// Accuracy of a scan against a ground-truth construct map.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Per-fault-type counters, for the types with ground truth.
+    pub per_type: BTreeMap<FaultType, PrecisionRecall>,
+}
+
+impl AccuracyReport {
+    /// Micro-averaged precision across measured types.
+    pub fn overall_precision(&self) -> f64 {
+        let (m, f) = self
+            .per_type
+            .values()
+            .fold((0, 0), |(m, f), pr| (m + pr.matched, f + pr.found));
+        if f == 0 {
+            1.0
+        } else {
+            m as f64 / f as f64
+        }
+    }
+
+    /// Micro-averaged recall across measured types.
+    pub fn overall_recall(&self) -> f64 {
+        let (m, e) = self
+            .per_type
+            .values()
+            .fold((0, 0), |(m, e), pr| (m + pr.matched, e + pr.expected));
+        if e == 0 {
+            1.0
+        } else {
+            m as f64 / e as f64
+        }
+    }
+}
+
+/// Does `site` (the fault's key address) correspond to construct `c` for
+/// fault type `t`?
+fn site_matches(t: FaultType, site: u32, c: &Construct) -> bool {
+    match t {
+        FaultType::Mifs | FaultType::Mia => {
+            c.kind == ConstructKind::IfNoElse && c.branch_at == site
+        }
+        FaultType::Mlac => c.kind == ConstructKind::AndClause && c.branch_at == site,
+        FaultType::Mfc => c.kind == ConstructKind::CallSite && c.aux == 0 && c.branch_at == site,
+        FaultType::Mvi => c.kind == ConstructKind::LocalInitConst && c.start == site,
+        FaultType::Mvav => c.kind == ConstructKind::AssignConst && c.start == site,
+        FaultType::Mvae => {
+            matches!(
+                c.kind,
+                ConstructKind::AssignExpr | ConstructKind::LocalInitExpr
+            ) && c.end == site + 1
+        }
+        FaultType::Wvav => {
+            matches!(
+                c.kind,
+                ConstructKind::LocalInitConst | ConstructKind::AssignConst
+            ) && c.start == site
+        }
+        FaultType::Wlec => c.kind == ConstructKind::CondBranch && c.branch_at == site + 1,
+        // No ground truth is recorded for these (they are windows over
+        // machine code / parameter dataflow, not single source constructs).
+        FaultType::Mlpc | FaultType::Waep | FaultType::Wpfv => false,
+    }
+}
+
+/// Which fault types a construct kind *expects* to be found by.
+fn expected_types(kind: ConstructKind, aux: i64) -> Vec<FaultType> {
+    match kind {
+        ConstructKind::IfNoElse => vec![FaultType::Mifs, FaultType::Mia],
+        ConstructKind::AndClause => vec![FaultType::Mlac],
+        ConstructKind::CallSite if aux == 0 => vec![FaultType::Mfc],
+        ConstructKind::CallSite => vec![],
+        ConstructKind::LocalInitConst => vec![FaultType::Mvi, FaultType::Wvav],
+        ConstructKind::AssignConst => vec![FaultType::Mvav, FaultType::Wvav],
+        ConstructKind::LocalInitExpr | ConstructKind::AssignExpr => vec![FaultType::Mvae],
+        // Every compiled condition branch is a potential WLEC site; the
+        // operator is deliberately narrower (it only matches comparison-fed
+        // branches), so WLEC recall reads as the fraction of branch
+        // conditions the library can perturb.
+        ConstructKind::CondBranch => vec![FaultType::Wlec],
+    }
+}
+
+/// Compares a scan result against the compiler's construct map.
+pub fn measure(faultload: &Faultload, constructs: &[Construct]) -> AccuracyReport {
+    let mut report = AccuracyReport::default();
+    let measured: &[FaultType] = &[
+        FaultType::Mifs,
+        FaultType::Mia,
+        FaultType::Mlac,
+        FaultType::Mfc,
+        FaultType::Mvi,
+        FaultType::Mvav,
+        FaultType::Mvae,
+        FaultType::Wvav,
+        FaultType::Wlec,
+    ];
+    for &t in measured {
+        report.per_type.insert(t, PrecisionRecall::default());
+    }
+    for c in constructs {
+        for t in expected_types(c.kind, c.aux) {
+            report.per_type.get_mut(&t).expect("measured").expected += 1;
+        }
+    }
+    for f in &faultload.faults {
+        let Some(pr) = report.per_type.get_mut(&f.fault_type) else {
+            continue;
+        };
+        pr.found += 1;
+        if constructs
+            .iter()
+            .any(|c| site_matches(f.fault_type, f.site, c))
+        {
+            pr.matched += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::Scanner;
+    use minic::compile;
+
+    const OS_LIKE: &str = r#"
+        const EBAD = -1;
+        global pool_head = 0;
+
+        fn helper(v) { return v + 1; }
+
+        fn alloc(size) {
+            var p = 0;
+            var limit = 128;
+            if (size <= 0) { return EBAD; }
+            if (size < limit && pool_head != 0) {
+                p = pool_head;
+                pool_head = mem[p];
+            }
+            helper(p);
+            return p;
+        }
+
+        fn release(p) {
+            var old = 0;
+            if (p != 0) {
+                old = pool_head;
+                mem[p] = old;
+                pool_head = p;
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn scanner_has_high_precision_on_os_like_code() {
+        let p = compile("t", OS_LIKE).unwrap();
+        let fl = Scanner::standard().scan_image(p.image());
+        let report = measure(&fl, p.constructs());
+        for (t, pr) in &report.per_type {
+            assert!(
+                pr.precision() >= 0.99,
+                "{t}: precision {} ({} / {} found)",
+                pr.precision(),
+                pr.matched,
+                pr.found
+            );
+        }
+        assert!(report.overall_precision() >= 0.99);
+    }
+
+    #[test]
+    fn scanner_recall_is_strong_for_core_patterns() {
+        let p = compile("t", OS_LIKE).unwrap();
+        let fl = Scanner::standard().scan_image(p.image());
+        let report = measure(&fl, p.constructs());
+        for t in [FaultType::Mifs, FaultType::Mia, FaultType::Mvi] {
+            let pr = report.per_type[&t];
+            assert!(
+                pr.recall() >= 0.75,
+                "{t}: recall {} ({} / {} expected)",
+                pr.recall(),
+                pr.matched,
+                pr.expected
+            );
+        }
+        assert!(report.overall_recall() >= 0.6, "{}", report.overall_recall());
+    }
+
+    #[test]
+    fn empty_report_is_perfect() {
+        let pr = PrecisionRecall::default();
+        assert_eq!(pr.precision(), 1.0);
+        assert_eq!(pr.recall(), 1.0);
+        let r = AccuracyReport::default();
+        assert_eq!(r.overall_precision(), 1.0);
+        assert_eq!(r.overall_recall(), 1.0);
+    }
+
+    #[test]
+    fn mismatched_site_counts_as_unmatched() {
+        let p = compile("t", OS_LIKE).unwrap();
+        let mut fl = Scanner::standard().scan_image(p.image());
+        // Shift every site by a large offset -> nothing matches.
+        for f in &mut fl.faults {
+            f.site += 10_000;
+        }
+        let report = measure(&fl, p.constructs());
+        assert_eq!(report.overall_precision(), 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! A decoded, analyzable view of one function of the target executable.
+//!
+//! [`FuncView`] is all a mutation operator gets to see: decoded instructions
+//! and whatever can be derived from them (branch targets, backward slices,
+//! the frame size recovered from the prologue). No source-level metadata —
+//! G-SWFIT explicitly works without source knowledge.
+
+use std::collections::BTreeSet;
+
+use mvm::{CodeImage, Instr, Opcode, Reg};
+
+/// Decoded instructions of a single function plus derived analyses.
+#[derive(Clone, Debug)]
+pub struct FuncView {
+    /// Function name (from the image symbol table — the loader knows
+    /// exported symbols even without source).
+    pub name: String,
+    /// Absolute address of the first instruction.
+    pub entry: u32,
+    /// Decoded body, indexed relative to `entry`.
+    pub instrs: Vec<Instr>,
+    branch_targets: BTreeSet<u32>,
+    frame_size: Option<u32>,
+}
+
+impl FuncView {
+    /// Builds views for every function of `image`, skipping functions whose
+    /// words no longer decode (possible only on corrupted images).
+    pub fn all_of(image: &CodeImage) -> Vec<FuncView> {
+        image
+            .funcs()
+            .iter()
+            .filter_map(|f| {
+                let instrs = image.decode_range(f.entry, f.end).ok()?;
+                Some(FuncView::new(f.name.clone(), f.entry, instrs))
+            })
+            .collect()
+    }
+
+    /// Builds a view from decoded instructions.
+    pub fn new(name: String, entry: u32, instrs: Vec<Instr>) -> FuncView {
+        let branch_targets = instrs
+            .iter()
+            .filter(|i| i.op != Opcode::Call)
+            .filter_map(|i| i.target())
+            .collect();
+        let frame_size = Self::detect_frame(&instrs);
+        FuncView {
+            name,
+            entry,
+            instrs,
+            branch_targets,
+            frame_size,
+        }
+    }
+
+    /// Recovers the frame size from the canonical prologue
+    /// `push fp; mov fp, sp; addi sp, sp, -N`.
+    fn detect_frame(instrs: &[Instr]) -> Option<u32> {
+        if instrs.len() < 3 {
+            return None;
+        }
+        let p0 = instrs[0] == Instr::push(Reg::FP);
+        let p1 = instrs[1] == Instr::mov(Reg::FP, Reg::SP);
+        let p2 = instrs[2].op == Opcode::Addi
+            && instrs[2].rd == Reg::SP
+            && instrs[2].rs1 == Reg::SP
+            && instrs[2].imm <= 0;
+        (p0 && p1 && p2).then(|| (-instrs[2].imm) as u32)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True for an empty body.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Absolute address of relative index `i`.
+    pub fn abs(&self, i: usize) -> u32 {
+        self.entry + i as u32
+    }
+
+    /// Relative index of absolute address `addr`, if it lies inside.
+    pub fn rel(&self, addr: u32) -> Option<usize> {
+        addr.checked_sub(self.entry)
+            .map(|r| r as usize)
+            .filter(|&r| r < self.instrs.len())
+    }
+
+    /// Frame size (local slots) recovered from the prologue, if canonical.
+    pub fn frame_size(&self) -> Option<u32> {
+        self.frame_size
+    }
+
+    /// Relative index of the first instruction after the prologue
+    /// (`push/mov/addi` plus the parameter spills).
+    pub fn after_prologue(&self) -> usize {
+        if self.frame_size.is_none() {
+            return 0;
+        }
+        let mut i = 3;
+        while i < self.instrs.len() {
+            let instr = self.instrs[i];
+            let is_param_spill = instr.op == Opcode::St
+                && instr.rs1 == Reg::FP
+                && instr.imm < 0
+                && instr.rs2.is_arg();
+            if !is_param_spill {
+                break;
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// True when some branch in the function targets absolute `addr`
+    /// (`call` targets excluded — they are inter-procedural).
+    pub fn is_branch_target(&self, addr: u32) -> bool {
+        self.branch_targets.contains(&addr)
+    }
+
+    /// True when the relative range `[start, end)` is straight-line: no
+    /// control-flow instructions inside and no branch lands inside (other
+    /// than at `start`).
+    pub fn is_straight_line(&self, start: usize, end: usize) -> bool {
+        if start >= end || end > self.instrs.len() {
+            return false;
+        }
+        for i in start..end {
+            if self.instrs[i].op.is_control() {
+                return false;
+            }
+            if i > start && self.is_branch_target(self.abs(i)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Computes the backward *evaluation slice* of register `reg` ending just
+    /// before relative index `before`: the contiguous run of instructions
+    /// that (transitively) produced `reg`'s value.
+    ///
+    /// Returns the starting relative index of the slice, or `None` when the
+    /// producing instructions are not a clean contiguous straight-line run —
+    /// in which case the operator must not match (exactly the conservative
+    /// behaviour the paper requires from search patterns).
+    pub fn eval_slice(&self, reg: Reg, before: usize) -> Option<usize> {
+        let mut needed: BTreeSet<Reg> = BTreeSet::new();
+        needed.insert(reg);
+        let mut i = before;
+        while i > 0 {
+            let idx = i - 1;
+            let instr = self.instrs[idx];
+            if instr.op.is_control() || instr.op == Opcode::Hcall {
+                break;
+            }
+            // A branch landing here means multiple producers — bail.
+            if self.is_branch_target(self.abs(idx)) && !needed.is_empty() {
+                // The slice may still start exactly at a branch target; the
+                // instruction itself is fine, but anything before it is not
+                // part of a contiguous evaluation. Process it, then stop.
+            }
+            match instr.writes() {
+                Some(w) if needed.contains(&w) => {
+                    needed.remove(&w);
+                    for r in instr.reads() {
+                        if r != Reg::ZERO && r != Reg::FP && r != Reg::SP {
+                            needed.insert(r);
+                        }
+                    }
+                    i = idx;
+                    if needed.is_empty() {
+                        return Some(i);
+                    }
+                    if self.is_branch_target(self.abs(idx)) {
+                        break;
+                    }
+                }
+                _ => break, // non-contributing instruction ends the slice
+            }
+        }
+        None
+    }
+
+    /// The destination register tested by a branch at relative index `i`,
+    /// when that instruction is a conditional branch.
+    pub fn branch_cond_reg(&self, i: usize) -> Option<Reg> {
+        let instr = self.instrs.get(i)?;
+        matches!(instr.op, Opcode::Beqz | Opcode::Bnez).then_some(instr.rs1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::compile;
+
+    fn view_of(src: &str, func: &str) -> FuncView {
+        let p = compile("t", src).unwrap();
+        FuncView::all_of(p.image())
+            .into_iter()
+            .find(|v| v.name == func)
+            .expect("function present")
+    }
+
+    #[test]
+    fn frame_size_recovered_from_prologue() {
+        let v = view_of("fn f(a, b) { var x; var y; return a; }", "f");
+        assert_eq!(v.frame_size(), Some(4)); // 2 params + 2 locals
+    }
+
+    #[test]
+    fn after_prologue_skips_param_spills() {
+        let v = view_of("fn f(a, b) { return a + b; }", "f");
+        let i = v.after_prologue();
+        // push, mov, addi, st a, st b => body starts at 5
+        assert_eq!(i, 5);
+        assert_eq!(v.instrs[i].op, Opcode::Ld);
+    }
+
+    #[test]
+    fn branch_targets_exclude_calls() {
+        let v = view_of(
+            "fn g() { return 1; } fn f(a) { if (a) { g(); } return 0; }",
+            "f",
+        );
+        // The if's beqz target is a branch target…
+        let beqz_rel = v
+            .instrs
+            .iter()
+            .position(|i| i.op == Opcode::Beqz)
+            .unwrap();
+        let target = v.instrs[beqz_rel].target().unwrap();
+        assert!(v.is_branch_target(target));
+        // …but g's entry (a call target) is not.
+        let call_rel = v.instrs.iter().position(|i| i.op == Opcode::Call).unwrap();
+        let g_entry = v.instrs[call_rel].target().unwrap();
+        assert!(!v.is_branch_target(g_entry));
+    }
+
+    #[test]
+    fn straight_line_detection() {
+        let v = view_of("fn f(a) { var x = a + 1; var y = a * 2; return x + y; }", "f");
+        let start = v.after_prologue();
+        // Declarations are straight-line code.
+        assert!(v.is_straight_line(start, start + 3));
+        // A range containing the final ret is not.
+        assert!(!v.is_straight_line(start, v.len()));
+        // Degenerate ranges are not straight-line.
+        assert!(!v.is_straight_line(5, 5));
+        assert!(!v.is_straight_line(5, 99999));
+    }
+
+    #[test]
+    fn eval_slice_covers_condition_expression() {
+        let v = view_of("fn f(a, b) { if (a + b > 3) { return 1; } return 0; }", "f");
+        let beqz_rel = v
+            .instrs
+            .iter()
+            .position(|i| i.op == Opcode::Beqz)
+            .unwrap();
+        let reg = v.branch_cond_reg(beqz_rel).unwrap();
+        let slice_start = v.eval_slice(reg, beqz_rel).unwrap();
+        // Slice: ld a, ld b, add, ldi 3, cmplt  (5 instructions)
+        assert_eq!(beqz_rel - slice_start, 5);
+        // Every sliced instruction is straight-line.
+        assert!(v.is_straight_line(slice_start, beqz_rel));
+    }
+
+    #[test]
+    fn eval_slice_single_var_condition() {
+        let v = view_of("fn f(a) { if (a) { return 1; } return 0; }", "f");
+        let beqz_rel = v.instrs.iter().position(|i| i.op == Opcode::Beqz).unwrap();
+        let reg = v.branch_cond_reg(beqz_rel).unwrap();
+        let slice_start = v.eval_slice(reg, beqz_rel).unwrap();
+        assert_eq!(beqz_rel - slice_start, 1); // just `ld rT, [fp-1]`
+        assert_eq!(v.instrs[slice_start].op, Opcode::Ld);
+    }
+
+    #[test]
+    fn rel_abs_roundtrip() {
+        let v = view_of("fn a() { } fn b() { return 1; }", "b");
+        assert!(v.entry > 0);
+        assert_eq!(v.rel(v.abs(2)), Some(2));
+        assert_eq!(v.rel(0), None);
+        assert_eq!(v.rel(v.entry + 10_000), None);
+    }
+}

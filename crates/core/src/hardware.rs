@@ -1,0 +1,218 @@
+//! Hardware-fault extension.
+//!
+//! The paper's conclusion: *"a full dependability benchmark for web servers
+//! can be defined by adding more fault models (hardware faults, operator
+//! faults, etc.)"*. This module adds the classic hardware model — transient
+//! single-bit flips in code memory — using the same two-step structure as
+//! G-SWFIT: locations are enumerated offline into a storable faultload and
+//! injected via the identical patch/undo mechanism.
+//!
+//! Unlike software faults, bit flips are not constrained to decode into
+//! *plausible compiler output*; they only need to decode at all (an
+//! undecodable word would be an instruction-fetch machine check, which the
+//! VM also contains, but keeping flips decodable matches the usual SEU
+//! model where the corrupted word still executes).
+
+use mvm::{CodeImage, Instr, Patch};
+use serde::{Deserialize, Serialize};
+
+/// One transient bit-flip fault in code memory.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitFlip {
+    /// Stable identifier, e.g. `"FLIP@rtl_free_heap+3:17"`.
+    pub id: String,
+    /// Function containing the flipped word.
+    pub func: String,
+    /// Instruction address.
+    pub addr: u32,
+    /// Which bit (0–63) is flipped.
+    pub bit: u8,
+    /// The corrupted (still decodable) word.
+    pub new_word: u64,
+}
+
+impl BitFlip {
+    /// The single-word patch emulating this flip.
+    pub fn patch(&self) -> Patch {
+        Patch {
+            addr: self.addr,
+            new_word: self.new_word,
+        }
+    }
+}
+
+/// A hardware faultload: bit flips over a target image.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareFaultload {
+    /// Name of the target image.
+    pub target: String,
+    /// The flips, in scan order.
+    pub faults: Vec<BitFlip>,
+}
+
+impl HardwareFaultload {
+    /// Number of flips.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Enumerates bit-flip locations over `image`, optionally restricted to
+    /// `functions` (the same fine-tuning rule as software faultloads).
+    ///
+    /// For every instruction the scan emits up to `flips_per_word`
+    /// deterministic flips (lowest qualifying bit positions first) whose
+    /// result still decodes and differs from the original.
+    pub fn generate(
+        image: &CodeImage,
+        functions: Option<&[String]>,
+        flips_per_word: usize,
+    ) -> HardwareFaultload {
+        let mut faults = Vec::new();
+        for func in image.funcs() {
+            if let Some(allowed) = functions {
+                if !allowed.contains(&func.name) {
+                    continue;
+                }
+            }
+            for addr in func.entry..func.end {
+                let word = image.words()[addr as usize];
+                let mut emitted = 0;
+                for bit in 0..64u8 {
+                    if emitted >= flips_per_word {
+                        break;
+                    }
+                    let flipped = word ^ (1u64 << bit);
+                    if Instr::decode(flipped).is_ok() {
+                        faults.push(BitFlip {
+                            id: format!("FLIP@{}+{}:{bit}", func.name, addr - func.entry),
+                            func: func.name.clone(),
+                            addr,
+                            bit,
+                            new_word: flipped,
+                        });
+                        emitted += 1;
+                    }
+                }
+            }
+        }
+        HardwareFaultload {
+            target: image.name().to_string(),
+            faults,
+        }
+    }
+
+    /// Serializes to JSON (storable artifact, like the software faultload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(s: &str) -> Result<HardwareFaultload, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Converts into software-faultload form so the standard injector and
+    /// campaign machinery can run it unchanged (each flip becomes a
+    /// single-patch [`crate::FaultDef`] tagged WVAV-nature-free; the fault
+    /// type field is meaningless for hardware faults and set to the closest
+    /// "wrong construct" type purely for bookkeeping).
+    pub fn as_faultload(&self) -> crate::Faultload {
+        crate::Faultload {
+            target: self.target.clone(),
+            fingerprint: None, // generated per-run; addresses match by construction
+            faults: self
+                .faults
+                .iter()
+                .map(|flip| crate::FaultDef {
+                    id: flip.id.clone(),
+                    fault_type: crate::FaultType::Wvav,
+                    func: flip.func.clone(),
+                    site: flip.addr,
+                    patches: vec![flip.patch()],
+                    note: format!("hardware bit flip (bit {})", flip.bit),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::compile;
+
+    const SRC: &str = r#"
+        fn f(a, b) {
+            var r = 0;
+            if (a > b) { r = a - b; }
+            return r;
+        }
+    "#;
+
+    #[test]
+    fn generates_decodable_flips() {
+        let p = compile("t", SRC).unwrap();
+        let hw = HardwareFaultload::generate(p.image(), None, 2);
+        assert!(!hw.is_empty());
+        for flip in &hw.faults {
+            let original = p.image().words()[flip.addr as usize];
+            assert_ne!(flip.new_word, original, "{}", flip.id);
+            assert_eq!(flip.new_word ^ original, 1u64 << flip.bit);
+            assert!(Instr::decode(flip.new_word).is_ok(), "{}", flip.id);
+        }
+    }
+
+    #[test]
+    fn flips_per_word_caps_output() {
+        let p = compile("t", SRC).unwrap();
+        let one = HardwareFaultload::generate(p.image(), None, 1);
+        let three = HardwareFaultload::generate(p.image(), None, 3);
+        assert!(one.len() <= p.image().len());
+        assert!(three.len() > one.len());
+    }
+
+    #[test]
+    fn restriction_by_function() {
+        let p = compile("t", "fn a() { return 1; } fn b() { return 2; }").unwrap();
+        let hw = HardwareFaultload::generate(p.image(), Some(&["b".to_string()]), 1);
+        assert!(!hw.is_empty());
+        assert!(hw.faults.iter().all(|f| f.func == "b"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = compile("t", SRC).unwrap();
+        let hw = HardwareFaultload::generate(p.image(), None, 1);
+        let back = HardwareFaultload::from_json(&hw.to_json().unwrap()).unwrap();
+        assert_eq!(back, hw);
+    }
+
+    #[test]
+    fn converts_to_injectable_faultload() {
+        use crate::Injector;
+        let mut p = compile("t", SRC).unwrap();
+        let hw = HardwareFaultload::generate(p.image(), None, 1);
+        let fl = hw.as_faultload();
+        assert_eq!(fl.len(), hw.len());
+        let pristine = p.image().words().to_vec();
+        let mut injector = Injector::new();
+        for fault in &fl.faults {
+            injector.inject(p.image_mut(), fault).unwrap();
+            injector.restore(p.image_mut());
+        }
+        assert_eq!(p.image().words(), &pristine[..]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Faultload fine-tuning by API-usage profiling (paper §2.4, Table 2).
+//!
+//! Injecting into the whole OS would make campaigns unfeasibly long and
+//! waste slots on never-executed code. The paper therefore profiles the
+//! system under benchmark: the same workload drives each candidate benchmark
+//! target (BT) while the API calls into the fault-injection target (FIT) are
+//! traced. The FIT subset eligible for injection is the **intersection** of
+//! the functions used by *all* BTs of the category, minus the ones with
+//! negligible call share.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// An API-call trace for one benchmark target: call counts per FIT function.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiTrace {
+    counts: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl ApiTrace {
+    /// An empty trace.
+    pub fn new() -> ApiTrace {
+        ApiTrace::default()
+    }
+
+    /// Records `n` calls to `func`.
+    pub fn record(&mut self, func: &str, n: u64) {
+        *self.counts.entry(func.to_string()).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total calls traced.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Calls observed for `func`.
+    pub fn count(&self, func: &str) -> u64 {
+        self.counts.get(func).copied().unwrap_or(0)
+    }
+
+    /// Percentage of all calls that went to `func` (0–100).
+    pub fn share_pct(&self, func: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(func) as f64 * 100.0 / self.total as f64
+        }
+    }
+
+    /// Functions observed at least once.
+    pub fn functions(&self) -> impl Iterator<Item = &str> {
+        self.counts.keys().map(String::as_str)
+    }
+
+    /// Merges another trace into this one.
+    pub fn merge(&mut self, other: &ApiTrace) {
+        for (f, &n) in &other.counts {
+            self.record(f, n);
+        }
+    }
+}
+
+/// One row of the Table-2 style report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// FIT function name.
+    pub func: String,
+    /// Call share (percent) per benchmark target, in insertion order.
+    pub per_bt_pct: Vec<f64>,
+    /// Average share across targets.
+    pub average_pct: f64,
+}
+
+/// API traces for several benchmark targets of the same category.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSet {
+    bt_names: Vec<String>,
+    traces: Vec<ApiTrace>,
+}
+
+impl ProfileSet {
+    /// An empty profile set.
+    pub fn new() -> ProfileSet {
+        ProfileSet::default()
+    }
+
+    /// Adds the trace collected while benchmarking `bt_name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same BT name is added twice.
+    pub fn add_trace(&mut self, bt_name: impl Into<String>, trace: ApiTrace) {
+        let name = bt_name.into();
+        assert!(
+            !self.bt_names.contains(&name),
+            "duplicate benchmark target `{name}`"
+        );
+        self.bt_names.push(name);
+        self.traces.push(trace);
+    }
+
+    /// Benchmark-target names, in insertion order.
+    pub fn bt_names(&self) -> &[String] {
+        &self.bt_names
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when no trace was added.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Every FIT function observed by at least one target.
+    pub fn all_functions(&self) -> BTreeSet<String> {
+        self.traces
+            .iter()
+            .flat_map(|t| t.functions().map(str::to_string))
+            .collect()
+    }
+
+    /// The fine-tuning rule of §2.4: keep a function iff **every** BT calls
+    /// it and its average call share is at least `min_avg_pct` percent.
+    pub fn select_functions(&self, min_avg_pct: f64) -> Vec<String> {
+        self.rows()
+            .into_iter()
+            .filter(|r| {
+                r.average_pct >= min_avg_pct
+                    && self.traces.iter().all(|t| t.count(&r.func) > 0)
+            })
+            .map(|r| r.func)
+            .collect()
+    }
+
+    /// Table-2 style rows for every observed function, sorted by name.
+    pub fn rows(&self) -> Vec<ProfileRow> {
+        self.all_functions()
+            .into_iter()
+            .map(|func| {
+                let per_bt_pct: Vec<f64> =
+                    self.traces.iter().map(|t| t.share_pct(&func)).collect();
+                let average_pct = if per_bt_pct.is_empty() {
+                    0.0
+                } else {
+                    per_bt_pct.iter().sum::<f64>() / per_bt_pct.len() as f64
+                };
+                ProfileRow {
+                    func,
+                    per_bt_pct,
+                    average_pct,
+                }
+            })
+            .collect()
+    }
+
+    /// Total call coverage (percent, averaged over BTs) of a set of selected
+    /// functions — Table 2's bottom line ("total call coverage 68.34 %").
+    pub fn coverage_pct(&self, selected: &[String]) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        let per_bt: Vec<f64> = self
+            .traces
+            .iter()
+            .map(|t| selected.iter().map(|f| t.share_pct(f)).sum::<f64>())
+            .collect();
+        per_bt.iter().sum::<f64>() / per_bt.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(pairs: &[(&str, u64)]) -> ApiTrace {
+        let mut t = ApiTrace::new();
+        for &(f, n) in pairs {
+            t.record(f, n);
+        }
+        t
+    }
+
+    #[test]
+    fn share_percentages() {
+        let t = trace(&[("alloc", 75), ("free", 25)]);
+        assert_eq!(t.total(), 100);
+        assert_eq!(t.share_pct("alloc"), 75.0);
+        assert_eq!(t.share_pct("free"), 25.0);
+        assert_eq!(t.share_pct("never"), 0.0);
+        assert_eq!(ApiTrace::new().share_pct("x"), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = trace(&[("alloc", 10)]);
+        a.merge(&trace(&[("alloc", 5), ("free", 5)]));
+        assert_eq!(a.count("alloc"), 15);
+        assert_eq!(a.count("free"), 5);
+        assert_eq!(a.total(), 20);
+    }
+
+    #[test]
+    fn selection_requires_all_bts_and_threshold() {
+        let mut ps = ProfileSet::new();
+        ps.add_trace("heron", trace(&[("alloc", 50), ("free", 45), ("rare", 5)]));
+        ps.add_trace("wren", trace(&[("alloc", 60), ("free", 40)]));
+        // `rare` is missing from wren -> excluded despite decent share.
+        let sel = ps.select_functions(1.0);
+        assert_eq!(sel, vec!["alloc".to_string(), "free".to_string()]);
+        // A high threshold drops low-share functions.
+        let sel = ps.select_functions(45.0);
+        assert_eq!(sel, vec!["alloc".to_string()]);
+    }
+
+    #[test]
+    fn rows_report_per_bt_and_average() {
+        let mut ps = ProfileSet::new();
+        ps.add_trace("a", trace(&[("f", 80), ("g", 20)]));
+        ps.add_trace("b", trace(&[("f", 60), ("g", 40)]));
+        let rows = ps.rows();
+        let f = rows.iter().find(|r| r.func == "f").unwrap();
+        assert_eq!(f.per_bt_pct, vec![80.0, 60.0]);
+        assert_eq!(f.average_pct, 70.0);
+    }
+
+    #[test]
+    fn coverage_of_selection() {
+        let mut ps = ProfileSet::new();
+        ps.add_trace("a", trace(&[("f", 80), ("g", 15), ("h", 5)]));
+        ps.add_trace("b", trace(&[("f", 70), ("g", 20), ("h", 10)]));
+        let cov = ps.coverage_pct(&["f".to_string(), "g".to_string()]);
+        assert!((cov - 92.5).abs() < 1e-9);
+        assert_eq!(ps.coverage_pct(&[]), 0.0);
+        assert_eq!(ProfileSet::new().coverage_pct(&["f".to_string()]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate benchmark target")]
+    fn duplicate_bt_rejected() {
+        let mut ps = ProfileSet::new();
+        ps.add_trace("a", ApiTrace::new());
+        ps.add_trace("a", ApiTrace::new());
+    }
+}

@@ -1,0 +1,172 @@
+//! Step 1 of G-SWFIT: scanning a target executable for fault locations.
+//!
+//! The scanner walks every linked function of a [`CodeImage`], runs the whole
+//! operator library over each, and assembles the results into a
+//! [`Faultload`] — *"a map of the target identifying the locations suitable
+//! for the emulation of specific fault types"* (paper §2.2, Fig. 2). The
+//! scan happens once, before experimentation; injection later replays the
+//! pre-computed patches.
+
+use mvm::CodeImage;
+
+use crate::faultload::{FaultDef, Faultload};
+use crate::funcview::FuncView;
+use crate::operators::{standard_operators, MutationOperator};
+
+/// The faultload generator: an operator library bound to a scan routine.
+pub struct Scanner {
+    operators: Vec<Box<dyn MutationOperator>>,
+}
+
+impl Scanner {
+    /// A scanner with the full 12-operator library of Table 1.
+    pub fn standard() -> Scanner {
+        Scanner {
+            operators: standard_operators(),
+        }
+    }
+
+    /// A scanner with a custom operator library (e.g. a single operator for
+    /// an ablation).
+    pub fn with_operators(operators: Vec<Box<dyn MutationOperator>>) -> Scanner {
+        Scanner { operators }
+    }
+
+    /// Number of operators in the library.
+    pub fn operator_count(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Scans every function of `image`.
+    pub fn scan_image(&self, image: &CodeImage) -> Faultload {
+        self.scan(image, None)
+    }
+
+    /// Scans only the named functions of `image` — used after the profiling
+    /// phase restricts the FIT to its most-exercised subset (§2.4).
+    pub fn scan_functions(&self, image: &CodeImage, funcs: &[String]) -> Faultload {
+        self.scan(image, Some(funcs))
+    }
+
+    fn scan(&self, image: &CodeImage, restrict: Option<&[String]>) -> Faultload {
+        let mut faultload = Faultload::new(image.name());
+        faultload.fingerprint = Some(image.fingerprint());
+        for view in FuncView::all_of(image) {
+            if let Some(allowed) = restrict {
+                if !allowed.contains(&view.name) {
+                    continue;
+                }
+            }
+            for op in &self.operators {
+                for m in op.scan(&view) {
+                    let t = op.fault_type();
+                    faultload.faults.push(FaultDef {
+                        id: format!("{}@{}+{}", t.acronym(), view.name, m.site - view.entry),
+                        fault_type: t,
+                        func: view.name.clone(),
+                        site: m.site,
+                        patches: m.patches,
+                        note: m.note,
+                    });
+                }
+            }
+        }
+        faultload
+    }
+}
+
+impl Default for Scanner {
+    fn default() -> Self {
+        Scanner::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::MifsOp;
+    use crate::taxonomy::FaultType;
+    use minic::compile;
+
+    const SRC: &str = r#"
+        fn helper(x) { return x * 2; }
+        fn alpha(a, b) {
+            var r = 0;
+            if (a > 0 && b > 0) { r = a + b; }
+            helper(r);
+            return r;
+        }
+        fn beta(a) {
+            var x = 3;
+            if (a != 0) { x = a; }
+            return helper(x);
+        }
+    "#;
+
+    #[test]
+    fn scan_finds_multiple_types_across_functions() {
+        let p = compile("os", SRC).unwrap();
+        let fl = Scanner::standard().scan_image(p.image());
+        assert_eq!(fl.target, "os");
+        assert!(fl.count_of(FaultType::Mifs) >= 2, "{fl:?}");
+        assert!(fl.count_of(FaultType::Mia) >= 2);
+        assert!(fl.count_of(FaultType::Mlac) >= 1);
+        assert!(fl.count_of(FaultType::Mfc) >= 1);
+        assert!(fl.count_of(FaultType::Mvi) >= 2);
+        assert!(fl.count_of(FaultType::Wvav) >= 2);
+    }
+
+    #[test]
+    fn fault_ids_are_unique_and_descriptive() {
+        let p = compile("os", SRC).unwrap();
+        let fl = Scanner::standard().scan_image(p.image());
+        let ids: std::collections::BTreeSet<&str> =
+            fl.faults.iter().map(|f| f.id.as_str()).collect();
+        assert_eq!(ids.len(), fl.len(), "duplicate fault ids");
+        assert!(fl.faults.iter().all(|f| f.id.contains('@')));
+    }
+
+    #[test]
+    fn restricted_scan_only_touches_named_functions() {
+        let p = compile("os", SRC).unwrap();
+        let fl = Scanner::standard().scan_functions(p.image(), &["beta".to_string()]);
+        assert!(!fl.is_empty());
+        assert!(fl.faults.iter().all(|f| f.func == "beta"));
+    }
+
+    #[test]
+    fn custom_operator_library() {
+        let p = compile("os", SRC).unwrap();
+        let s = Scanner::with_operators(vec![Box::new(MifsOp)]);
+        assert_eq!(s.operator_count(), 1);
+        let fl = s.scan_image(p.image());
+        assert!(fl.faults.iter().all(|f| f.fault_type == FaultType::Mifs));
+    }
+
+    #[test]
+    fn scan_is_deterministic() {
+        let p = compile("os", SRC).unwrap();
+        let a = Scanner::standard().scan_image(p.image());
+        let b = Scanner::standard().scan_image(p.image());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_patches_fall_inside_their_function() {
+        let p = compile("os", SRC).unwrap();
+        let fl = Scanner::standard().scan_image(p.image());
+        for f in &fl.faults {
+            let info = p.image().func(&f.func).unwrap();
+            for patch in &f.patches {
+                assert!(
+                    info.contains(patch.addr),
+                    "{}: patch at {} escapes {}..{}",
+                    f.id,
+                    patch.addr,
+                    info.entry,
+                    info.end
+                );
+            }
+        }
+    }
+}

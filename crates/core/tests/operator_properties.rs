@@ -1,0 +1,153 @@
+//! Operator-library properties over randomly generated MiniC programs.
+//!
+//! The operators must uphold their contracts on *any* compiled code, not
+//! just the OS: patches decode, stay inside their function, restore exactly,
+//! and "missing construct" mutations never make a program undecodable or
+//! uncontained.
+
+use mvm::{Instr, Memory, NoHcalls, Vm, VmConfig};
+use proptest::prelude::*;
+use swfit_core::Scanner;
+
+/// A tiny random-program generator: a function body is a sequence of
+/// statement templates over locals `x, y, z` and params `a, b`.
+#[derive(Clone, Debug)]
+enum Stmt {
+    AssignConst(usize, i32),
+    AssignExpr(usize, usize, usize),
+    IfGuarded(usize, i32, usize, i32),
+    IfAnd(usize, usize, usize, i32),
+    While(usize, i32),
+    CallHelper(usize),
+    MemWrite(i32, usize),
+    Return(usize),
+}
+
+const VARS: [&str; 5] = ["x", "y", "z", "a", "b"];
+
+fn var(i: usize) -> &'static str {
+    VARS[i % VARS.len()]
+}
+
+impl Stmt {
+    fn to_source(&self) -> String {
+        match self {
+            Stmt::AssignConst(v, k) => format!("{} = {k};", var(*v)),
+            Stmt::AssignExpr(v, l, r) => {
+                format!("{} = {} + {} * 2;", var(*v), var(*l), var(*r))
+            }
+            Stmt::IfGuarded(c, k, v, k2) => format!(
+                "if ({} > {k}) {{ {} = {k2}; }}",
+                var(*c),
+                var(*v)
+            ),
+            Stmt::IfAnd(c1, c2, v, k) => format!(
+                "if ({} > 0 && {} != {k}) {{ {} = {} + 1; }}",
+                var(*c1),
+                var(*c2),
+                var(*v),
+                var(*v)
+            ),
+            Stmt::While(v, n) => format!(
+                "while ({} < {n}) {{ {} = {} + 1; }}",
+                var(*v),
+                var(*v),
+                var(*v)
+            ),
+            Stmt::CallHelper(v) => format!("helper({});", var(*v)),
+            Stmt::MemWrite(addr, v) => {
+                format!("mem[{}] = {};", 1000 + (addr.unsigned_abs() % 1000), var(*v))
+            }
+            Stmt::Return(v) => format!("return {};", var(*v)),
+        }
+    }
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0usize..3, -50i32..50).prop_map(|(v, k)| Stmt::AssignConst(v, k)),
+        (0usize..3, 0usize..5, 0usize..5).prop_map(|(v, l, r)| Stmt::AssignExpr(v, l, r)),
+        (0usize..5, -10i32..10, 0usize..3, -50i32..50)
+            .prop_map(|(c, k, v, k2)| Stmt::IfGuarded(c, k, v, k2)),
+        (0usize..5, 0usize..5, 0usize..3, -10i32..10)
+            .prop_map(|(a, b, v, k)| Stmt::IfAnd(a, b, v, k)),
+        (0usize..3, 1i32..20).prop_map(|(v, n)| Stmt::While(v, n)),
+        (0usize..5).prop_map(Stmt::CallHelper),
+        (any::<i32>(), 0usize..5).prop_map(|(a, v)| Stmt::MemWrite(a, v)),
+        (0usize..5).prop_map(Stmt::Return),
+    ]
+}
+
+fn program_source(stmts: &[Stmt]) -> String {
+    let body: String = stmts.iter().map(|s| format!("    {}\n", s.to_source())).collect();
+    format!(
+        "fn helper(v) {{ return v + 1; }}\n\
+         fn main(a, b) {{\n    var x = 1;\n    var y = 2;\n    var z = 0;\n{body}    return x + y + z;\n}}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every fault the scanner proposes on a random program: decodable
+    /// patches, confined to the function, exact restore.
+    #[test]
+    fn prop_faults_are_wellformed_on_random_programs(
+        stmts in proptest::collection::vec(arb_stmt(), 1..12),
+    ) {
+        let src = program_source(&stmts);
+        let mut program = minic::compile("rand", &src).expect("generated programs compile");
+        let faultload = Scanner::standard().scan_image(program.image());
+        let pristine = program.image().words().to_vec();
+        let mut injector = swfit_core::Injector::new();
+        for fault in &faultload.faults {
+            let info = program.image().func(&fault.func).expect("func exists").clone();
+            for p in &fault.patches {
+                prop_assert!(info.contains(p.addr), "{}: escapes function", fault.id);
+                prop_assert!(Instr::decode(p.new_word).is_ok(), "{}: bad word", fault.id);
+            }
+            injector.inject(program.image_mut(), fault).expect("injects");
+            // The mutated program stays contained when executed.
+            let mut vm = Vm::with_config(VmConfig { budget: 50_000, stack_cells: 512 });
+            let mut mem = Memory::new(8192);
+            let _ = vm.call(program.image(), &mut mem, &mut NoHcalls, "main", &[3, 4]);
+            injector.restore(program.image_mut());
+            prop_assert_eq!(program.image().words(), &pristine[..], "{}: leaked", &fault.id);
+        }
+    }
+
+    /// Wrong-construct mutations change exactly one word; missing-construct
+    /// mutations write only NOPs.
+    #[test]
+    fn prop_mutation_shapes_match_nature(
+        stmts in proptest::collection::vec(arb_stmt(), 1..12),
+    ) {
+        use swfit_core::FaultNature;
+        let src = program_source(&stmts);
+        let program = minic::compile("rand", &src).expect("compiles");
+        let faultload = Scanner::standard().scan_image(program.image());
+        for fault in &faultload.faults {
+            match fault.fault_type.nature() {
+                FaultNature::Missing => {
+                    for p in &fault.patches {
+                        prop_assert_eq!(
+                            p.new_word,
+                            Instr::nop().encode(),
+                            "{}: missing-construct patch must be a NOP", &fault.id
+                        );
+                    }
+                }
+                FaultNature::Wrong => {
+                    prop_assert_eq!(
+                        fault.patches.len(),
+                        1,
+                        "{}: wrong-construct mutations are single-word", &fault.id
+                    );
+                    let old = program.image().words()[fault.patches[0].addr as usize];
+                    prop_assert_ne!(fault.patches[0].new_word, old, "{}", &fault.id);
+                }
+                FaultNature::Extraneous => prop_assert!(false, "never generated"),
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The measurement interval: clients, server machine and watchdog on
+//! simulated time.
+//!
+//! The model matches the paper's setup (Fig. 3): one server machine hosting
+//! the SUB (OS + web server + injector), one client machine running the
+//! SPECWeb-like load over N connections. The server machine serializes
+//! request processing (one CPU); responses stream back to each client at the
+//! connection bandwidth; clients issue the next operation after a short
+//! think time. The watchdog (part of the injector in the paper) monitors
+//! the server and performs administrative repairs, counting MIS/KNS/KCP.
+
+use serde::{Deserialize, Serialize};
+use simkit::{EventQueue, SimDuration, SimRng, SimTime};
+use simos::Os;
+use specweb::{IntervalMeasures, RequestGenerator};
+use webserver::{ServerState, WebServer};
+
+/// Interval parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IntervalConfig {
+    /// Simultaneous client connections.
+    pub conns: usize,
+    /// Interval length (one benchmark slot).
+    pub duration: SimDuration,
+    /// Nanoseconds of simulated time per server cost unit.
+    pub ns_per_unit: u64,
+    /// Per-connection streaming bandwidth, cells per second.
+    pub conn_cells_per_sec: u64,
+    /// Client think time between operations.
+    pub think: SimDuration,
+    /// Client-side latency charged to an operation that hits a dead server.
+    pub dead_op_latency: SimDuration,
+    /// Extra client delay after a failed operation (teardown + reconnect).
+    pub error_backoff: SimDuration,
+    /// Watchdog delay to detect a dead process and restart it.
+    pub crash_repair_delay: SimDuration,
+    /// Watchdog delay to decide the server is not answering (KNS kill).
+    pub hang_kill_delay: SimDuration,
+    /// Self-restarts without a single successful operation in between that
+    /// classify the process as a CPU hog (KCP kill).
+    pub kcp_restart_storm: u64,
+    /// Extra busy time charged at interval start (injector bookkeeping in
+    /// profile mode; zero otherwise).
+    pub injector_busy: SimDuration,
+}
+
+impl Default for IntervalConfig {
+    fn default() -> Self {
+        IntervalConfig {
+            conns: 40,
+            duration: SimDuration::from_secs(2),
+            ns_per_unit: 450,
+            conn_cells_per_sec: 25_000,
+            think: SimDuration::from_millis(25),
+            dead_op_latency: SimDuration::from_millis(250),
+            error_backoff: SimDuration::from_millis(500),
+            crash_repair_delay: SimDuration::from_millis(400),
+            hang_kill_delay: SimDuration::from_millis(400),
+            kcp_restart_storm: 10,
+            injector_busy: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Administrative interventions the watchdog performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogCounts {
+    /// Server died and did not self-restart (admin restarted it).
+    pub mis: u64,
+    /// Server killed because it stopped answering requests.
+    pub kns: u64,
+    /// Server killed because it was hogging the CPU without serving.
+    pub kcp: u64,
+}
+
+impl WatchdogCounts {
+    /// ADMf: total administrative interventions (paper §3.2).
+    pub fn admf(&self) -> u64 {
+        self.mis + self.kns + self.kcp
+    }
+
+    /// Accumulates another interval's counts.
+    pub fn merge(&mut self, other: WatchdogCounts) {
+        self.mis += other.mis;
+        self.kns += other.kns;
+        self.kcp += other.kcp;
+    }
+}
+
+/// Outcome of one interval run.
+#[derive(Clone, Debug)]
+pub struct IntervalOutcome {
+    /// Client-side measures.
+    pub measures: IntervalMeasures,
+    /// Watchdog interventions.
+    pub watchdog: WatchdogCounts,
+    /// Server state when the interval ended.
+    pub end_state: ServerState,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// Connection `i` issues its next operation.
+    Issue(usize),
+}
+
+/// Runs one measurement interval.
+///
+/// The server must have been started; a dead server is repaired by the
+/// watchdog according to the configured policy (and the repair is counted).
+pub fn run_interval(
+    os: &mut Os,
+    server: &mut dyn WebServer,
+    generator: &mut RequestGenerator,
+    rng: &mut SimRng,
+    cfg: &IntervalConfig,
+) -> IntervalOutcome {
+    let mut measures = IntervalMeasures::new(cfg.conns);
+    let mut watchdog = WatchdogCounts::default();
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let end = SimTime::ZERO + cfg.duration;
+
+    // The server machine's CPU availability; injector bookkeeping occupies
+    // it first (profile-mode overhead measurement).
+    let mut server_free = SimTime::ZERO + cfg.injector_busy;
+
+    // Watchdog state.
+    let mut repair_at: Option<SimTime> = None;
+    let mut storm_base = server.stats().self_restarts;
+
+    // Stagger connection starts across the first few milliseconds.
+    for conn in 0..cfg.conns {
+        queue.schedule(
+            SimTime::ZERO + SimDuration::from_micros(200 * conn as u64),
+            Event::Issue(conn),
+        );
+    }
+
+    while let Some(ts) = queue.peek_time() {
+        if ts >= end {
+            break;
+        }
+        let (now, Event::Issue(conn)) = queue.pop().expect("peeked");
+
+        // Watchdog repair path.
+        if server.state() != ServerState::Running {
+            let due = *repair_at.get_or_insert_with(|| {
+                // Classify the failure once, at detection time.
+                match server.state() {
+                    ServerState::Crashed => {
+                        watchdog.mis += 1;
+                        now + cfg.crash_repair_delay
+                    }
+                    ServerState::Hung => {
+                        watchdog.kns += 1;
+                        now + cfg.hang_kill_delay
+                    }
+                    ServerState::Running => unreachable!(),
+                }
+            });
+            if now >= due {
+                // Kill (if hung) and restart.
+                if server.start(os) {
+                    repair_at = None;
+                    storm_base = server.stats().self_restarts;
+                } else {
+                    // Startup failed (OS still poisoned); retry later.
+                    repair_at = Some(now + cfg.crash_repair_delay);
+                }
+            }
+            // Either way this operation fails at the client.
+            measures.record_op(conn, 0, true, cfg.dead_op_latency);
+            queue.schedule(now + cfg.dead_op_latency + cfg.think, Event::Issue(conn));
+            continue;
+        }
+
+        // Dispatch to the server machine.
+        let req = generator.next_request(rng);
+        let start = now.max(server_free);
+        let result = server.serve(os, &req);
+        let service = SimDuration::from_micros(result.cost * cfg.ns_per_unit / 1000);
+        server_free = start + service;
+        let cells = match result.outcome {
+            webserver::Outcome::Ok { bytes, .. } => bytes,
+            webserver::Outcome::Error => 0,
+        };
+        let transfer = SimDuration::from_micros(cells * 1_000_000 / cfg.conn_cells_per_sec);
+        let complete = server_free + transfer;
+        let rt = complete.since(now);
+        let error = !result.is_correct_for(&req);
+        let backoff = if error { cfg.error_backoff } else { SimDuration::ZERO };
+        // The client perceives the backoff as part of the failed operation.
+        measures.record_op(conn, cells, error, rt + backoff);
+        queue.schedule(complete + cfg.think + backoff, Event::Issue(conn));
+        if !error {
+            // Service is being provided: the restart-storm window resets.
+            storm_base = server.stats().self_restarts;
+        }
+
+        // Post-dispatch watchdog checks.
+        if server.state() == ServerState::Running
+            && server.stats().self_restarts.saturating_sub(storm_base) >= cfg.kcp_restart_storm
+        {
+            // Restart storm: the process burns CPU re-forking workers
+            // without providing service. Kill and restart it.
+            watchdog.kcp += 1;
+            storm_base = server.stats().self_restarts;
+            if !server.start(os) {
+                repair_at = Some(complete + cfg.crash_repair_delay);
+            }
+        }
+    }
+
+    measures.set_duration(cfg.duration);
+    IntervalOutcome {
+        measures,
+        watchdog,
+        end_state: server.state(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::Edition;
+    use specweb::{FileSet, FileSetConfig};
+    use webserver::{Heron, Wren};
+
+    fn setup(edition: Edition) -> (Os, RequestGenerator) {
+        let mut os = Os::boot(edition).unwrap();
+        let fs = FileSet::populate(FileSetConfig::default(), os.devices_mut());
+        (os, RequestGenerator::new(fs))
+    }
+
+    fn quick_cfg() -> IntervalConfig {
+        IntervalConfig {
+            duration: SimDuration::from_millis(500),
+            ..IntervalConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_interval_produces_throughput_and_no_errors() {
+        let (mut os, mut generator) = setup(Edition::Nimbus2000);
+        let mut server = Heron::new();
+        assert!(server.start(&mut os));
+        let mut rng = SimRng::seed_from_u64(42);
+        let out = run_interval(&mut os, &mut server, &mut generator, &mut rng, &quick_cfg());
+        assert_eq!(out.watchdog, WatchdogCounts::default());
+        assert_eq!(out.end_state, ServerState::Running);
+        assert!(out.measures.ops() > 20, "ops = {}", out.measures.ops());
+        assert_eq!(out.measures.errors(), 0);
+        assert!(out.measures.thr() > 40.0, "thr = {}", out.measures.thr());
+        assert!(out.measures.spc() > 0, "spc = {}", out.measures.spc());
+        assert!(out.measures.rtm() > 10.0, "rtm = {}", out.measures.rtm());
+    }
+
+    #[test]
+    fn interval_is_deterministic() {
+        let run = || {
+            let (mut os, mut generator) = setup(Edition::Nimbus2000);
+            let mut server = Wren::new();
+            assert!(server.start(&mut os));
+            let mut rng = SimRng::seed_from_u64(7);
+            let out =
+                run_interval(&mut os, &mut server, &mut generator, &mut rng, &quick_cfg());
+            (
+                out.measures.ops(),
+                out.measures.errors(),
+                out.measures.cells(),
+                out.measures.spc(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crashed_server_is_repaired_and_counted() {
+        let (mut os, mut generator) = setup(Edition::Nimbus2000);
+        let mut server = Wren::new();
+        assert!(server.start(&mut os));
+        // Corrupt the heap so the first request's master-phase alloc traps,
+        // then let reset-free corruption persist: the watchdog must restart.
+        os.poke(
+            os.program().global_addr("heap_free_head").unwrap(),
+            -123_456,
+        )
+        .unwrap();
+        let mut rng = SimRng::seed_from_u64(3);
+        let out = run_interval(&mut os, &mut server, &mut generator, &mut rng, &quick_cfg());
+        assert!(out.watchdog.mis >= 1, "{:?}", out.watchdog);
+        assert!(out.measures.errors() > 0);
+    }
+
+    #[test]
+    fn hung_server_is_killed_and_counted_kns() {
+        let (mut os_big, _) = setup(Edition::Nimbus2000);
+        drop(os_big);
+        let mut os = Os::boot_with_budget(Edition::Nimbus2000, 60_000).unwrap();
+        let fs = FileSet::populate(FileSetConfig::default(), os.devices_mut());
+        let mut generator = RequestGenerator::new(fs);
+        let mut server = Wren::new();
+        assert!(server.start(&mut os));
+        // Wedge Wren's lock (foreign owner): first enter spins -> hang.
+        os.poke(simos::source::CS_REGION + 16, 3).unwrap();
+        os.poke(simos::source::CS_REGION + 17, 99).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let out = run_interval(&mut os, &mut server, &mut generator, &mut rng, &quick_cfg());
+        assert!(out.watchdog.kns >= 1, "{:?}", out.watchdog);
+    }
+
+    #[test]
+    fn injector_busy_time_degrades_throughput_slightly() {
+        let thr = |busy: SimDuration| {
+            let (mut os, mut generator) = setup(Edition::Nimbus2000);
+            let mut server = Heron::new();
+            assert!(server.start(&mut os));
+            let mut rng = SimRng::seed_from_u64(11);
+            let cfg = IntervalConfig {
+                injector_busy: busy,
+                ..quick_cfg()
+            };
+            run_interval(&mut os, &mut server, &mut generator, &mut rng, &cfg)
+                .measures
+                .thr()
+        };
+        let clean = thr(SimDuration::ZERO);
+        let profiled = thr(SimDuration::from_millis(5));
+        assert!(profiled <= clean);
+        let degradation = (clean - profiled) / clean;
+        assert!(degradation < 0.05, "degradation {degradation}");
+    }
+
+    #[test]
+    fn watchdog_admf_sums() {
+        let w = WatchdogCounts {
+            mis: 3,
+            kns: 2,
+            kcp: 1,
+        };
+        assert_eq!(w.admf(), 6);
+        let mut a = WatchdogCounts::default();
+        a.merge(w);
+        a.merge(w);
+        assert_eq!(a.admf(), 12);
+    }
+}

@@ -1,0 +1,158 @@
+//! The dependability metrics of §3.2.
+//!
+//! The benchmark reports performance degradation (SPCf, THRf, RTMf — the
+//! SPECWeb measures *in the presence of the faultload*), the error rate
+//! ER%f, and the need for administrator intervention ADMf = MIS + KNS +
+//! KCP.
+
+use serde::{Deserialize, Serialize};
+use specweb::IntervalMeasures;
+
+use crate::campaign::CampaignResult;
+use crate::interval::WatchdogCounts;
+
+/// The paper's metric set for one campaign run, alongside its baseline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DependabilityMetrics {
+    /// SPC without faults (baseline / profile mode).
+    pub spc_baseline: u32,
+    /// THR without faults.
+    pub thr_baseline: f64,
+    /// RTM without faults (ms).
+    pub rtm_baseline: f64,
+    /// SPCf — SPC in the presence of the faultload.
+    pub spc_f: u32,
+    /// THRf — throughput in the presence of the faultload (ops/s).
+    pub thr_f: f64,
+    /// RTMf — response time in the presence of the faultload (ms).
+    pub rtm_f: f64,
+    /// ER%f — error rate in the presence of the faultload (percent).
+    pub er_pct_f: f64,
+    /// Watchdog interventions (MIS / KNS / KCP).
+    pub watchdog: WatchdogCounts,
+}
+
+impl DependabilityMetrics {
+    /// Builds the metric set from a baseline interval and a campaign result.
+    pub fn from_runs(baseline: &IntervalMeasures, campaign: &CampaignResult) -> Self {
+        DependabilityMetrics {
+            spc_baseline: baseline.spc(),
+            thr_baseline: baseline.thr(),
+            rtm_baseline: baseline.rtm(),
+            spc_f: campaign.spc_f(),
+            thr_f: campaign.measures.thr(),
+            rtm_f: campaign.measures.rtm(),
+            er_pct_f: campaign.measures.er_pct(),
+            watchdog: campaign.watchdog,
+        }
+    }
+
+    /// ADMf — administrative interventions needed (MIS + KNS + KCP).
+    pub fn admf(&self) -> u64 {
+        self.watchdog.admf()
+    }
+
+    /// SPC retention under faults, in `[0, 1]` — the paper's "performance
+    /// relative to its normal condition".
+    pub fn spc_retention(&self) -> f64 {
+        if self.spc_baseline == 0 {
+            0.0
+        } else {
+            f64::from(self.spc_f) / f64::from(self.spc_baseline)
+        }
+    }
+
+    /// THR retention under faults, in `[0, 1]`.
+    pub fn thr_retention(&self) -> f64 {
+        if self.thr_baseline <= 0.0 {
+            0.0
+        } else {
+            self.thr_f / self.thr_baseline
+        }
+    }
+}
+
+/// Averages metric sets across iterations (the paper's "Average (all
+/// iter)" rows).
+pub fn average_metrics(runs: &[DependabilityMetrics]) -> DependabilityMetrics {
+    assert!(!runs.is_empty(), "need at least one run to average");
+    let n = runs.len() as f64;
+    let sum_u32 = |f: fn(&DependabilityMetrics) -> u32| -> u32 {
+        (runs.iter().map(|r| f(r) as f64).sum::<f64>() / n).round() as u32
+    };
+    let sum_f = |f: fn(&DependabilityMetrics) -> f64| -> f64 {
+        runs.iter().map(f).sum::<f64>() / n
+    };
+    let avg_w = |f: fn(&WatchdogCounts) -> u64| -> u64 {
+        (runs.iter().map(|r| f(&r.watchdog) as f64).sum::<f64>() / n).round() as u64
+    };
+    DependabilityMetrics {
+        spc_baseline: sum_u32(|r| r.spc_baseline),
+        thr_baseline: sum_f(|r| r.thr_baseline),
+        rtm_baseline: sum_f(|r| r.rtm_baseline),
+        spc_f: sum_u32(|r| r.spc_f),
+        thr_f: sum_f(|r| r.thr_f),
+        rtm_f: sum_f(|r| r.rtm_f),
+        er_pct_f: sum_f(|r| r.er_pct_f),
+        watchdog: WatchdogCounts {
+            mis: avg_w(|w| w.mis),
+            kns: avg_w(|w| w.kns),
+            kcp: avg_w(|w| w.kcp),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(spc_f: u32, mis: u64) -> DependabilityMetrics {
+        DependabilityMetrics {
+            spc_baseline: 36,
+            thr_baseline: 100.0,
+            rtm_baseline: 350.0,
+            spc_f,
+            thr_f: 90.0,
+            rtm_f: 365.0,
+            er_pct_f: 8.0,
+            watchdog: WatchdogCounts {
+                mis,
+                kns: 10,
+                kcp: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn admf_and_retention() {
+        let m = metrics(12, 60);
+        assert_eq!(m.admf(), 71);
+        assert!((m.spc_retention() - 12.0 / 36.0).abs() < 1e-12);
+        assert!((m.thr_retention() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_safe() {
+        let mut m = metrics(0, 0);
+        m.spc_baseline = 0;
+        m.thr_baseline = 0.0;
+        assert_eq!(m.spc_retention(), 0.0);
+        assert_eq!(m.thr_retention(), 0.0);
+    }
+
+    #[test]
+    fn averaging_matches_paper_style() {
+        let runs = vec![metrics(13, 64), metrics(12, 58), metrics(14, 58)];
+        let avg = average_metrics(&runs);
+        assert_eq!(avg.spc_f, 13);
+        assert_eq!(avg.watchdog.mis, 60);
+        assert_eq!(avg.watchdog.kns, 10);
+        assert!((avg.er_pct_f - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn averaging_empty_panics() {
+        let _ = average_metrics(&[]);
+    }
+}

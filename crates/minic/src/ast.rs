@@ -1,0 +1,204 @@
+//! Abstract syntax tree for MiniC.
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Item {
+    /// `global name;` or `global name = <const expr>;`
+    Global {
+        /// Variable name.
+        name: String,
+        /// Optional boot-time initial value (must be a constant expression).
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `const NAME = <const expr>;`
+    Const {
+        /// Constant name.
+        name: String,
+        /// Value expression (folded at compile time).
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `fn name(params) { body }`
+    Func(Func),
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the header.
+    pub line: usize,
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var name;` / `var name = expr;`
+    VarDecl {
+        /// Local name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Target variable (local, parameter or global).
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `mem[addr] = value;`
+    MemWrite {
+        /// Address expression.
+        addr: Expr,
+        /// Value expression.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (cond) { then } else { else }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch body.
+        then_body: Vec<Stmt>,
+        /// Else-branch body (empty if absent).
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while (cond) { body }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: usize,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: usize,
+    },
+    /// `return;` / `return expr;`
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// An expression evaluated for effect (virtually always a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Logical `&&` (short-circuit in condition position).
+    LAnd,
+    /// Logical `||` (short-circuit in condition position).
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!x` is `x == 0`).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Number(i64),
+    /// Variable reference (local, parameter, global, or named const).
+    Var(String),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `mem[addr]`
+    MemRead {
+        /// Address expression.
+        addr: Box<Expr>,
+    },
+    /// `f(args...)`
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `hcall(n, args...)` — hypercall to the device layer.
+    Hcall {
+        /// Hypercall number (constant).
+        number: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// True for literal constants (used to distinguish the MVAV/WVAV
+    /// "assignment of a value" patterns from MVAE "assignment of an
+    /// expression").
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Expr::Number(_))
+    }
+}

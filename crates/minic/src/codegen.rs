@@ -1,0 +1,1059 @@
+//! Code generation with *canonical idioms*.
+//!
+//! The generated shapes are deliberately uniform because the G-SWFIT
+//! operator library pattern-matches them (see crate docs). The conventions:
+//!
+//! * **Frame**: `push fp; mov fp, sp; addi sp, sp, -N`; local slot *k* lives
+//!   at `[fp-k]`; parameters are spilled to the first slots in order.
+//! * **Expressions** evaluate into a stack of temporaries `r10..r25`,
+//!   left-to-right.
+//! * **Conditions** are compiled with branch-false jumps (`beqz`), `&&`
+//!   chains share one false-target, `||` uses a true-skip label.
+//! * **Calls** move evaluated arguments into `r2..r9`, then `call`; the
+//!   result is in `r1` and is only read when the source uses it.
+//! * **Globals** live at absolute data addresses accessed via `[r0+addr]`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mvm::{CodeImage, FuncInfo, Instr, Opcode, Reg};
+
+use crate::ast::{BinOp, Expr, Func, Item, Stmt, UnOp};
+use crate::construct::{Construct, ConstructKind};
+use crate::program::{Program, GLOBALS_BASE};
+
+/// A compilation failure with its 1-based source line (0 when the problem is
+/// not tied to a line, e.g. a link error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line, or 0.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err(line: usize, message: impl Into<String>) -> CompileError {
+    CompileError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Number of expression temporaries (`r10..r25`).
+const TEMP_COUNT: u8 = 16;
+
+/// Generates a linked [`Program`] from parsed items.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on semantic errors (duplicate or undefined
+/// names, arity mismatches, over-deep expressions, out-of-range literals).
+pub fn generate(name: &str, items: &[Item]) -> Result<Program, CompileError> {
+    let mut cg = Codegen::default();
+
+    // Pass A: collect consts, globals and function signatures.
+    for item in items {
+        match item {
+            Item::Const { name, value, line } => {
+                let v = cg.fold_const(value, *line)?;
+                if cg.consts.insert(name.clone(), v).is_some() {
+                    return Err(err(*line, format!("duplicate const `{name}`")));
+                }
+            }
+            Item::Global { name, init, line } => {
+                if cg.consts.contains_key(name) || cg.globals.contains_key(name) {
+                    return Err(err(*line, format!("duplicate global `{name}`")));
+                }
+                let addr = GLOBALS_BASE + cg.globals.len() as i64;
+                cg.globals.insert(name.clone(), addr);
+                if let Some(e) = init {
+                    let v = cg.fold_const(e, *line)?;
+                    cg.global_inits.push((addr, v));
+                }
+            }
+            Item::Func(f) => {
+                if cg.func_sigs.insert(f.name.clone(), f.params.len()).is_some() {
+                    return Err(err(f.line, format!("duplicate function `{}`", f.name)));
+                }
+            }
+        }
+    }
+
+    // Pass B: emit every function.
+    for item in items {
+        if let Item::Func(f) = item {
+            cg.emit_func(f)?;
+        }
+    }
+
+    // Pass C: resolve call fixups.
+    for fixup in std::mem::take(&mut cg.call_fixups) {
+        let entry = *cg
+            .func_entries
+            .get(&fixup.callee)
+            .ok_or_else(|| err(fixup.line, format!("unknown function `{}`", fixup.callee)))?;
+        let arity = cg.func_sigs[&fixup.callee];
+        if arity != fixup.arity {
+            return Err(err(
+                fixup.line,
+                format!(
+                    "`{}` takes {arity} argument(s), called with {}",
+                    fixup.callee, fixup.arity
+                ),
+            ));
+        }
+        cg.code[fixup.at as usize] = Instr::call(entry);
+    }
+
+    let data_end = GLOBALS_BASE + cg.globals.len() as i64;
+    let image = CodeImage::link(name, &cg.code, cg.funcs).map_err(|e| err(0, e.to_string()))?;
+    Ok(Program::new(
+        image,
+        cg.globals,
+        cg.global_inits,
+        cg.constructs,
+        data_end,
+    ))
+}
+
+#[derive(Debug)]
+struct CallFixup {
+    at: u32,
+    callee: String,
+    arity: usize,
+    line: usize,
+}
+
+#[derive(Default, Debug)]
+struct Codegen {
+    code: Vec<Instr>,
+    funcs: Vec<FuncInfo>,
+    func_entries: BTreeMap<String, u32>,
+    func_sigs: BTreeMap<String, usize>,
+    consts: BTreeMap<String, i64>,
+    globals: BTreeMap<String, i64>,
+    global_inits: Vec<(i64, i64)>,
+    constructs: Vec<Construct>,
+    call_fixups: Vec<CallFixup>,
+    // per-function state
+    locals: BTreeMap<String, i64>, // name -> slot (1-based)
+    labels: Vec<Option<u32>>,
+    label_fixups: Vec<(u32, usize)>, // (instr addr, label id)
+    loop_stack: Vec<(usize, usize)>, // (continue label, break label)
+    in_decl_region: bool,
+}
+
+impl Codegen {
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn emit(&mut self, i: Instr) -> u32 {
+        let at = self.here();
+        self.code.push(i);
+        at
+    }
+
+    fn fresh_label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn place_label(&mut self, id: usize) {
+        debug_assert!(self.labels[id].is_none(), "label placed twice");
+        self.labels[id] = Some(self.here());
+    }
+
+    /// Emits a branch/jump whose target is patched once `label` is placed.
+    fn emit_branch(&mut self, template: Instr, label: usize) -> u32 {
+        let at = self.emit(template);
+        self.label_fixups.push((at, label));
+        at
+    }
+
+    fn resolve_labels(&mut self) -> Result<(), CompileError> {
+        for (at, id) in std::mem::take(&mut self.label_fixups) {
+            let target = self.labels[id].expect("every label is placed before function end");
+            self.code[at as usize] = self.code[at as usize].with_target(target);
+        }
+        self.labels.clear();
+        Ok(())
+    }
+
+    fn fold_const(&self, e: &Expr, line: usize) -> Result<i64, CompileError> {
+        match e {
+            Expr::Number(n) => Ok(*n),
+            Expr::Var(name) => self
+                .consts
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(line, format!("`{name}` is not a compile-time constant"))),
+            Expr::Un { op, operand } => {
+                let v = self.fold_const(operand, line)?;
+                Ok(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                    UnOp::BitNot => !v,
+                })
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let a = self.fold_const(lhs, line)?;
+                let b = self.fold_const(rhs, line)?;
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div if b != 0 => a.wrapping_div(b),
+                    BinOp::Mod if b != 0 => a.wrapping_rem(b),
+                    BinOp::Div | BinOp::Mod => {
+                        return Err(err(line, "constant division by zero"))
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a << (b & 63),
+                    BinOp::Shr => a >> (b & 63),
+                    BinOp::Eq => (a == b) as i64,
+                    BinOp::Ne => (a != b) as i64,
+                    BinOp::Lt => (a < b) as i64,
+                    BinOp::Le => (a <= b) as i64,
+                    BinOp::Gt => (a > b) as i64,
+                    BinOp::Ge => (a >= b) as i64,
+                    BinOp::LAnd => ((a != 0) && (b != 0)) as i64,
+                    BinOp::LOr => ((a != 0) || (b != 0)) as i64,
+                })
+            }
+            _ => Err(err(line, "expression is not a compile-time constant")),
+        }
+    }
+
+    fn temp(depth: u8, line: usize) -> Result<Reg, CompileError> {
+        if depth >= TEMP_COUNT {
+            return Err(err(line, "expression too complex (temporary overflow)"));
+        }
+        Ok(Reg::new(Reg::T0.index() as u8 + depth).expect("temp in range"))
+    }
+
+    // ----- functions ---------------------------------------------------
+
+    fn emit_func(&mut self, f: &Func) -> Result<(), CompileError> {
+        if f.params.len() > 8 {
+            return Err(err(f.line, "at most 8 parameters supported by the ABI"));
+        }
+        let entry = self.here();
+        self.func_entries.insert(f.name.clone(), entry);
+        self.locals.clear();
+        self.labels.clear();
+        self.label_fixups.clear();
+        self.loop_stack.clear();
+        self.in_decl_region = true;
+
+        // Collect the frame: params first, then every `var` in the body.
+        for p in &f.params {
+            let slot = self.locals.len() as i64 + 1;
+            if self.locals.insert(p.clone(), slot).is_some() {
+                return Err(err(f.line, format!("duplicate parameter `{p}`")));
+            }
+        }
+        collect_locals(&f.body, &mut self.locals)?;
+        let frame = self.locals.len() as i64;
+        if frame > 256 {
+            return Err(err(f.line, "function frame too large"));
+        }
+
+        // Prologue.
+        self.emit(Instr::push(Reg::FP));
+        self.emit(Instr::mov(Reg::FP, Reg::SP));
+        self.emit(Instr::addi(Reg::SP, Reg::SP, -(frame as i32)));
+        for (i, p) in f.params.iter().enumerate() {
+            let slot = self.locals[p];
+            self.emit(Instr::store(Reg::FP, -(slot as i32), Reg::arg(i)));
+        }
+
+        self.emit_block(&f.body)?;
+
+        // Implicit `return 0;` for fall-through.
+        self.emit_epilogue(None)?;
+        self.resolve_labels()?;
+
+        self.funcs.push(FuncInfo {
+            name: f.name.clone(),
+            entry,
+            end: self.here(),
+        });
+        Ok(())
+    }
+
+    fn emit_epilogue(&mut self, value_reg: Option<Reg>) -> Result<(), CompileError> {
+        match value_reg {
+            Some(r) => {
+                if r != Reg::RV {
+                    self.emit(Instr::mov(Reg::RV, r));
+                }
+            }
+            None => {
+                self.emit(Instr::ldi(Reg::RV, 0));
+            }
+        }
+        self.emit(Instr::mov(Reg::SP, Reg::FP));
+        self.emit(Instr::pop(Reg::FP));
+        self.emit(Instr::ret());
+        Ok(())
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn emit_block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.emit_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn emit_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        // Any non-declaration statement ends the declaration region that the
+        // MVI-vs-MVAV distinction relies on.
+        if !matches!(s, Stmt::VarDecl { .. }) {
+            self.in_decl_region = false;
+        }
+        match s {
+            Stmt::VarDecl { name, init, line } => {
+                if let Some(e) = init {
+                    let start = self.here();
+                    let literal = e.is_literal();
+                    let r = self.emit_expr(e, 0, *line)?;
+                    let slot = self.locals[name];
+                    self.emit(Instr::store(Reg::FP, -(slot as i32), r));
+                    let kind = if literal && self.in_decl_region {
+                        ConstructKind::LocalInitConst
+                    } else if literal {
+                        ConstructKind::AssignConst
+                    } else {
+                        ConstructKind::LocalInitExpr
+                    };
+                    self.constructs.push(Construct {
+                        kind,
+                        start,
+                        end: self.here(),
+                        branch_at: 0,
+                        aux: slot,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Assign { name, value, line } => {
+                let start = self.here();
+                let literal = value.is_literal();
+                let r = self.emit_expr(value, 0, *line)?;
+                if let Some(&slot) = self.locals.get(name) {
+                    self.emit(Instr::store(Reg::FP, -(slot as i32), r));
+                } else if let Some(&addr) = self.globals.get(name) {
+                    let addr = i32::try_from(addr)
+                        .map_err(|_| err(*line, "global address out of range"))?;
+                    self.emit(Instr::store(Reg::ZERO, addr, r));
+                } else {
+                    return Err(err(*line, format!("undefined variable `{name}`")));
+                }
+                self.constructs.push(Construct {
+                    kind: if literal {
+                        ConstructKind::AssignConst
+                    } else {
+                        ConstructKind::AssignExpr
+                    },
+                    start,
+                    end: self.here(),
+                    branch_at: 0,
+                    aux: 0,
+                });
+                Ok(())
+            }
+            Stmt::MemWrite { addr, value, line } => {
+                let ra = self.emit_expr(addr, 0, *line)?;
+                let rv = self.emit_expr(value, 1, *line)?;
+                self.emit(Instr::store(ra, 0, rv));
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
+                let cond_start = self.here();
+                if else_body.is_empty() {
+                    let l_end = self.fresh_label();
+                    let branch_at = self.emit_cond_false(cond, l_end, *line)?;
+                    self.emit_block(then_body)?;
+                    self.place_label(l_end);
+                    self.constructs.push(Construct {
+                        kind: ConstructKind::IfNoElse,
+                        start: cond_start,
+                        end: self.here(),
+                        branch_at,
+                        aux: 0,
+                    });
+                } else {
+                    let l_else = self.fresh_label();
+                    let l_end = self.fresh_label();
+                    self.emit_cond_false(cond, l_else, *line)?;
+                    self.emit_block(then_body)?;
+                    self.emit_branch(Instr::jmp(0), l_end);
+                    self.place_label(l_else);
+                    self.emit_block(else_body)?;
+                    self.place_label(l_end);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let l_head = self.fresh_label();
+                let l_end = self.fresh_label();
+                self.place_label(l_head);
+                self.emit_cond_false(cond, l_end, *line)?;
+                self.loop_stack.push((l_head, l_end));
+                self.emit_block(body)?;
+                self.loop_stack.pop();
+                self.emit_branch(Instr::jmp(0), l_head);
+                self.place_label(l_end);
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                let &(_, l_end) = self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| err(*line, "`break` outside loop"))?;
+                self.emit_branch(Instr::jmp(0), l_end);
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                let &(l_head, _) = self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| err(*line, "`continue` outside loop"))?;
+                self.emit_branch(Instr::jmp(0), l_head);
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                let r = match value {
+                    Some(e) => Some(self.emit_expr(e, 0, *line)?),
+                    None => None,
+                };
+                self.emit_epilogue(r)
+            }
+            Stmt::Expr { expr, line } => {
+                self.emit_expr_for_effect(expr, *line)?;
+                Ok(())
+            }
+        }
+    }
+
+    // ----- conditions ---------------------------------------------------
+
+    /// Emits "jump to `label` when `e` is false"; returns the address of the
+    /// *last* branch emitted (the one recorded for `IfNoElse`).
+    fn emit_cond_false(
+        &mut self,
+        e: &Expr,
+        label: usize,
+        line: usize,
+    ) -> Result<u32, CompileError> {
+        match e {
+            Expr::Bin {
+                op: BinOp::LAnd,
+                lhs,
+                rhs,
+            } => {
+                self.emit_cond_false(lhs, label, line)?;
+                let clause_start = self.here();
+                let branch_at = self.emit_cond_false(rhs, label, line)?;
+                self.constructs.push(Construct {
+                    kind: ConstructKind::AndClause,
+                    start: clause_start,
+                    end: branch_at + 1,
+                    branch_at,
+                    aux: 0,
+                });
+                Ok(branch_at)
+            }
+            Expr::Bin {
+                op: BinOp::LOr,
+                lhs,
+                rhs,
+            } => {
+                let l_true = self.fresh_label();
+                self.emit_cond_true(lhs, l_true, line)?;
+                let branch_at = self.emit_cond_false(rhs, label, line)?;
+                self.place_label(l_true);
+                Ok(branch_at)
+            }
+            Expr::Un {
+                op: UnOp::Not,
+                operand,
+            } => self.emit_cond_true(operand, label, line),
+            _ => {
+                let r = self.emit_expr(e, 0, line)?;
+                let at = self.emit_branch(Instr::beqz(r, 0), label);
+                self.constructs.push(Construct {
+                    kind: ConstructKind::CondBranch,
+                    start: at,
+                    end: at + 1,
+                    branch_at: at,
+                    aux: 0,
+                });
+                Ok(at)
+            }
+        }
+    }
+
+    /// Emits "jump to `label` when `e` is true"; returns the last branch.
+    fn emit_cond_true(&mut self, e: &Expr, label: usize, line: usize) -> Result<u32, CompileError> {
+        match e {
+            Expr::Bin {
+                op: BinOp::LAnd,
+                lhs,
+                rhs,
+            } => {
+                let l_false = self.fresh_label();
+                self.emit_cond_false(lhs, l_false, line)?;
+                let branch_at = self.emit_cond_true(rhs, label, line)?;
+                self.place_label(l_false);
+                Ok(branch_at)
+            }
+            Expr::Bin {
+                op: BinOp::LOr,
+                lhs,
+                rhs,
+            } => {
+                self.emit_cond_true(lhs, label, line)?;
+                self.emit_cond_true(rhs, label, line)
+            }
+            Expr::Un {
+                op: UnOp::Not,
+                operand,
+            } => self.emit_cond_false(operand, label, line),
+            _ => {
+                let r = self.emit_expr(e, 0, line)?;
+                let at = self.emit_branch(Instr::bnez(r, 0), label);
+                self.constructs.push(Construct {
+                    kind: ConstructKind::CondBranch,
+                    start: at,
+                    end: at + 1,
+                    branch_at: at,
+                    aux: 0,
+                });
+                Ok(at)
+            }
+        }
+    }
+
+    // ----- expressions ---------------------------------------------------
+
+    /// Emits an expression statement; call results are deliberately unread
+    /// so that "missing function call" sites are well-formed.
+    fn emit_expr_for_effect(&mut self, e: &Expr, line: usize) -> Result<(), CompileError> {
+        match e {
+            Expr::Call { callee, args } => self.emit_call(callee, args, 0, false, line),
+            Expr::Hcall { number, args } => self.emit_hcall(number, args, 0, false, line),
+            _ => {
+                self.emit_expr(e, 0, line)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluates `e` into the depth-th temporary and returns that register.
+    fn emit_expr(&mut self, e: &Expr, depth: u8, line: usize) -> Result<Reg, CompileError> {
+        let rt = Self::temp(depth, line)?;
+        match e {
+            Expr::Number(n) => {
+                let imm = i32::try_from(*n)
+                    .map_err(|_| err(line, format!("literal {n} out of 32-bit range")))?;
+                self.emit(Instr::ldi(rt, imm));
+            }
+            Expr::Var(name) => {
+                if let Some(&slot) = self.locals.get(name) {
+                    self.emit(Instr::ld(rt, Reg::FP, -(slot as i32)));
+                } else if let Some(&v) = self.consts.get(name) {
+                    let imm = i32::try_from(v)
+                        .map_err(|_| err(line, format!("const `{name}` out of 32-bit range")))?;
+                    self.emit(Instr::ldi(rt, imm));
+                } else if let Some(&addr) = self.globals.get(name) {
+                    let addr = i32::try_from(addr)
+                        .map_err(|_| err(line, "global address out of range"))?;
+                    self.emit(Instr::ld(rt, Reg::ZERO, addr));
+                } else {
+                    return Err(err(line, format!("undefined variable `{name}`")));
+                }
+            }
+            Expr::Un { op, operand } => {
+                let r = self.emit_expr(operand, depth, line)?;
+                match op {
+                    UnOp::Neg => {
+                        self.emit(Instr::alu3(Opcode::Sub, rt, Reg::ZERO, r));
+                    }
+                    UnOp::Not => {
+                        self.emit(Instr::alu3(Opcode::Cmpeq, rt, r, Reg::ZERO));
+                    }
+                    UnOp::BitNot => {
+                        self.emit(Instr::not(rt, r));
+                    }
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let rl = self.emit_expr(lhs, depth, line)?;
+                let rr = self.emit_expr(rhs, depth + 1, line)?;
+                match op {
+                    BinOp::Add => self.emit(Instr::alu3(Opcode::Add, rt, rl, rr)),
+                    BinOp::Sub => self.emit(Instr::alu3(Opcode::Sub, rt, rl, rr)),
+                    BinOp::Mul => self.emit(Instr::alu3(Opcode::Mul, rt, rl, rr)),
+                    BinOp::Div => self.emit(Instr::alu3(Opcode::Div, rt, rl, rr)),
+                    BinOp::Mod => self.emit(Instr::alu3(Opcode::Mod, rt, rl, rr)),
+                    BinOp::And => self.emit(Instr::alu3(Opcode::And, rt, rl, rr)),
+                    BinOp::Or => self.emit(Instr::alu3(Opcode::Or, rt, rl, rr)),
+                    BinOp::Xor => self.emit(Instr::alu3(Opcode::Xor, rt, rl, rr)),
+                    BinOp::Shl => self.emit(Instr::alu3(Opcode::Shl, rt, rl, rr)),
+                    BinOp::Shr => self.emit(Instr::alu3(Opcode::Shr, rt, rl, rr)),
+                    BinOp::Eq => self.emit(Instr::alu3(Opcode::Cmpeq, rt, rl, rr)),
+                    BinOp::Ne => self.emit(Instr::alu3(Opcode::Cmpne, rt, rl, rr)),
+                    BinOp::Lt => self.emit(Instr::alu3(Opcode::Cmplt, rt, rl, rr)),
+                    BinOp::Le => self.emit(Instr::alu3(Opcode::Cmple, rt, rl, rr)),
+                    BinOp::Gt => self.emit(Instr::alu3(Opcode::Cmplt, rt, rr, rl)),
+                    BinOp::Ge => self.emit(Instr::alu3(Opcode::Cmple, rt, rr, rl)),
+                    BinOp::LAnd => {
+                        // Value context: normalized bitwise AND (no branches).
+                        self.emit(Instr::alu3(Opcode::Cmpne, rl, rl, Reg::ZERO));
+                        self.emit(Instr::alu3(Opcode::Cmpne, rr, rr, Reg::ZERO));
+                        self.emit(Instr::alu3(Opcode::And, rt, rl, rr))
+                    }
+                    BinOp::LOr => {
+                        self.emit(Instr::alu3(Opcode::Or, rt, rl, rr));
+                        self.emit(Instr::alu3(Opcode::Cmpne, rt, rt, Reg::ZERO))
+                    }
+                };
+            }
+            Expr::MemRead { addr } => {
+                let r = self.emit_expr(addr, depth, line)?;
+                self.emit(Instr::ld(rt, r, 0));
+            }
+            Expr::Call { callee, args } => {
+                self.emit_call(callee, args, depth, true, line)?;
+            }
+            Expr::Hcall { number, args } => {
+                self.emit_hcall(number, args, depth, true, line)?;
+            }
+        }
+        Ok(rt)
+    }
+
+    /// Emits a call: save live temps, evaluate arguments, move them into the
+    /// argument registers, `call`, restore temps, and optionally capture `r1`.
+    fn emit_call(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        depth: u8,
+        want_result: bool,
+        line: usize,
+    ) -> Result<(), CompileError> {
+        if args.len() > 8 {
+            return Err(err(line, "at most 8 arguments supported by the ABI"));
+        }
+        // Save temporaries live below this expression depth.
+        for d in 0..depth {
+            self.emit(Instr::push(Self::temp(d, line)?));
+        }
+        // Evaluate arguments left-to-right into fresh temps…
+        let mut arg_regs = Vec::with_capacity(args.len());
+        for (i, a) in args.iter().enumerate() {
+            arg_regs.push(self.emit_expr(a, depth + i as u8, line)?);
+        }
+        // …then marshal them into the ABI registers.
+        for (i, &r) in arg_regs.iter().enumerate() {
+            self.emit(Instr::mov(Reg::arg(i), r));
+        }
+        let at = self.emit(Instr::call(0)); // fixed up in pass C
+        self.call_fixups.push(CallFixup {
+            at,
+            callee: callee.to_string(),
+            arity: args.len(),
+            line,
+        });
+        for d in (0..depth).rev() {
+            self.emit(Instr::pop(Self::temp(d, line)?));
+        }
+        if want_result {
+            let rt = Self::temp(depth, line)?;
+            self.emit(Instr::mov(rt, Reg::RV));
+        }
+        self.constructs.push(Construct {
+            kind: ConstructKind::CallSite,
+            start: at,
+            end: at + 1,
+            branch_at: at,
+            aux: want_result as i64,
+        });
+        Ok(())
+    }
+
+    fn emit_hcall(
+        &mut self,
+        number: &Expr,
+        args: &[Expr],
+        depth: u8,
+        want_result: bool,
+        line: usize,
+    ) -> Result<(), CompileError> {
+        if args.len() > 8 {
+            return Err(err(line, "at most 8 hypercall arguments supported"));
+        }
+        let n = self.fold_const(number, line)?;
+        let n = i32::try_from(n).map_err(|_| err(line, "hypercall number out of range"))?;
+        for d in 0..depth {
+            self.emit(Instr::push(Self::temp(d, line)?));
+        }
+        let mut arg_regs = Vec::with_capacity(args.len());
+        for (i, a) in args.iter().enumerate() {
+            arg_regs.push(self.emit_expr(a, depth + i as u8, line)?);
+        }
+        for (i, &r) in arg_regs.iter().enumerate() {
+            self.emit(Instr::mov(Reg::arg(i), r));
+        }
+        self.emit(Instr::hcall(n));
+        for d in (0..depth).rev() {
+            self.emit(Instr::pop(Self::temp(d, line)?));
+        }
+        if want_result {
+            let rt = Self::temp(depth, line)?;
+            self.emit(Instr::mov(rt, Reg::RV));
+        }
+        Ok(())
+    }
+}
+
+/// Recursively collects `var` declarations (flat function scope).
+fn collect_locals(
+    stmts: &[Stmt],
+    locals: &mut BTreeMap<String, i64>,
+) -> Result<(), CompileError> {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl { name, line, .. } => {
+                let slot = locals.len() as i64 + 1;
+                if locals.insert(name.clone(), slot).is_some() {
+                    return Err(err(*line, format!("duplicate variable `{name}`")));
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_locals(then_body, locals)?;
+                collect_locals(else_body, locals)?;
+            }
+            Stmt::While { body, .. } => collect_locals(body, locals)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use mvm::{CallError, Memory, NoHcalls, Trap, Vm};
+
+    fn run(src: &str, func: &str, args: &[i64]) -> i64 {
+        try_run(src, func, args).unwrap()
+    }
+
+    fn try_run(src: &str, func: &str, args: &[i64]) -> Result<i64, CallError> {
+        let p = compile("t", src).unwrap_or_else(|e| panic!("compile error: {e}\n{src}"));
+        let mut mem = Memory::new(65536);
+        for &(a, v) in p.global_inits() {
+            mem.write(a, v).unwrap();
+        }
+        let mut vm = Vm::new();
+        vm.call(p.image(), &mut mem, &mut NoHcalls, func, args)
+            .map(|o| o.return_value)
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("fn f(a,b) { return a + b * 2; }", "f", &[3, 4]), 11);
+        assert_eq!(run("fn f(a) { return (a + 1) * 3; }", "f", &[2]), 9);
+        assert_eq!(run("fn f(a) { return -a; }", "f", &[5]), -5);
+        assert_eq!(run("fn f(a,b) { return a % b; }", "f", &[10, 3]), 1);
+        assert_eq!(run("fn f(a,b) { return a / b; }", "f", &[10, 3]), 3);
+    }
+
+    #[test]
+    fn comparisons_including_swapped_forms() {
+        assert_eq!(run("fn f(a,b) { return a > b; }", "f", &[5, 3]), 1);
+        assert_eq!(run("fn f(a,b) { return a >= b; }", "f", &[3, 3]), 1);
+        assert_eq!(run("fn f(a,b) { return a < b; }", "f", &[5, 3]), 0);
+        assert_eq!(run("fn f(a,b) { return a != b; }", "f", &[5, 3]), 1);
+        assert_eq!(run("fn f(a) { return !a; }", "f", &[0]), 1);
+        assert_eq!(run("fn f(a) { return ~a; }", "f", &[0]), -1);
+    }
+
+    #[test]
+    fn bitwise_and_shift() {
+        assert_eq!(run("fn f(a,b) { return a & b; }", "f", &[12, 10]), 8);
+        assert_eq!(run("fn f(a,b) { return a | b; }", "f", &[12, 10]), 14);
+        assert_eq!(run("fn f(a,b) { return a ^ b; }", "f", &[12, 10]), 6);
+        assert_eq!(run("fn f(a) { return a << 3; }", "f", &[1]), 8);
+        assert_eq!(run("fn f(a) { return a >> 2; }", "f", &[64]), 16);
+    }
+
+    #[test]
+    fn if_else_and_chains() {
+        let src = r#"
+            fn classify(x) {
+                if (x < 0) { return -1; }
+                else if (x == 0) { return 0; }
+                else { return 1; }
+            }
+        "#;
+        assert_eq!(run(src, "classify", &[-9]), -1);
+        assert_eq!(run(src, "classify", &[0]), 0);
+        assert_eq!(run(src, "classify", &[9]), 1);
+    }
+
+    #[test]
+    fn logical_ops_in_conditions() {
+        let src = r#"
+            fn f(a, b, c) {
+                if (a > 0 && b > 0 && c > 0) { return 3; }
+                if (a > 0 || b > 0) { return 2; }
+                if (!(a == 0)) { return 1; }
+                return 0;
+            }
+        "#;
+        assert_eq!(run(src, "f", &[1, 1, 1]), 3);
+        assert_eq!(run(src, "f", &[0, 1, 0]), 2);
+        assert_eq!(run(src, "f", &[-1, 0, 0]), 1);
+        assert_eq!(run(src, "f", &[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn logical_ops_in_value_context() {
+        assert_eq!(run("fn f(a,b) { return a && b; }", "f", &[5, 7]), 1);
+        assert_eq!(run("fn f(a,b) { return a && b; }", "f", &[5, 0]), 0);
+        assert_eq!(run("fn f(a,b) { return a || b; }", "f", &[0, 7]), 1);
+        assert_eq!(run("fn f(a,b) { return a || b; }", "f", &[0, 0]), 0);
+    }
+
+    #[test]
+    fn while_loop_break_continue() {
+        let src = r#"
+            fn sum_odds(n) {
+                var i = 0;
+                var acc = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > n) { break; }
+                    if (i % 2 == 0) { continue; }
+                    acc = acc + i;
+                }
+                return acc;
+            }
+        "#;
+        assert_eq!(run(src, "sum_odds", &[10]), 25);
+    }
+
+    #[test]
+    fn locals_params_globals() {
+        let src = r#"
+            global counter = 100;
+            fn bump(by) {
+                var old = counter;
+                counter = counter + by;
+                return old;
+            }
+            fn twice(by) {
+                bump(by);
+                return bump(by);
+            }
+        "#;
+        assert_eq!(run(src, "twice", &[5]), 105);
+    }
+
+    #[test]
+    fn consts_fold() {
+        let src = r#"
+            const A = 10;
+            const B = A * 4 + 2;
+            fn f() { return B; }
+        "#;
+        assert_eq!(run(src, "f", &[]), 42);
+    }
+
+    #[test]
+    fn mem_intrinsics() {
+        let src = r#"
+            fn swap(p, q) {
+                var t = mem[p];
+                mem[p] = mem[q];
+                mem[q] = t;
+                return 0;
+            }
+            fn test() {
+                mem[100] = 7;
+                mem[101] = 9;
+                swap(100, 101);
+                return mem[100] * 10 + mem[101];
+            }
+        "#;
+        assert_eq!(run(src, "test", &[]), 97);
+    }
+
+    #[test]
+    fn nested_and_recursive_calls() {
+        let src = r#"
+            fn fib(n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+        "#;
+        assert_eq!(run(src, "fib", &[10]), 55);
+    }
+
+    #[test]
+    fn call_in_expression_preserves_temps() {
+        let src = r#"
+            fn g(x) { return x * 2; }
+            fn f(a) { return a + g(a) + g(a + 1); }
+        "#;
+        // 3 + 6 + 8 = 17
+        assert_eq!(run(src, "f", &[3]), 17);
+    }
+
+    #[test]
+    fn bare_return_yields_zero() {
+        assert_eq!(run("fn f() { return; }", "f", &[]), 0);
+        assert_eq!(run("fn f() { }", "f", &[]), 0);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let e = try_run("fn f(a) { return 1 / a; }", "f", &[0]).unwrap_err();
+        assert!(matches!(e.trap(), Some(Trap::DivideByZero { .. })));
+    }
+
+    #[test]
+    fn compile_errors() {
+        let cases = [
+            ("fn f() { return x; }", "undefined variable"),
+            ("fn f() { var a; var a; }", "duplicate variable"),
+            ("fn f(a, a) { }", "duplicate parameter"),
+            ("fn f() { g(); }", "unknown function"),
+            ("fn g(a) { } fn f() { g(); }", "takes 1 argument"),
+            ("const C = 1; const C = 2;", "duplicate const"),
+            ("fn f() { f(); } fn f() { }", "duplicate function"),
+            ("fn f() { break; }", "`break` outside loop"),
+            ("global g; global g;", "duplicate global"),
+            ("const C = 1/0;", "constant division by zero"),
+        ];
+        for (src, want) in cases {
+            let e = compile("t", src).unwrap_err();
+            assert!(
+                e.message.contains(want),
+                "source `{src}`: expected `{want}`, got `{}`",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_if_pattern_is_beqz_over_body() {
+        // The paper's operators depend on this exact idiom.
+        let p = compile("t", "fn f(a) { if (a) { return 1; } return 2; }").unwrap();
+        let f = p.image().func("f").unwrap().clone();
+        let body = p.image().decode_range(f.entry, f.end).unwrap();
+        // prologue: push fp / mov fp,sp / addi sp / st param
+        assert_eq!(body[0], Instr::push(Reg::FP));
+        assert_eq!(body[1], Instr::mov(Reg::FP, Reg::SP));
+        assert!(matches!(body[2].op, Opcode::Addi));
+        assert!(matches!(body[3].op, Opcode::St));
+        // condition: ld a; beqz
+        assert!(matches!(body[4].op, Opcode::Ld));
+        assert_eq!(body[5].op, Opcode::Beqz);
+        let target = body[5].target().unwrap();
+        // body of the if is inside (branch target past the `return 1`).
+        assert!(target > f.entry + 6 && target < f.end);
+    }
+
+    #[test]
+    fn and_chain_shares_branch_target() {
+        let p = compile("t", "fn f(a, b) { if (a && b) { return 1; } return 0; }").unwrap();
+        let f = p.image().func("f").unwrap().clone();
+        let body = p.image().decode_range(f.entry, f.end).unwrap();
+        let branches: Vec<&Instr> = body.iter().filter(|i| i.op == Opcode::Beqz).collect();
+        assert_eq!(branches.len(), 2);
+        assert_eq!(branches[0].target(), branches[1].target());
+    }
+
+    #[test]
+    fn construct_map_records_ifs_calls_and_inits() {
+        let src = r#"
+            fn g(x) { return x; }
+            fn f(a) {
+                var v = 5;
+                if (a > 0) { v = 7; }
+                g(v);
+                return g(a);
+            }
+        "#;
+        let p = compile("t", src).unwrap();
+        let kinds: Vec<ConstructKind> = p.constructs().iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&ConstructKind::LocalInitConst));
+        assert!(kinds.contains(&ConstructKind::IfNoElse));
+        assert!(kinds.contains(&ConstructKind::AssignConst));
+        let calls: Vec<_> = p
+            .constructs()
+            .iter()
+            .filter(|c| c.kind == ConstructKind::CallSite)
+            .collect();
+        assert_eq!(calls.len(), 2);
+        // One statement call (result unused) and one used call.
+        assert_eq!(calls.iter().filter(|c| c.aux == 0).count(), 1);
+        assert_eq!(calls.iter().filter(|c| c.aux == 1).count(), 1);
+    }
+
+    #[test]
+    fn global_inits_exported() {
+        let p = compile("t", "global a = 3; global b; global c = -1;").unwrap();
+        assert_eq!(p.globals().len(), 3);
+        assert_eq!(p.global_inits().len(), 2);
+        let a = p.global_addr("a").unwrap();
+        assert!(p.global_inits().contains(&(a, 3)));
+        assert_eq!(p.data_end(), crate::program::GLOBALS_BASE + 3);
+    }
+
+    #[test]
+    fn too_deep_expression_is_rejected() {
+        // 20 nested parenthesized additions exceed 16 temporaries.
+        let mut e = String::from("a");
+        for _ in 0..20 {
+            e = format!("(a + {e})");
+        }
+        let src = format!("fn f(a) {{ return {e}; }}");
+        let err = compile("t", &src).unwrap_err();
+        assert!(err.message.contains("too complex"));
+    }
+
+    #[test]
+    fn hcall_numbers_must_be_constant() {
+        assert!(compile("t", "fn f(a) { return hcall(a); }").is_err());
+        assert!(compile("t", "const N = 3; fn f() { return hcall(N, 1); }").is_ok());
+    }
+}

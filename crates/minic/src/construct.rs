@@ -1,0 +1,67 @@
+//! Ground-truth construct map emitted by the compiler.
+//!
+//! Each entry records where a source-level construct landed in the generated
+//! code. The G-SWFIT scanner must *not* consult this map (the paper's
+//! technique needs no source knowledge); it exists so that tests, examples
+//! and benches can measure how precisely the pattern scanner rediscovers the
+//! constructs — the accuracy evaluation the paper delegates to its
+//! reference \[13\].
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of construct a map entry describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstructKind {
+    /// `if (cond) { body }` with no `else`: `start` is the first condition
+    /// instruction, `branch_at` the `beqz`, `end` the branch target (one past
+    /// the body). The MIFS and MIA operators target exactly this shape.
+    IfNoElse,
+    /// The trailing `&& clause` of a condition: `start` is the first
+    /// instruction evaluating the clause, `branch_at` its `beqz`. Target of
+    /// the MLAC operator.
+    AndClause,
+    /// A function-call site: `branch_at` holds the `call` address; `aux = 1`
+    /// when the return value is used. Target of the MFC operator
+    /// (`aux = 0` sites only).
+    CallSite,
+    /// `var x = <literal>;` — `start..end` covers `ldi` + store. Target of
+    /// MVI (and of WVAV when reused as an assignment site).
+    LocalInitConst,
+    /// `var x = <expression>;` — initialization from a computed value.
+    LocalInitExpr,
+    /// `x = <literal>;` outside the declaration region. Target of MVAV/WVAV.
+    AssignConst,
+    /// `x = <expression>;` — target of MVAE.
+    AssignExpr,
+    /// A conditional branch compiled from an `if`/`while` condition
+    /// (`branch_at` = the branch). Target of WLEC.
+    CondBranch,
+}
+
+/// One construct-map entry. Address fields are instruction indices in the
+/// linked image; unused fields are zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Construct {
+    /// Kind of construct.
+    pub kind: ConstructKind,
+    /// First instruction of the construct.
+    pub start: u32,
+    /// One past the last instruction of the construct.
+    pub end: u32,
+    /// The key branch/call instruction, where applicable.
+    pub branch_at: u32,
+    /// Kind-specific auxiliary value (see [`ConstructKind`]).
+    pub aux: i64,
+}
+
+impl Construct {
+    /// Number of instructions covered.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the entry covers no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}

@@ -1,0 +1,393 @@
+//! Tokenizer for MiniC.
+
+use std::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword-candidate.
+    Ident(String),
+    /// Integer literal (decimal, hex, or char).
+    Number(i64),
+    /// Keyword.
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    Fn,
+    Var,
+    Global,
+    Const,
+    If,
+    Else,
+    While,
+    Return,
+    Break,
+    Continue,
+    Mem,
+    Hcall,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "fn" => Keyword::Fn,
+            "var" => Keyword::Var,
+            "global" => Keyword::Global,
+            "const" => Keyword::Const,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "mem" => Keyword::Mem,
+            "hcall" => Keyword::Hcall,
+            _ => return None,
+        })
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated comments/char literals or unknown
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let kind = match Keyword::from_str(&word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word),
+                };
+                tokens.push(Token { kind, line });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let radix = if c == '0' && i + 1 < n && (chars[i + 1] == 'x' || chars[i + 1] == 'X')
+                {
+                    i += 2;
+                    16
+                } else {
+                    10
+                };
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i]
+                    .iter()
+                    .filter(|&&ch| ch != '_')
+                    .collect();
+                let digits = if radix == 16 { &text[2..] } else { &text[..] };
+                let value = i64::from_str_radix(digits, radix).map_err(|_| LexError {
+                    line,
+                    message: format!("bad number literal `{text}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+            }
+            '\'' => {
+                // char literal: 'a' or '\n' '\\' '\'' '\0'
+                if i + 2 >= n {
+                    return Err(LexError {
+                        line,
+                        message: "unterminated char literal".into(),
+                    });
+                }
+                let (value, consumed) = if chars[i + 1] == '\\' {
+                    let esc = chars[i + 2];
+                    let v = match esc {
+                        'n' => '\n' as i64,
+                        't' => '\t' as i64,
+                        'r' => '\r' as i64,
+                        '0' => 0,
+                        '\\' => '\\' as i64,
+                        '\'' => '\'' as i64,
+                        _ => {
+                            return Err(LexError {
+                                line,
+                                message: format!("unknown escape `\\{esc}`"),
+                            })
+                        }
+                    };
+                    (v, 4)
+                } else {
+                    (chars[i + 1] as i64, 3)
+                };
+                if i + consumed > n || chars[i + consumed - 1] != '\'' {
+                    return Err(LexError {
+                        line,
+                        message: "unterminated char literal".into(),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+                i += consumed;
+            }
+            _ => {
+                let two: Option<Punct> = if i + 1 < n {
+                    match (c, chars[i + 1]) {
+                        ('<', '<') => Some(Punct::Shl),
+                        ('>', '>') => Some(Punct::Shr),
+                        ('=', '=') => Some(Punct::EqEq),
+                        ('!', '=') => Some(Punct::NotEq),
+                        ('<', '=') => Some(Punct::Le),
+                        ('>', '=') => Some(Punct::Ge),
+                        ('&', '&') => Some(Punct::AndAnd),
+                        ('|', '|') => Some(Punct::OrOr),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some(p) = two {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(p),
+                        line,
+                    });
+                    i += 2;
+                    continue;
+                }
+                let one = match c {
+                    '(' => Punct::LParen,
+                    ')' => Punct::RParen,
+                    '{' => Punct::LBrace,
+                    '}' => Punct::RBrace,
+                    '[' => Punct::LBracket,
+                    ']' => Punct::RBracket,
+                    ',' => Punct::Comma,
+                    ';' => Punct::Semi,
+                    '=' => Punct::Assign,
+                    '+' => Punct::Plus,
+                    '-' => Punct::Minus,
+                    '*' => Punct::Star,
+                    '/' => Punct::Slash,
+                    '%' => Punct::Percent,
+                    '&' => Punct::Amp,
+                    '|' => Punct::Pipe,
+                    '^' => Punct::Caret,
+                    '~' => Punct::Tilde,
+                    '!' => Punct::Bang,
+                    '<' => Punct::Lt,
+                    '>' => Punct::Gt,
+                    _ => {
+                        return Err(LexError {
+                            line,
+                            message: format!("unexpected character `{c}`"),
+                        })
+                    }
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Punct(one),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_idents_numbers() {
+        let ks = kinds("fn foo(x) { var y = 0x1F; return y_2; }");
+        assert!(ks.contains(&TokenKind::Keyword(Keyword::Fn)));
+        assert!(ks.contains(&TokenKind::Ident("foo".into())));
+        assert!(ks.contains(&TokenKind::Number(31)));
+        assert!(ks.contains(&TokenKind::Ident("y_2".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let ks = kinds("a <= b == c && d || e != f >> g << h");
+        let ps: Vec<Punct> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ps,
+            vec![
+                Punct::Le,
+                Punct::EqEq,
+                Punct::AndAnd,
+                Punct::OrOr,
+                Punct::NotEq,
+                Punct::Shr,
+                Punct::Shl
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // whole line\n/* block\nspanning */ b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'a'")[0], TokenKind::Number('a' as i64));
+        assert_eq!(kinds("'\\n'")[0], TokenKind::Number(10));
+        assert_eq!(kinds("'\\0'")[0], TokenKind::Number(0));
+        assert_eq!(kinds("'/'")[0], TokenKind::Number('/' as i64));
+    }
+
+    #[test]
+    fn errors_reported_with_line() {
+        let e = lex("ok\n$bad").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("/* never ends").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("0xZZ").is_err());
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(kinds("1_000_000")[0], TokenKind::Number(1_000_000));
+    }
+}

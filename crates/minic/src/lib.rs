@@ -1,0 +1,71 @@
+//! `minic` — a small C-like language compiled to [`mvm`] machine code.
+//!
+//! The paper's G-SWFIT technique relies on one empirical fact: compilers
+//! translate high-level programming constructs into *recognizable low-level
+//! instruction patterns*, so a scanner that knows those patterns can locate —
+//! and mutate — the machine code that a construct would have produced had the
+//! fault been in the source. MiniC is the compiler that makes this true in
+//! our substrate:
+//!
+//! * `if (c) { … }` compiles to *evaluate `c` into a temp; `beqz` over the
+//!   body*,
+//! * `a && b` in a condition compiles to *chained `beqz` to the same label*,
+//! * `x = CONST;` compiles to `ldi rT, CONST; st [fp-k], rT`,
+//! * calls pass arguments in `r2..r9`, return in `r1`.
+//!
+//! The compiler also emits a **construct map** — the ground-truth locations
+//! of every source construct in the generated code. The G-SWFIT scanner
+//! never sees this map (the paper's technique works from the executable
+//! alone); it exists so tests and benches can measure scanner
+//! precision/recall, reproducing the accuracy argument of the paper's
+//! reference \[13\].
+//!
+//! # Example
+//!
+//! ```
+//! use minic::compile;
+//! use mvm::{Memory, NoHcalls, Vm};
+//!
+//! let program = compile(
+//!     "demo",
+//!     r#"
+//!     fn max(a, b) {
+//!         if (a < b) { return b; }
+//!         return a;
+//!     }
+//!     "#,
+//! )?;
+//! let mut vm = Vm::new();
+//! let mut mem = Memory::new(8192);
+//! let out = vm.call(program.image(), &mut mem, &mut NoHcalls, "max", &[3, 9])?;
+//! assert_eq!(out.return_value, 9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod construct;
+pub mod lexer;
+pub mod parser;
+pub mod program;
+
+pub use codegen::CompileError;
+pub use construct::{Construct, ConstructKind};
+pub use program::Program;
+
+/// Compiles MiniC source into a linked [`Program`].
+///
+/// `name` becomes the image name (e.g. the OS edition).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first lexical, syntactic or
+/// semantic problem.
+pub fn compile(name: &str, source: &str) -> Result<Program, CompileError> {
+    let tokens = lexer::lex(source).map_err(|e| CompileError {
+        line: e.line,
+        message: e.message,
+    })?;
+    let items = parser::parse(&tokens)?;
+    codegen::generate(name, &items)
+}

@@ -1,0 +1,564 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::{BinOp, Expr, Func, Item, Stmt, UnOp};
+use crate::codegen::CompileError;
+use crate::lexer::{Keyword, Punct, Token, TokenKind};
+
+/// Parses a token stream into top-level items.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Vec<Item>, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let k = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn error(&self, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct, what: &str) -> Result<(), CompileError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        let line = self.line();
+        if self.eat_keyword(Keyword::Global) {
+            let name = self.expect_ident("global name")?;
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(Punct::Semi, "`;`")?;
+            Ok(Item::Global { name, init, line })
+        } else if self.eat_keyword(Keyword::Const) {
+            let name = self.expect_ident("const name")?;
+            self.expect_punct(Punct::Assign, "`=`")?;
+            let value = self.expr()?;
+            self.expect_punct(Punct::Semi, "`;`")?;
+            Ok(Item::Const { name, value, line })
+        } else if self.eat_keyword(Keyword::Fn) {
+            let name = self.expect_ident("function name")?;
+            self.expect_punct(Punct::LParen, "`(`")?;
+            let mut params = Vec::new();
+            if !self.eat_punct(Punct::RParen) {
+                loop {
+                    params.push(self.expect_ident("parameter name")?);
+                    if self.eat_punct(Punct::RParen) {
+                        break;
+                    }
+                    self.expect_punct(Punct::Comma, "`,`")?;
+                }
+            }
+            let body = self.block()?;
+            Ok(Item::Func(Func {
+                name,
+                params,
+                body,
+                line,
+            }))
+        } else {
+            Err(self.error("expected `fn`, `global` or `const`"))
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct(Punct::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.eat_keyword(Keyword::Var) {
+            let name = self.expect_ident("variable name")?;
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(Punct::Semi, "`;`")?;
+            Ok(Stmt::VarDecl { name, init, line })
+        } else if self.eat_keyword(Keyword::If) {
+            self.expect_punct(Punct::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect_punct(Punct::RParen, "`)`")?;
+            let then_body = self.block()?;
+            let else_body = if self.eat_keyword(Keyword::Else) {
+                if self.peek() == &TokenKind::Keyword(Keyword::If) {
+                    vec![self.stmt()?] // `else if` chains
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            })
+        } else if self.eat_keyword(Keyword::While) {
+            self.expect_punct(Punct::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect_punct(Punct::RParen, "`)`")?;
+            let body = self.block()?;
+            Ok(Stmt::While { cond, body, line })
+        } else if self.eat_keyword(Keyword::Break) {
+            self.expect_punct(Punct::Semi, "`;`")?;
+            Ok(Stmt::Break { line })
+        } else if self.eat_keyword(Keyword::Continue) {
+            self.expect_punct(Punct::Semi, "`;`")?;
+            Ok(Stmt::Continue { line })
+        } else if self.eat_keyword(Keyword::Return) {
+            let value = if self.peek() == &TokenKind::Punct(Punct::Semi) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(Punct::Semi, "`;`")?;
+            Ok(Stmt::Return { value, line })
+        } else if self.eat_keyword(Keyword::Mem) {
+            self.expect_punct(Punct::LBracket, "`[`")?;
+            let addr = self.expr()?;
+            self.expect_punct(Punct::RBracket, "`]`")?;
+            self.expect_punct(Punct::Assign, "`=`")?;
+            let value = self.expr()?;
+            self.expect_punct(Punct::Semi, "`;`")?;
+            Ok(Stmt::MemWrite { addr, value, line })
+        } else if let TokenKind::Ident(name) = self.peek().clone() {
+            // Could be `x = expr;` or an expression statement `f(...)`.
+            if self.tokens[self.pos + 1].kind == TokenKind::Punct(Punct::Assign) {
+                self.bump();
+                self.bump();
+                let value = self.expr()?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                Ok(Stmt::Assign { name, value, line })
+            } else {
+                let expr = self.expr()?;
+                self.expect_punct(Punct::Semi, "`;`")?;
+                Ok(Stmt::Expr { expr, line })
+            }
+        } else {
+            let expr = self.expr()?;
+            self.expect_punct(Punct::Semi, "`;`")?;
+            Ok(Stmt::Expr { expr, line })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.logical_or()
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.logical_and()?;
+        while self.eat_punct(Punct::OrOr) {
+            let rhs = self.logical_and()?;
+            lhs = Expr::Bin {
+                op: BinOp::LOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat_punct(Punct::AndAnd) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::Bin {
+                op: BinOp::LAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_xor()?;
+        while self.eat_punct(Punct::Pipe) {
+            let rhs = self.bit_xor()?;
+            lhs = bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_and()?;
+        while self.eat_punct(Punct::Caret) {
+            let rhs = self.bit_and()?;
+            lhs = bin(BinOp::Xor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality()?;
+        while self.eat_punct(Punct::Amp) {
+            let rhs = self.equality()?;
+            lhs = bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational()?;
+        loop {
+            if self.eat_punct(Punct::EqEq) {
+                lhs = bin(BinOp::Eq, lhs, self.relational()?);
+            } else if self.eat_punct(Punct::NotEq) {
+                lhs = bin(BinOp::Ne, lhs, self.relational()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.shift()?;
+        loop {
+            if self.eat_punct(Punct::Lt) {
+                lhs = bin(BinOp::Lt, lhs, self.shift()?);
+            } else if self.eat_punct(Punct::Le) {
+                lhs = bin(BinOp::Le, lhs, self.shift()?);
+            } else if self.eat_punct(Punct::Gt) {
+                lhs = bin(BinOp::Gt, lhs, self.shift()?);
+            } else if self.eat_punct(Punct::Ge) {
+                lhs = bin(BinOp::Ge, lhs, self.shift()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            if self.eat_punct(Punct::Shl) {
+                lhs = bin(BinOp::Shl, lhs, self.additive()?);
+            } else if self.eat_punct(Punct::Shr) {
+                lhs = bin(BinOp::Shr, lhs, self.additive()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            if self.eat_punct(Punct::Plus) {
+                lhs = bin(BinOp::Add, lhs, self.multiplicative()?);
+            } else if self.eat_punct(Punct::Minus) {
+                lhs = bin(BinOp::Sub, lhs, self.multiplicative()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat_punct(Punct::Star) {
+                lhs = bin(BinOp::Mul, lhs, self.unary()?);
+            } else if self.eat_punct(Punct::Slash) {
+                lhs = bin(BinOp::Div, lhs, self.unary()?);
+            } else if self.eat_punct(Punct::Percent) {
+                lhs = bin(BinOp::Mod, lhs, self.unary()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat_punct(Punct::Minus) {
+            // Fold negation of literals so `-1` is a literal, not an op.
+            let inner = self.unary()?;
+            if let Expr::Number(n) = inner {
+                return Ok(Expr::Number(n.wrapping_neg()));
+            }
+            Ok(Expr::Un {
+                op: UnOp::Neg,
+                operand: Box::new(inner),
+            })
+        } else if self.eat_punct(Punct::Bang) {
+            Ok(Expr::Un {
+                op: UnOp::Not,
+                operand: Box::new(self.unary()?),
+            })
+        } else if self.eat_punct(Punct::Tilde) {
+            Ok(Expr::Un {
+                op: UnOp::BitNot,
+                operand: Box::new(self.unary()?),
+            })
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Keyword(Keyword::Mem) => {
+                self.bump();
+                self.expect_punct(Punct::LBracket, "`[`")?;
+                let addr = self.expr()?;
+                self.expect_punct(Punct::RBracket, "`]`")?;
+                Ok(Expr::MemRead {
+                    addr: Box::new(addr),
+                })
+            }
+            TokenKind::Keyword(Keyword::Hcall) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let number = self.expr()?;
+                let mut args = Vec::new();
+                while self.eat_punct(Punct::Comma) {
+                    args.push(self.expr()?);
+                }
+                self.expect_punct(Punct::RParen, "`)`")?;
+                Ok(Expr::Hcall {
+                    number: Box::new(number),
+                    args,
+                })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(Punct::RParen) {
+                                break;
+                            }
+                            self.expect_punct(Punct::Comma, "`,`")?;
+                        }
+                    }
+                    Ok(Expr::Call { callee: name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Bin {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Vec<Item>, CompileError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_function_with_everything() {
+        let items = parse_src(
+            r#"
+            const LIMIT = 10;
+            global counter = 0;
+            fn demo(a, b) {
+                var x = 1;
+                var y;
+                if (a < b && x != 0) { x = x + 1; } else { x = 0; }
+                while (x < LIMIT) {
+                    x = x * 2;
+                    if (x == 8) { break; }
+                    continue;
+                }
+                mem[a] = x;
+                y = mem[a];
+                demo(y, b);
+                return hcall(1, x);
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(items.len(), 3);
+        match &items[2] {
+            Item::Func(f) => {
+                assert_eq!(f.name, "demo");
+                assert_eq!(f.params, vec!["a", "b"]);
+                assert_eq!(f.body.len(), 8);
+            }
+            other => panic!("expected fn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let items = parse_src("const X = 1 + 2 * 3;").unwrap();
+        match &items[0] {
+            Item::Const { value, .. } => match value {
+                Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+                }
+                other => panic!("bad tree: {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let items = parse_src("const X = 1 || 2 && 3;").unwrap();
+        match &items[0] {
+            Item::Const { value, .. } => {
+                assert!(matches!(value, Expr::Bin { op: BinOp::LOr, .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn negative_literal_is_folded() {
+        let items = parse_src("const X = -5;").unwrap();
+        match &items[0] {
+            Item::Const { value, .. } => assert_eq!(*value, Expr::Number(-5)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let items = parse_src(
+            "fn f(x) { if (x == 1) { return 1; } else if (x == 2) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        match &items[0] {
+            Item::Func(f) => match &f.body[0] {
+                Stmt::If { else_body, .. } => {
+                    assert!(matches!(else_body[0], Stmt::If { .. }));
+                }
+                _ => panic!("expected if"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn errors_on_missing_semicolon() {
+        let e = parse_src("fn f() { var x = 1 }").unwrap_err();
+        assert!(e.message.contains("expected `;`"), "{}", e.message);
+    }
+
+    #[test]
+    fn errors_on_bad_item() {
+        assert!(parse_src("banana;").is_err());
+        assert!(parse_src("fn f() { if x { } }").is_err());
+        assert!(parse_src("fn f() {").is_err());
+    }
+
+    #[test]
+    fn call_statement_and_empty_return() {
+        let items = parse_src("fn f() { g(); return; }").unwrap();
+        match &items[0] {
+            Item::Func(f) => {
+                assert!(matches!(
+                    &f.body[0],
+                    Stmt::Expr { expr: Expr::Call { .. }, .. }
+                ));
+                assert!(matches!(&f.body[1], Stmt::Return { value: None, .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

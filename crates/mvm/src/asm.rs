@@ -1,0 +1,429 @@
+//! A small two-pass text assembler.
+//!
+//! Used by tests, examples and micro-benchmarks to produce [`CodeImage`]s
+//! without going through the MiniC compiler. Syntax:
+//!
+//! ```text
+//! .func name        ; starts a function (extends to the next .func / EOF)
+//! label:            ; code label
+//!     ldi r10, 42   ; instruction
+//!     st [fp-3], r10
+//!     beqz r10, label
+//!     call other    ; function names and labels are both valid targets
+//!     ret           ; comments run to end of line
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::image::{CodeImage, FuncInfo};
+use crate::isa::{Instr, Opcode, Reg};
+
+/// An assembly failure, with 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles `src` into a linked [`CodeImage`] named `"asm"`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first syntax problem, unknown
+/// mnemonic, bad operand, or undefined/duplicate label.
+pub fn assemble(src: &str) -> Result<CodeImage, AsmError> {
+    assemble_named("asm", src)
+}
+
+/// Assembles `src` into a linked [`CodeImage`] with the given image name.
+///
+/// # Errors
+///
+/// See [`assemble`].
+pub fn assemble_named(name: &str, src: &str) -> Result<CodeImage, AsmError> {
+    // Pass 1: compute addresses of labels and functions.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut funcs: Vec<FuncInfo> = Vec::new();
+    let mut addr: u32 = 0;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(fname) = line.strip_prefix(".func") {
+            let fname = fname.trim();
+            if fname.is_empty() {
+                return Err(err(lineno + 1, ".func needs a name"));
+            }
+            if let Some(last) = funcs.last_mut() {
+                last.end = addr;
+            }
+            if labels.insert(fname.to_string(), addr).is_some() {
+                return Err(err(lineno + 1, format!("duplicate symbol `{fname}`")));
+            }
+            funcs.push(FuncInfo {
+                name: fname.to_string(),
+                entry: addr,
+                end: addr,
+            });
+        } else if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if !is_ident(label) {
+                return Err(err(lineno + 1, format!("bad label `{label}`")));
+            }
+            if labels.insert(label.to_string(), addr).is_some() {
+                return Err(err(lineno + 1, format!("duplicate label `{label}`")));
+            }
+        } else {
+            addr += 1;
+        }
+    }
+    if let Some(last) = funcs.last_mut() {
+        last.end = addr;
+    }
+
+    // Pass 2: encode instructions.
+    let mut instrs: Vec<Instr> = Vec::with_capacity(addr as usize);
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() || line.starts_with(".func") || line.ends_with(':') {
+            continue;
+        }
+        instrs.push(parse_instr(line, lineno + 1, &labels)?);
+    }
+
+    CodeImage::link(name, &instrs, funcs).map_err(|e| err(0, e.to_string()))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    match tok {
+        "fp" => return Ok(Reg::FP),
+        "sp" => return Ok(Reg::SP),
+        _ => {}
+    }
+    let idx: u8 = tok
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    Reg::new(idx).map_err(|e| err(line, e.to_string()))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let tok = tok.trim();
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        tok.parse::<i64>().ok()
+    };
+    let v = parsed.ok_or_else(|| err(line, format!("expected immediate, got `{tok}`")))?;
+    i32::try_from(v).map_err(|_| err(line, format!("immediate {v} out of 32-bit range")))
+}
+
+fn parse_target(tok: &str, line: usize, labels: &HashMap<String, u32>) -> Result<u32, AsmError> {
+    if let Some(&a) = labels.get(tok) {
+        return Ok(a);
+    }
+    if let Ok(n) = tok.parse::<u32>() {
+        return Ok(n);
+    }
+    Err(err(line, format!("undefined label `{tok}`")))
+}
+
+/// Parses a `[reg+off]` / `[reg-off]` / `[reg]` memory operand.
+fn parse_memop(tok: &str, line: usize) -> Result<(Reg, i32), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg+off], got `{tok}`")))?;
+    if let Some(pos) = inner.rfind(['+', '-']).filter(|&p| p > 0) {
+        let (r, o) = inner.split_at(pos);
+        Ok((parse_reg(r.trim(), line)?, parse_imm(o, line)?))
+    } else {
+        Ok((parse_reg(inner.trim(), line)?, 0))
+    }
+}
+
+fn parse_instr(
+    line_src: &str,
+    line: usize,
+    labels: &HashMap<String, u32>,
+) -> Result<Instr, AsmError> {
+    let (mnemonic, rest) = match line_src.find(char::is_whitespace) {
+        Some(i) => (&line_src[..i], line_src[i..].trim()),
+        None => (line_src, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` wants {n} operand(s), got {}", ops.len()),
+            ))
+        }
+    };
+
+    let alu3 = |op: Opcode| -> Result<Instr, AsmError> {
+        want(3)?;
+        Ok(Instr::alu3(
+            op,
+            parse_reg(ops[0], line)?,
+            parse_reg(ops[1], line)?,
+            parse_reg(ops[2], line)?,
+        ))
+    };
+
+    match mnemonic {
+        "nop" => {
+            want(0)?;
+            Ok(Instr::nop())
+        }
+        "halt" => {
+            want(0)?;
+            Ok(Instr::halt())
+        }
+        "ret" => {
+            want(0)?;
+            Ok(Instr::ret())
+        }
+        "mov" => {
+            want(2)?;
+            Ok(Instr::mov(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?))
+        }
+        "not" => {
+            want(2)?;
+            Ok(Instr::not(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?))
+        }
+        "ldi" => {
+            want(2)?;
+            Ok(Instr::ldi(parse_reg(ops[0], line)?, parse_imm(ops[1], line)?))
+        }
+        "addi" => {
+            want(3)?;
+            Ok(Instr::addi(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                parse_imm(ops[2], line)?,
+            ))
+        }
+        "muli" => {
+            want(3)?;
+            Ok(Instr::muli(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                parse_imm(ops[2], line)?,
+            ))
+        }
+        "add" => alu3(Opcode::Add),
+        "sub" => alu3(Opcode::Sub),
+        "mul" => alu3(Opcode::Mul),
+        "div" => alu3(Opcode::Div),
+        "mod" => alu3(Opcode::Mod),
+        "and" => alu3(Opcode::And),
+        "or" => alu3(Opcode::Or),
+        "xor" => alu3(Opcode::Xor),
+        "shl" => alu3(Opcode::Shl),
+        "shr" => alu3(Opcode::Shr),
+        "cmpeq" => alu3(Opcode::Cmpeq),
+        "cmpne" => alu3(Opcode::Cmpne),
+        "cmplt" => alu3(Opcode::Cmplt),
+        "cmple" => alu3(Opcode::Cmple),
+        "ld" => {
+            want(2)?;
+            let (base, off) = parse_memop(ops[1], line)?;
+            Ok(Instr::ld(parse_reg(ops[0], line)?, base, off))
+        }
+        "st" => {
+            want(2)?;
+            let (base, off) = parse_memop(ops[0], line)?;
+            Ok(Instr::store(base, off, parse_reg(ops[1], line)?))
+        }
+        "jmp" => {
+            want(1)?;
+            Ok(Instr::jmp(parse_target(ops[0], line, labels)?))
+        }
+        "beqz" => {
+            want(2)?;
+            Ok(Instr::beqz(
+                parse_reg(ops[0], line)?,
+                parse_target(ops[1], line, labels)?,
+            ))
+        }
+        "bnez" => {
+            want(2)?;
+            Ok(Instr::bnez(
+                parse_reg(ops[0], line)?,
+                parse_target(ops[1], line, labels)?,
+            ))
+        }
+        "call" => {
+            want(1)?;
+            Ok(Instr::call(parse_target(ops[0], line, labels)?))
+        }
+        "push" => {
+            want(1)?;
+            Ok(Instr::push(parse_reg(ops[0], line)?))
+        }
+        "pop" => {
+            want(1)?;
+            Ok(Instr::pop(parse_reg(ops[0], line)?))
+        }
+        "hcall" => {
+            want(1)?;
+            Ok(Instr::hcall(parse_imm(ops[0], line)?))
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_functions_and_labels() {
+        let img = assemble(
+            r#"
+            ; two functions
+            .func main
+                ldi r2, 3
+                call helper
+                ret
+            .func helper
+            top:
+                addi r1, r2, 1
+                beqz r1, top
+                ret
+            "#,
+        )
+        .unwrap();
+        assert_eq!(img.len(), 6);
+        assert_eq!(img.func("main").unwrap().entry, 0);
+        assert_eq!(img.func("helper").unwrap().entry, 3);
+        // call resolves to helper's entry
+        assert_eq!(img.instr_at(1).unwrap(), Instr::call(3));
+        // label `top` resolves to address 3
+        assert_eq!(img.instr_at(4).unwrap(), Instr::beqz(Reg::RV, 3));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let img = assemble(
+            r#"
+            .func f
+                ld r10, [fp-3]
+                st [sp+2], r10
+                ld r11, [r12]
+                ret
+            "#,
+        )
+        .unwrap();
+        assert_eq!(img.instr_at(0).unwrap(), Instr::ld(Reg::T0, Reg::FP, -3));
+        assert_eq!(img.instr_at(1).unwrap(), Instr::store(Reg::SP, 2, Reg::T0));
+        assert_eq!(
+            img.instr_at(2).unwrap(),
+            Instr::ld(Reg::new(11).unwrap(), Reg::new(12).unwrap(), 0)
+        );
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let img = assemble(
+            r#"
+            .func f
+                ldi r10, 0x1F
+                ldi r11, -0x10
+                ldi r12, -7
+                ret
+            "#,
+        )
+        .unwrap();
+        assert_eq!(img.instr_at(0).unwrap().imm, 31);
+        assert_eq!(img.instr_at(1).unwrap().imm, -16);
+        assert_eq!(img.instr_at(2).unwrap().imm, -7);
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let e = assemble(".func f\n  bogus r1\n").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_undefined_label() {
+        let e = assemble(".func f\n  jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let e = assemble(".func f\nx:\nx:\n  ret\n").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let e = assemble(".func f\n  add r1, r2\n").unwrap_err();
+        assert!(e.message.contains("wants 3 operand(s)"));
+    }
+
+    #[test]
+    fn rejects_bad_register() {
+        let e = assemble(".func f\n  mov r99, r1\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let img = assemble(
+            "# header\n.func f\n   ; nothing\n\n  ret ; trailing\n",
+        )
+        .unwrap();
+        assert_eq!(img.len(), 1);
+    }
+
+    #[test]
+    fn numeric_targets_allowed() {
+        let img = assemble(".func f\n  jmp 0\n").unwrap();
+        assert_eq!(img.instr_at(0).unwrap(), Instr::jmp(0));
+    }
+}

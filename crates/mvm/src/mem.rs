@@ -1,0 +1,220 @@
+//! Word-addressed data memory.
+//!
+//! The VM's memory is a flat array of `i64` cells. Addresses are cell
+//! indices; there is no byte packing — strings store one character per cell.
+//! This keeps pointer arithmetic in MiniC trivially predictable, which in
+//! turn keeps compiled idioms canonical for the mutation-operator patterns.
+
+use serde::{Deserialize, Serialize};
+
+/// Flat data memory of `i64` cells.
+///
+/// # Example
+///
+/// ```
+/// use mvm::Memory;
+///
+/// let mut m = Memory::new(16);
+/// m.write(3, 42)?;
+/// assert_eq!(m.read(3)?, 42);
+/// assert!(m.read(99).is_err());
+/// # Ok::<(), mvm::mem::MemError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Memory {
+    cells: Vec<i64>,
+}
+
+/// An out-of-bounds access, carrying the faulting address.
+///
+/// Negative addresses are reported as `i64` so wild pointer arithmetic from
+/// injected faults is visible in traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemError {
+    /// The address that missed.
+    pub addr: i64,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory access out of bounds at address {}", self.addr)
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl Memory {
+    /// Allocates `size` zeroed cells.
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            cells: vec![0; size],
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the memory has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads the cell at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is negative or past the end.
+    pub fn read(&self, addr: i64) -> Result<i64, MemError> {
+        usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.cells.get(a))
+            .copied()
+            .ok_or(MemError { addr })
+    }
+
+    /// Writes `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is negative or past the end.
+    pub fn write(&mut self, addr: i64, value: i64) -> Result<(), MemError> {
+        let slot = usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.cells.get_mut(a))
+            .ok_or(MemError { addr })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Copies a contiguous region out of memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if any cell of the range is out of bounds.
+    pub fn read_block(&self, addr: i64, len: usize) -> Result<Vec<i64>, MemError> {
+        (0..len as i64).map(|i| self.read(addr + i)).collect()
+    }
+
+    /// Writes a contiguous region into memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on the first out-of-bounds cell; earlier cells
+    /// stay written (the VM traps immediately after, so partial writes model
+    /// real wild-store behaviour).
+    pub fn write_block(&mut self, addr: i64, values: &[i64]) -> Result<(), MemError> {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(addr + i as i64, v)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string (one char per cell) of at most
+    /// `max_len` characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the scan walks out of bounds before a NUL.
+    pub fn read_cstr(&self, addr: i64, max_len: usize) -> Result<String, MemError> {
+        let mut s = String::new();
+        for i in 0..max_len as i64 {
+            let c = self.read(addr + i)?;
+            if c == 0 {
+                break;
+            }
+            s.push(char::from_u32((c as u32) & 0x10FFFF).unwrap_or('\u{FFFD}'));
+        }
+        Ok(s)
+    }
+
+    /// Writes `s` as one char per cell followed by a NUL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the string plus terminator does not fit.
+    pub fn write_cstr(&mut self, addr: i64, s: &str) -> Result<(), MemError> {
+        for (i, c) in s.chars().enumerate() {
+            self.write(addr + i as i64, c as i64)?;
+        }
+        self.write(addr + s.chars().count() as i64, 0)
+    }
+
+    /// Zeroes every cell (fresh boot of the substrate).
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new(8);
+        m.write(0, -5).unwrap();
+        m.write(7, i64::MAX).unwrap();
+        assert_eq!(m.read(0).unwrap(), -5);
+        assert_eq!(m.read(7).unwrap(), i64::MAX);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut m = Memory::new(4);
+        assert_eq!(m.read(4).unwrap_err().addr, 4);
+        assert_eq!(m.read(-1).unwrap_err().addr, -1);
+        assert_eq!(m.write(4, 0).unwrap_err().addr, 4);
+        assert_eq!(m.write(i64::MIN, 0).unwrap_err().addr, i64::MIN);
+    }
+
+    #[test]
+    fn block_ops() {
+        let mut m = Memory::new(10);
+        m.write_block(2, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_block(2, 3).unwrap(), vec![1, 2, 3]);
+        assert!(m.write_block(8, &[1, 2, 3]).is_err());
+        assert!(m.read_block(8, 3).is_err());
+    }
+
+    #[test]
+    fn cstr_roundtrip() {
+        let mut m = Memory::new(32);
+        m.write_cstr(1, "hello").unwrap();
+        assert_eq!(m.read_cstr(1, 31).unwrap(), "hello");
+        // NUL terminates early even when max_len is larger.
+        assert_eq!(m.read_cstr(1, 3).unwrap(), "hel");
+    }
+
+    #[test]
+    fn cstr_too_long_fails() {
+        let mut m = Memory::new(4);
+        assert!(m.write_cstr(0, "toolong").is_err());
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut m = Memory::new(4);
+        m.write(2, 9).unwrap();
+        m.clear();
+        assert_eq!(m.read(2).unwrap(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_write_then_read(addr in 0i64..64, v: i64) {
+            let mut m = Memory::new(64);
+            m.write(addr, v).unwrap();
+            prop_assert_eq!(m.read(addr).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_cstr_roundtrip(s in "[a-zA-Z0-9 /._-]{0,30}") {
+            let mut m = Memory::new(64);
+            m.write_cstr(0, &s).unwrap();
+            prop_assert_eq!(m.read_cstr(0, 63).unwrap(), s);
+        }
+    }
+}

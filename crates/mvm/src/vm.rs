@@ -1,0 +1,745 @@
+//! The trapping interpreter.
+//!
+//! The VM executes one [`CodeImage`] function call at a time against a shared
+//! [`Memory`]. Everything abnormal becomes a [`Trap`] rather than unwinding
+//! into the host: division by zero, wild loads/stores, jumps outside the
+//! image, undecodable (corrupted) instruction words, and — crucially for
+//! fault injection — exhaustion of the instruction *budget*, which is how an
+//! injected fault that produces an infinite loop manifests as a detectable
+//! hang instead of wedging the benchmark harness.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::image::CodeImage;
+use crate::isa::{Opcode, Reg};
+use crate::mem::Memory;
+
+/// Abnormal termination of a VM call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trap {
+    /// Signed division or remainder with a zero divisor.
+    DivideByZero {
+        /// Faulting instruction address.
+        at: u32,
+    },
+    /// Load or store outside data memory.
+    BadMemory {
+        /// Faulting instruction address.
+        at: u32,
+        /// The wild data address.
+        addr: i64,
+    },
+    /// Control transfer outside the code image (includes corrupted return
+    /// addresses popped by `ret`).
+    BadJump {
+        /// Faulting instruction address.
+        at: u32,
+        /// The wild code address.
+        target: i64,
+    },
+    /// The word at `at` no longer decodes (possible after aggressive
+    /// patching).
+    BadInstruction {
+        /// Faulting instruction address.
+        at: u32,
+    },
+    /// The instruction budget ran out — the call is considered hung.
+    BudgetExhausted {
+        /// Instructions executed before giving up.
+        executed: u64,
+    },
+    /// A hypercall was invoked with an unknown number or invalid arguments.
+    BadHcall {
+        /// Faulting instruction address.
+        at: u32,
+        /// Hypercall number.
+        n: i32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::DivideByZero { at } => write!(f, "divide by zero at {at}"),
+            Trap::BadMemory { at, addr } => write!(f, "bad memory access at {at} (addr {addr})"),
+            Trap::BadJump { at, target } => write!(f, "bad jump at {at} (target {target})"),
+            Trap::BadInstruction { at } => write!(f, "undecodable instruction at {at}"),
+            Trap::BudgetExhausted { executed } => {
+                write!(f, "instruction budget exhausted after {executed}")
+            }
+            Trap::BadHcall { at, n } => write!(f, "bad hypercall {n} at {at}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl Trap {
+    /// True if the trap models a *hang* (as opposed to a crash) — the
+    /// distinction the benchmark harness uses to separate KNS/KCP from MIS.
+    pub fn is_hang(self) -> bool {
+        matches!(self, Trap::BudgetExhausted { .. })
+    }
+}
+
+/// Device layer invoked by the `hcall` instruction.
+///
+/// Hypercalls sit *below* the OS under test — they model raw hardware
+/// (backing store, console) and are never a fault-injection target.
+/// Arguments arrive in `r2..`, the result must be placed in `r1`.
+pub trait HcallHandler {
+    /// Handles hypercall `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] (usually [`Trap::BadHcall`]) for unknown numbers or
+    /// invalid arguments.
+    fn hcall(&mut self, n: i32, at: u32, regs: &mut [i64; 32], mem: &mut Memory)
+        -> Result<(), Trap>;
+}
+
+/// A handler that rejects every hypercall — for pure computational code.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHcalls;
+
+impl HcallHandler for NoHcalls {
+    fn hcall(
+        &mut self,
+        n: i32,
+        at: u32,
+        _regs: &mut [i64; 32],
+        _mem: &mut Memory,
+    ) -> Result<(), Trap> {
+        Err(Trap::BadHcall { at, n })
+    }
+}
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// Maximum instructions per call before [`Trap::BudgetExhausted`].
+    pub budget: u64,
+    /// Cells reserved for the call stack at the top of data memory.
+    pub stack_cells: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            budget: 2_000_000,
+            stack_cells: 4096,
+        }
+    }
+}
+
+/// Successful completion of a VM call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallOutcome {
+    /// Value left in `r1` by the callee.
+    pub return_value: i64,
+    /// Instructions executed — the basis of the simulated cost model.
+    pub executed: u64,
+}
+
+/// Sentinel return address marking the bottom of the call stack.
+const RETURN_SENTINEL: i64 = -0x5EAF00D;
+
+/// The interpreter. Stateless between calls except for configuration and
+/// cumulative instruction counts.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    config: VmConfig,
+    total_executed: u64,
+    profile: Option<Vec<u64>>,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vm {
+    /// Creates a VM with [`VmConfig::default`].
+    pub fn new() -> Vm {
+        Vm::with_config(VmConfig::default())
+    }
+
+    /// Creates a VM with an explicit configuration.
+    pub fn with_config(config: VmConfig) -> Vm {
+        Vm {
+            config,
+            total_executed: 0,
+            profile: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> VmConfig {
+        self.config
+    }
+
+    /// Instructions executed across all calls (for intrusiveness accounting).
+    pub fn total_executed(&self) -> u64 {
+        self.total_executed
+    }
+
+    /// Enables per-address execution counting for an image of `code_len`
+    /// instructions. Counting has a small interpreter cost; it is meant for
+    /// offline cost-attribution studies, not campaigns.
+    pub fn enable_profiling(&mut self, code_len: usize) {
+        self.profile = Some(vec![0; code_len]);
+    }
+
+    /// Per-address execution counts recorded since
+    /// [`enable_profiling`](Vm::enable_profiling); `None` when disabled.
+    pub fn profile(&self) -> Option<&[u64]> {
+        self.profile.as_deref()
+    }
+
+    /// Calls `func` with `args` (at most 8) in `image` against `mem`.
+    ///
+    /// The stack occupies the top `stack_cells` of `mem`; everything below is
+    /// the callee's to manage (the OS keeps its heap there).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on any abnormal event, or a boxed image error if
+    /// `func` is not linked in `image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 8 arguments are supplied or memory is smaller than
+    /// the configured stack.
+    pub fn call<H: HcallHandler>(
+        &mut self,
+        image: &CodeImage,
+        mem: &mut Memory,
+        hcalls: &mut H,
+        func: &str,
+        args: &[i64],
+    ) -> Result<CallOutcome, CallError> {
+        assert!(args.len() <= 8, "ABI passes at most 8 register arguments");
+        assert!(
+            mem.len() >= self.config.stack_cells,
+            "memory ({}) smaller than configured stack ({})",
+            mem.len(),
+            self.config.stack_cells
+        );
+        let entry = image
+            .func(func)
+            .ok_or_else(|| CallError::UnknownFunction(func.to_string()))?
+            .entry;
+
+        let mut regs = [0i64; 32];
+        for (i, &a) in args.iter().enumerate() {
+            regs[Reg::arg(i).index()] = a;
+        }
+        let stack_top = mem.len() as i64;
+        let stack_limit = stack_top - self.config.stack_cells as i64;
+        let mut sp = stack_top;
+        // Bottom-of-stack sentinel: `ret` to it ends the call.
+        sp -= 1;
+        mem.write(sp, RETURN_SENTINEL).expect("stack in bounds");
+        regs[Reg::SP.index()] = sp;
+
+        let mut pc: u32 = entry;
+        let mut executed: u64 = 0;
+        let budget = self.config.budget;
+
+        let outcome = loop {
+            if executed >= budget {
+                break Err(Trap::BudgetExhausted { executed });
+            }
+            let instr = match image.instr_at(pc) {
+                Ok(i) => i,
+                Err(_) => break Err(Trap::BadInstruction { at: pc }),
+            };
+            executed += 1;
+            if let Some(counts) = self.profile.as_mut() {
+                if let Some(slot) = counts.get_mut(pc as usize) {
+                    *slot += 1;
+                }
+            }
+
+            macro_rules! reg {
+                ($r:expr) => {
+                    regs[$r.index()]
+                };
+            }
+            macro_rules! set {
+                ($r:expr, $v:expr) => {{
+                    let r = $r;
+                    if r != Reg::ZERO {
+                        regs[r.index()] = $v;
+                    }
+                }};
+            }
+            macro_rules! jump_to {
+                ($t:expr) => {{
+                    let t = $t;
+                    if t < 0 || t as usize >= image.len() {
+                        break Err(Trap::BadJump { at: pc, target: t });
+                    }
+                    pc = t as u32;
+                    continue;
+                }};
+            }
+
+            match instr.op {
+                Opcode::Nop => {}
+                Opcode::Halt => {
+                    break Ok(CallOutcome {
+                        return_value: regs[Reg::RV.index()],
+                        executed,
+                    })
+                }
+                Opcode::Mov => set!(instr.rd, reg!(instr.rs1)),
+                Opcode::Ldi => set!(instr.rd, instr.imm as i64),
+                Opcode::Add => set!(instr.rd, reg!(instr.rs1).wrapping_add(reg!(instr.rs2))),
+                Opcode::Sub => set!(instr.rd, reg!(instr.rs1).wrapping_sub(reg!(instr.rs2))),
+                Opcode::Mul => set!(instr.rd, reg!(instr.rs1).wrapping_mul(reg!(instr.rs2))),
+                Opcode::Div => {
+                    let d = reg!(instr.rs2);
+                    if d == 0 {
+                        break Err(Trap::DivideByZero { at: pc });
+                    }
+                    set!(instr.rd, reg!(instr.rs1).wrapping_div(d));
+                }
+                Opcode::Mod => {
+                    let d = reg!(instr.rs2);
+                    if d == 0 {
+                        break Err(Trap::DivideByZero { at: pc });
+                    }
+                    set!(instr.rd, reg!(instr.rs1).wrapping_rem(d));
+                }
+                Opcode::And => set!(instr.rd, reg!(instr.rs1) & reg!(instr.rs2)),
+                Opcode::Or => set!(instr.rd, reg!(instr.rs1) | reg!(instr.rs2)),
+                Opcode::Xor => set!(instr.rd, reg!(instr.rs1) ^ reg!(instr.rs2)),
+                Opcode::Shl => set!(instr.rd, reg!(instr.rs1) << (reg!(instr.rs2) & 63)),
+                Opcode::Shr => set!(instr.rd, reg!(instr.rs1) >> (reg!(instr.rs2) & 63)),
+                Opcode::Not => set!(instr.rd, !reg!(instr.rs1)),
+                Opcode::Addi => set!(instr.rd, reg!(instr.rs1).wrapping_add(instr.imm as i64)),
+                Opcode::Muli => set!(instr.rd, reg!(instr.rs1).wrapping_mul(instr.imm as i64)),
+                Opcode::Cmpeq => set!(instr.rd, (reg!(instr.rs1) == reg!(instr.rs2)) as i64),
+                Opcode::Cmpne => set!(instr.rd, (reg!(instr.rs1) != reg!(instr.rs2)) as i64),
+                Opcode::Cmplt => set!(instr.rd, (reg!(instr.rs1) < reg!(instr.rs2)) as i64),
+                Opcode::Cmple => set!(instr.rd, (reg!(instr.rs1) <= reg!(instr.rs2)) as i64),
+                Opcode::Ld => {
+                    let addr = reg!(instr.rs1).wrapping_add(instr.imm as i64);
+                    match mem.read(addr) {
+                        Ok(v) => set!(instr.rd, v),
+                        Err(_) => break Err(Trap::BadMemory { at: pc, addr }),
+                    }
+                }
+                Opcode::St => {
+                    let addr = reg!(instr.rs1).wrapping_add(instr.imm as i64);
+                    if mem.write(addr, reg!(instr.rs2)).is_err() {
+                        break Err(Trap::BadMemory { at: pc, addr });
+                    }
+                }
+                Opcode::Jmp => jump_to!(instr.imm as u32 as i64),
+                Opcode::Beqz => {
+                    if reg!(instr.rs1) == 0 {
+                        jump_to!(instr.imm as u32 as i64);
+                    }
+                }
+                Opcode::Bnez => {
+                    if reg!(instr.rs1) != 0 {
+                        jump_to!(instr.imm as u32 as i64);
+                    }
+                }
+                Opcode::Call => {
+                    let sp = regs[Reg::SP.index()] - 1;
+                    if sp < stack_limit {
+                        break Err(Trap::BadMemory { at: pc, addr: sp });
+                    }
+                    if mem.write(sp, pc as i64 + 1).is_err() {
+                        break Err(Trap::BadMemory { at: pc, addr: sp });
+                    }
+                    regs[Reg::SP.index()] = sp;
+                    jump_to!(instr.imm as u32 as i64);
+                }
+                Opcode::Ret => {
+                    let sp = regs[Reg::SP.index()];
+                    let ra = match mem.read(sp) {
+                        Ok(v) => v,
+                        Err(_) => break Err(Trap::BadMemory { at: pc, addr: sp }),
+                    };
+                    regs[Reg::SP.index()] = sp + 1;
+                    if ra == RETURN_SENTINEL {
+                        break Ok(CallOutcome {
+                            return_value: regs[Reg::RV.index()],
+                            executed,
+                        });
+                    }
+                    jump_to!(ra);
+                }
+                Opcode::Push => {
+                    let sp = regs[Reg::SP.index()] - 1;
+                    if sp < stack_limit || mem.write(sp, reg!(instr.rs1)).is_err() {
+                        break Err(Trap::BadMemory { at: pc, addr: sp });
+                    }
+                    regs[Reg::SP.index()] = sp;
+                }
+                Opcode::Pop => {
+                    let sp = regs[Reg::SP.index()];
+                    match mem.read(sp) {
+                        Ok(v) => {
+                            set!(instr.rd, v);
+                            regs[Reg::SP.index()] = sp + 1;
+                        }
+                        Err(_) => break Err(Trap::BadMemory { at: pc, addr: sp }),
+                    }
+                }
+                Opcode::Hcall => {
+                    if let Err(t) = hcalls.hcall(instr.imm, pc, &mut regs, mem) {
+                        break Err(t);
+                    }
+                    regs[Reg::ZERO.index()] = 0; // keep r0 hard-zero across handlers
+                }
+            }
+            pc += 1;
+        };
+
+        self.total_executed += executed;
+        outcome.map_err(CallError::Trap)
+    }
+}
+
+/// Errors from [`Vm::call`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallError {
+    /// The function is not linked in the image.
+    UnknownFunction(String),
+    /// The callee trapped.
+    Trap(Trap),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            CallError::Trap(t) => write!(f, "trap: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl CallError {
+    /// The trap, if this error is one.
+    pub fn trap(&self) -> Option<Trap> {
+        match self {
+            CallError::Trap(t) => Some(*t),
+            CallError::UnknownFunction(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str, func: &str, args: &[i64]) -> Result<CallOutcome, CallError> {
+        let image = assemble(src).expect("assembles");
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        vm.call(&image, &mut mem, &mut NoHcalls, func, args)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let out = run(
+            r#"
+            .func main
+                add r1, r2, r3
+                ret
+            "#,
+            "main",
+            &[20, 22],
+        )
+        .unwrap();
+        assert_eq!(out.return_value, 42);
+        assert_eq!(out.executed, 2);
+    }
+
+    #[test]
+    fn nested_calls_preserve_flow() {
+        let out = run(
+            r#"
+            .func main
+                ldi r2, 5
+                call inc
+                mov r2, r1
+                call inc
+                ret
+            .func inc
+                addi r1, r2, 1
+                ret
+            "#,
+            "main",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.return_value, 7);
+    }
+
+    #[test]
+    fn branches_take_and_fall_through() {
+        let src = r#"
+            .func sign
+                beqz r2, zero
+                cmplt r10, r2, r0
+                bnez r10, neg
+                ldi r1, 1
+                ret
+            zero:
+                ldi r1, 0
+                ret
+            neg:
+                ldi r1, -1
+                ret
+        "#;
+        assert_eq!(run(src, "sign", &[15]).unwrap().return_value, 1);
+        assert_eq!(run(src, "sign", &[0]).unwrap().return_value, 0);
+        assert_eq!(run(src, "sign", &[-3]).unwrap().return_value, -1);
+    }
+
+    #[test]
+    fn loop_with_memory() {
+        // Sum cells [a0, a0+n) into r1.
+        let src = r#"
+            .func sum
+                ldi r1, 0
+                mov r10, r2
+                add r11, r2, r3
+            loop:
+                cmplt r12, r10, r11
+                beqz r12, done
+                ld r13, [r10+0]
+                add r1, r1, r13
+                addi r10, r10, 1
+                jmp loop
+            done:
+                ret
+        "#;
+        let image = assemble(src).unwrap();
+        let mut mem = Memory::new(8192);
+        for i in 0..10 {
+            mem.write(100 + i, i + 1).unwrap();
+        }
+        let mut vm = Vm::new();
+        let out = vm
+            .call(&image, &mut mem, &mut NoHcalls, "sum", &[100, 10])
+            .unwrap();
+        assert_eq!(out.return_value, 55);
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let err = run(
+            r#"
+            .func main
+                div r1, r2, r3
+                ret
+            "#,
+            "main",
+            &[1, 0],
+        )
+        .unwrap_err();
+        assert_eq!(err.trap(), Some(Trap::DivideByZero { at: 0 }));
+    }
+
+    #[test]
+    fn wild_memory_traps() {
+        let err = run(
+            r#"
+            .func main
+                ldi r10, -500
+                ld r1, [r10+0]
+                ret
+            "#,
+            "main",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.trap(),
+            Some(Trap::BadMemory { at: 1, addr: -500 })
+        ));
+    }
+
+    #[test]
+    fn wild_jump_traps() {
+        let err = run(
+            r#"
+            .func main
+                jmp 999999
+            "#,
+            "main",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err.trap(), Some(Trap::BadJump { .. })));
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_budget() {
+        let image = assemble(
+            r#"
+            .func spin
+            again:
+                jmp again
+            "#,
+        )
+        .unwrap();
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::with_config(VmConfig {
+            budget: 1000,
+            stack_cells: 128,
+        });
+        let err = vm
+            .call(&image, &mut mem, &mut NoHcalls, "spin", &[])
+            .unwrap_err();
+        assert_eq!(err.trap(), Some(Trap::BudgetExhausted { executed: 1000 }));
+        assert!(err.trap().unwrap().is_hang());
+    }
+
+    #[test]
+    fn stack_overflow_on_runaway_recursion() {
+        let err = run(
+            r#"
+            .func main
+                call main
+            "#,
+            "main",
+            &[],
+        )
+        .unwrap_err();
+        // Either the stack limit or the budget fires; with default config the
+        // stack limit comes first.
+        assert!(matches!(err.trap(), Some(Trap::BadMemory { .. })));
+    }
+
+    #[test]
+    fn r0_is_hard_zero() {
+        let out = run(
+            r#"
+            .func main
+                ldi r0, 77
+                mov r1, r0
+                ret
+            "#,
+            "main",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.return_value, 0);
+    }
+
+    #[test]
+    fn unknown_function_reported() {
+        let err = run(
+            r#"
+            .func main
+                ret
+            "#,
+            "nope",
+            &[],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CallError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn unknown_hcall_traps() {
+        let err = run(
+            r#"
+            .func main
+                hcall 42
+                ret
+            "#,
+            "main",
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err.trap(), Some(Trap::BadHcall { at: 0, n: 42 }));
+    }
+
+    #[test]
+    fn push_pop_roundtrip_and_total_executed() {
+        let image = assemble(
+            r#"
+            .func main
+                ldi r10, 9
+                push r10
+                ldi r10, 0
+                pop r1
+                ret
+            "#,
+        )
+        .unwrap();
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        let out = vm
+            .call(&image, &mut mem, &mut NoHcalls, "main", &[])
+            .unwrap();
+        assert_eq!(out.return_value, 9);
+        assert_eq!(vm.total_executed(), out.executed);
+    }
+
+    #[test]
+    fn halt_ends_call_with_rv() {
+        let out = run(
+            r#"
+            .func main
+                ldi r1, 5
+                halt
+            "#,
+            "main",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.return_value, 5);
+    }
+
+    /// A custom hcall handler is invoked with register access.
+    #[test]
+    fn hcall_handler_runs() {
+        struct Doubler;
+        impl HcallHandler for Doubler {
+            fn hcall(
+                &mut self,
+                n: i32,
+                at: u32,
+                regs: &mut [i64; 32],
+                _mem: &mut Memory,
+            ) -> Result<(), Trap> {
+                if n == 1 {
+                    regs[Reg::RV.index()] = regs[Reg::A0.index()] * 2;
+                    Ok(())
+                } else {
+                    Err(Trap::BadHcall { at, n })
+                }
+            }
+        }
+        let image = assemble(
+            r#"
+            .func main
+                hcall 1
+                ret
+            "#,
+        )
+        .unwrap();
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        let out = vm
+            .call(&image, &mut mem, &mut Doubler, "main", &[21])
+            .unwrap();
+        assert_eq!(out.return_value, 42);
+    }
+}

@@ -1,0 +1,82 @@
+//! Assembler/disassembler consistency: disassembling an image and
+//! re-assembling the text reproduces the identical image.
+
+use mvm::asm::assemble;
+use mvm::{CodeImage, FuncInfo, Instr, Opcode, Reg};
+use proptest::prelude::*;
+
+/// Strategy over instructions that the assembler can print and re-parse
+/// (all of them, with in-range numeric targets).
+fn arb_instr(code_len: u32) -> impl Strategy<Value = Instr> {
+    let reg = (0u8..32).prop_map(|i| Reg::new(i).unwrap());
+    let target = 0..code_len;
+    let alu = proptest::sample::select(vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Mod,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Cmpeq,
+        Opcode::Cmpne,
+        Opcode::Cmplt,
+        Opcode::Cmple,
+    ]);
+    prop_oneof![
+        Just(Instr::nop()),
+        Just(Instr::halt()),
+        Just(Instr::ret()),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::mov(a, b)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::not(a, b)),
+        (reg.clone(), any::<i32>()).prop_map(|(a, i)| Instr::ldi(a, i)),
+        (alu, reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, a, b, c)| Instr::alu3(op, a, b, c)),
+        (reg.clone(), reg.clone(), any::<i32>()).prop_map(|(a, b, i)| Instr::addi(a, b, i)),
+        (reg.clone(), reg.clone(), any::<i32>()).prop_map(|(a, b, i)| Instr::muli(a, b, i)),
+        (reg.clone(), reg.clone(), -9999i32..9999).prop_map(|(a, b, i)| Instr::ld(a, b, i)),
+        (reg.clone(), -9999i32..9999, reg.clone()).prop_map(|(b, i, s)| Instr::store(b, i, s)),
+        target.clone().prop_map(Instr::jmp),
+        (reg.clone(), target.clone()).prop_map(|(r, t)| Instr::beqz(r, t)),
+        (reg.clone(), target.clone()).prop_map(|(r, t)| Instr::bnez(r, t)),
+        target.prop_map(Instr::call),
+        reg.clone().prop_map(Instr::push),
+        reg.prop_map(Instr::pop),
+        (0i32..100).prop_map(Instr::hcall),
+    ]
+}
+
+/// Renders an image back to assembler text with numeric branch targets.
+fn disassemble_to_asm(image: &CodeImage) -> String {
+    let mut out = String::new();
+    for f in image.funcs() {
+        out.push_str(&format!(".func {}\n", f.name));
+        for addr in f.entry..f.end {
+            let i = image.instr_at(addr).expect("decodes");
+            out.push_str(&format!("    {i}\n"));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// assemble(disassemble(image)) == image.
+    #[test]
+    fn prop_asm_disasm_roundtrip(instrs in proptest::collection::vec(arb_instr(40), 1..40)) {
+        let end = instrs.len() as u32;
+        let image = CodeImage::link(
+            "asm",
+            &instrs,
+            vec![FuncInfo { name: "main".into(), entry: 0, end }],
+        )
+        .unwrap();
+        let text = disassemble_to_asm(&image);
+        let re = assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(re.words(), image.words(), "{}", text);
+    }
+}

@@ -1,0 +1,118 @@
+//! Interpreter robustness: the VM must *never* panic, whatever code it
+//! executes — mutated images run arbitrary instruction mixes, and every
+//! abnormal outcome must surface as a contained `Trap`.
+
+use mvm::{CallError, CodeImage, FuncInfo, Instr, Memory, NoHcalls, Opcode, Reg, Trap, Vm, VmConfig};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary *decodable* instructions with small-ish operands so
+/// branches sometimes stay in range.
+fn arb_instr(code_len: u32) -> impl Strategy<Value = Instr> {
+    let reg = (0u8..32).prop_map(|i| Reg::new(i).unwrap());
+    let target = 0..(code_len * 2); // half the branches are wild
+    let imm = -64i32..64;
+    prop_oneof![
+        Just(Instr::nop()),
+        Just(Instr::halt()),
+        Just(Instr::ret()),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::mov(a, b)),
+        (reg.clone(), imm.clone()).prop_map(|(a, i)| Instr::ldi(a, i)),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(a, b, c)| Instr::alu3(Opcode::Add, a, b, c)),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(a, b, c)| Instr::alu3(Opcode::Div, a, b, c)),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(a, b, c)| Instr::alu3(Opcode::Mod, a, b, c)),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(a, b, c)| Instr::alu3(Opcode::Shl, a, b, c)),
+        (reg.clone(), reg.clone(), imm.clone()).prop_map(|(a, b, i)| Instr::addi(a, b, i)),
+        (reg.clone(), reg.clone(), imm.clone()).prop_map(|(a, b, i)| Instr::ld(a, b, i)),
+        (reg.clone(), imm.clone(), reg.clone()).prop_map(|(b, i, s)| Instr::store(b, i, s)),
+        target.clone().prop_map(Instr::jmp),
+        (reg.clone(), target.clone()).prop_map(|(r, t)| Instr::beqz(r, t)),
+        (reg.clone(), target.clone()).prop_map(|(r, t)| Instr::bnez(r, t)),
+        target.prop_map(Instr::call),
+        reg.clone().prop_map(Instr::push),
+        reg.prop_map(Instr::pop),
+        (-2i32..8).prop_map(Instr::hcall),
+    ]
+}
+
+fn image_of(instrs: Vec<Instr>) -> CodeImage {
+    let end = instrs.len() as u32;
+    CodeImage::link(
+        "fuzz",
+        &instrs,
+        vec![FuncInfo {
+            name: "main".into(),
+            entry: 0,
+            end,
+        }],
+    )
+    .expect("links")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary code either completes or traps — never panics, never runs
+    /// away (the budget bounds execution).
+    #[test]
+    fn prop_vm_never_panics(instrs in proptest::collection::vec(arb_instr(64), 1..64)) {
+        let image = image_of(instrs);
+        let mut mem = Memory::new(4096);
+        let mut vm = Vm::with_config(VmConfig {
+            budget: 20_000,
+            stack_cells: 256,
+        });
+        match vm.call(&image, &mut mem, &mut NoHcalls, "main", &[1, 2, 3]) {
+            Ok(out) => prop_assert!(out.executed <= 20_000),
+            Err(CallError::Trap(t)) => {
+                // Budget exhaustion is the only unbounded-looking outcome.
+                if let Trap::BudgetExhausted { executed } = t {
+                    prop_assert_eq!(executed, 20_000);
+                }
+            }
+            Err(CallError::UnknownFunction(_)) => prop_assert!(false, "main is linked"),
+        }
+    }
+
+    /// Execution is deterministic: same image, same memory, same outcome.
+    #[test]
+    fn prop_vm_is_deterministic(instrs in proptest::collection::vec(arb_instr(32), 1..32)) {
+        let image = image_of(instrs);
+        let run = || {
+            let mut mem = Memory::new(2048);
+            let mut vm = Vm::with_config(VmConfig {
+                budget: 10_000,
+                stack_cells: 128,
+            });
+            let r = vm.call(&image, &mut mem, &mut NoHcalls, "main", &[7]);
+            (format!("{r:?}"), mem.read_block(0, 64).unwrap())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// NOP-ing out arbitrary instruction subsets (what missing-construct
+    /// mutations do) keeps the program executable — the core safety premise
+    /// of the injection technique.
+    #[test]
+    fn prop_nopped_programs_still_contained(
+        instrs in proptest::collection::vec(arb_instr(48), 4..48),
+        mask: u64,
+    ) {
+        let mut image = image_of(instrs);
+        let patches: Vec<mvm::Patch> = (0..image.len() as u32)
+            .filter(|i| mask & (1 << (i % 64)) != 0)
+            .map(|addr| mvm::Patch { addr, new_word: Instr::nop().encode() })
+            .collect();
+        image.apply(&patches).expect("in range");
+        let mut mem = Memory::new(2048);
+        let mut vm = Vm::with_config(VmConfig {
+            budget: 10_000,
+            stack_cells: 128,
+        });
+        // Must not panic; outcome may be anything contained.
+        let _ = vm.call(&image, &mut mem, &mut NoHcalls, "main", &[]);
+    }
+}

@@ -1,0 +1,38 @@
+//! `simkit` — a small, deterministic discrete-event simulation kernel.
+//!
+//! Every experiment in this repository runs on *simulated* time so that the
+//! full dependability-benchmark campaign of the paper (which took ~24 wall
+//! clock hours on the authors' testbed) is bit-reproducible and completes in
+//! seconds. The kernel provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time,
+//! * [`EventQueue`] — a stable priority queue of timestamped events,
+//! * [`SimRng`] — a seeded random-number source, the *only* entropy input,
+//! * [`stats`] — online statistics (mean/percentiles/rates) used by the
+//!   SPECWeb-like client and the benchmark reports,
+//! * [`rate`] — a byte-rate model used to decide connection conformance.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "hello");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(1), "world");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "world");
+//! assert_eq!(t, SimTime::from_micros(1_000));
+//! ```
+
+pub mod event;
+pub mod rate;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rate::RateTracker;
+pub use rng::SimRng;
+pub use stats::{OnlineStats, Percentiles, RateMeter};
+pub use time::{SimDuration, SimTime};

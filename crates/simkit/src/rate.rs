@@ -1,0 +1,160 @@
+//! Per-connection byte-rate tracking.
+//!
+//! SPECWeb99 declares a connection *conforming* when its average bit rate is
+//! at least 320 kbit/s and fewer than 1 % of its operations error out.
+//! [`RateTracker`] accumulates bytes and errors per connection so the client
+//! can apply that rule at the end of a measurement interval.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Accumulates transferred bytes and operation outcomes for one connection.
+///
+/// # Example
+///
+/// ```
+/// use simkit::{RateTracker, SimTime};
+///
+/// let mut t = RateTracker::start(SimTime::ZERO);
+/// t.record_op(400_000, false); // 400 kB transferred, no error
+/// let end = SimTime::from_secs(10);
+/// assert!(t.bit_rate_at(end) >= 320_000.0);
+/// assert!(t.is_conforming(end, 320_000.0, 0.01));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateTracker {
+    start: SimTime,
+    bytes: u64,
+    ops: u64,
+    errors: u64,
+}
+
+impl RateTracker {
+    /// Begins tracking at `start`.
+    pub fn start(start: SimTime) -> Self {
+        RateTracker {
+            start,
+            bytes: 0,
+            ops: 0,
+            errors: 0,
+        }
+    }
+
+    /// Records one completed operation that transferred `bytes` payload bytes;
+    /// `error` marks it as failed (failed operations still count transferred
+    /// bytes, matching how an HTTP client observes a truncated body).
+    pub fn record_op(&mut self, bytes: u64, error: bool) {
+        self.bytes += bytes;
+        self.ops += 1;
+        if error {
+            self.errors += 1;
+        }
+    }
+
+    /// Total payload bytes observed.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total operations observed.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total failed operations observed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Fraction of operations that failed, in `[0, 1]`; `0.0` when idle.
+    pub fn error_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.ops as f64
+        }
+    }
+
+    /// Average bit rate (bits per simulated second) as of `now`; `0.0` if no
+    /// time elapsed.
+    pub fn bit_rate_at(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.start);
+        if dt.is_zero() {
+            0.0
+        } else {
+            (self.bytes * 8) as f64 / dt.as_secs_f64()
+        }
+    }
+
+    /// Applies the SPECWeb99 conformance rule: average bit rate at least
+    /// `min_bits_per_sec` *and* error rate strictly below `max_error_rate`.
+    /// An idle connection (no operations) is not conforming.
+    pub fn is_conforming(&self, now: SimTime, min_bits_per_sec: f64, max_error_rate: f64) -> bool {
+        self.ops > 0
+            && self.bit_rate_at(now) >= min_bits_per_sec
+            && self.error_rate() < max_error_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KBPS_320: f64 = 320_000.0;
+
+    #[test]
+    fn conforming_fast_clean_connection() {
+        let mut t = RateTracker::start(SimTime::ZERO);
+        for _ in 0..100 {
+            t.record_op(50_000, false);
+        }
+        let end = SimTime::from_secs(60);
+        // 5 MB over 60 s = ~667 kbps
+        assert!(t.is_conforming(end, KBPS_320, 0.01));
+    }
+
+    #[test]
+    fn slow_connection_not_conforming() {
+        let mut t = RateTracker::start(SimTime::ZERO);
+        t.record_op(100_000, false); // 100 kB over 60 s = ~13 kbps
+        assert!(!t.is_conforming(SimTime::from_secs(60), KBPS_320, 0.01));
+    }
+
+    #[test]
+    fn errors_break_conformance_even_when_fast() {
+        let mut t = RateTracker::start(SimTime::ZERO);
+        for i in 0..100 {
+            t.record_op(1_000_000, i % 50 == 0); // 2% errors
+        }
+        let end = SimTime::from_secs(10);
+        assert!(t.bit_rate_at(end) > KBPS_320);
+        assert!(!t.is_conforming(end, KBPS_320, 0.01));
+        assert!((t.error_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_connection_not_conforming() {
+        let t = RateTracker::start(SimTime::ZERO);
+        assert!(!t.is_conforming(SimTime::from_secs(60), KBPS_320, 0.01));
+        assert_eq!(t.error_rate(), 0.0);
+        assert_eq!(t.bit_rate_at(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = RateTracker::start(SimTime::from_secs(1));
+        t.record_op(10, true);
+        t.record_op(20, false);
+        assert_eq!(t.bytes(), 30);
+        assert_eq!(t.ops(), 2);
+        assert_eq!(t.errors(), 1);
+    }
+
+    #[test]
+    fn exact_threshold_is_conforming() {
+        let mut t = RateTracker::start(SimTime::ZERO);
+        t.record_op(40_000, false); // 320k bits over 1 s = exactly 320 kbps
+        assert!(t.is_conforming(SimTime::from_secs(1), KBPS_320, 0.01));
+    }
+}

@@ -1,0 +1,225 @@
+//! Seeded randomness.
+//!
+//! [`SimRng`] is the single entropy source of the whole benchmark. Everything
+//! that needs randomness (workload mix, request sizes, think times, fault
+//! ordering) derives from one seed, making entire campaigns reproducible —
+//! the *repeatability* property the paper requires of a faultload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number generator with convenience samplers.
+///
+/// # Example
+///
+/// ```
+/// use simkit::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; `salt` distinguishes children
+    /// of the same parent deterministically.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let base = self.inner.next_u64();
+        SimRng::seed_from_u64(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A uniform index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index() on empty collection");
+        self.inner.gen_range(0..len)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples an index according to non-negative `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weighted() needs a positive-mass distribution"
+        );
+        let mut x = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// A Zipf-like sample over `[0, n)` with exponent `s` — used by the
+    /// SPECWeb-like file-set popularity model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf() over empty support");
+        // Inverse-CDF over the finite harmonic mass. n is small (file classes),
+        // so the linear scan is fine and keeps the sampler allocation-free.
+        let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut x = self.unit() * h;
+        for k in 1..=n {
+            let w = 1.0 / (k as f64).powf(s);
+            if x < w {
+                return k - 1;
+            }
+            x -= w;
+        }
+        n - 1
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(123);
+        let mut b = SimRng::seed_from_u64(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut p1 = SimRng::seed_from_u64(9);
+        let mut p2 = SimRng::seed_from_u64(9);
+        let mut c1 = p1.fork(1);
+        let mut c2 = p2.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut d = p1.fork(2);
+        assert_ne!(c1.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn weighted_respects_mass() {
+        let mut r = SimRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted(&[0.7, 0.2, 0.1])] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        let p0 = counts[0] as f64 / 30_000.0;
+        assert!((p0 - 0.7).abs() < 0.02, "p0 = {p0}");
+    }
+
+    #[test]
+    fn zipf_prefers_small_indices() {
+        let mut r = SimRng::seed_from_u64(6);
+        let mut counts = [0u32; 8];
+        for _ in 0..20_000 {
+            counts[r.zipf(8, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[0] > counts[7] * 3);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::seed_from_u64(7);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_rejects_empty() {
+        SimRng::seed_from_u64(0).range(3, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_within_bounds(seed: u64, lo in 0u64..100, width in 1u64..100) {
+            let mut r = SimRng::seed_from_u64(seed);
+            let v = r.range(lo, lo + width);
+            prop_assert!(v >= lo && v < lo + width);
+        }
+
+        #[test]
+        fn prop_unit_in_unit_interval(seed: u64) {
+            let mut r = SimRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                let u = r.unit();
+                prop_assert!((0.0..1.0).contains(&u));
+            }
+        }
+
+        #[test]
+        fn prop_zipf_in_support(seed: u64, n in 1usize..64) {
+            let mut r = SimRng::seed_from_u64(seed);
+            let k = r.zipf(n, 1.0);
+            prop_assert!(k < n);
+        }
+    }
+}

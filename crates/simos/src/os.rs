@@ -1,0 +1,693 @@
+//! The OS façade: boot, API dispatch, tracing and containment.
+//!
+//! One [`Os`] value is one booted OS instance: a compiled edition image, a
+//! data memory holding the kernel structures, a VM, and the device store.
+//! Benchmark targets call into it through [`Os::call`]; every call is
+//! traced (function → count) for the profiling phase, and every abnormal
+//! outcome is contained as an [`OsCallError`] instead of unwinding into the
+//! caller — the benchmark target decides what a failed OS service does to
+//! it, which is precisely the property the benchmark measures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use minic::Program;
+use mvm::{CallError, Memory, Trap, Vm, VmConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::api::OsApi;
+use crate::device::DeviceStore;
+use crate::source::{os_source, MEM_SIZE};
+
+/// OS edition — the paper benchmarks Windows 2000 SP4 and Windows XP SP1;
+/// these are their SimOS analogues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Edition {
+    /// Compact build (≈ Windows 2000 SP4).
+    Nimbus2000,
+    /// Larger, more defensive build (≈ Windows XP SP1).
+    NimbusXp,
+}
+
+impl Edition {
+    /// Both editions, campaign order.
+    pub const ALL: [Edition; 2] = [Edition::Nimbus2000, Edition::NimbusXp];
+
+    /// Short machine-friendly name (also the image name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Edition::Nimbus2000 => "nimbus-2000",
+            Edition::NimbusXp => "nimbus-xp",
+        }
+    }
+
+    /// The OS the edition stands in for.
+    pub fn paper_analogue(self) -> &'static str {
+        match self {
+            Edition::Nimbus2000 => "Windows 2000 SP4",
+            Edition::NimbusXp => "Windows XP SP1",
+        }
+    }
+}
+
+impl fmt::Display for Edition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Successful API call: the returned value plus its simulated cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallResult {
+    /// The function's return value (statuses are negative, see OS source).
+    pub value: i64,
+    /// Simulated cost units (instructions executed + device transfer cost).
+    pub cost: u64,
+}
+
+/// A contained abnormal outcome of an OS call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OsCallError {
+    /// The OS code trapped (crash) or exhausted its budget (hang).
+    Trap(Trap),
+    /// Host-side failure (unknown symbol — indicates a build problem).
+    Internal(String),
+}
+
+impl OsCallError {
+    /// The trap, when the error is one.
+    pub fn trap(&self) -> Option<Trap> {
+        match self {
+            OsCallError::Trap(t) => Some(*t),
+            OsCallError::Internal(_) => None,
+        }
+    }
+
+    /// True when the failure models a hang rather than a crash.
+    pub fn is_hang(&self) -> bool {
+        self.trap().is_some_and(Trap::is_hang)
+    }
+}
+
+impl fmt::Display for OsCallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsCallError::Trap(t) => write!(f, "os call trapped: {t}"),
+            OsCallError::Internal(m) => write!(f, "os internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OsCallError {}
+
+/// A booted SimOS instance.
+#[derive(Debug)]
+pub struct Os {
+    edition: Edition,
+    program: Program,
+    mem: Memory,
+    vm: Vm,
+    devices: DeviceStore,
+    api_counts: BTreeMap<OsApi, u64>,
+    calls_total: u64,
+}
+
+impl Os {
+    /// Compiles the edition's source, boots kernel structures and returns a
+    /// ready OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns a compile/boot description on failure (which would be a bug
+    /// in the embedded OS source, covered by tests).
+    pub fn boot(edition: Edition) -> Result<Os, String> {
+        Self::boot_with_budget(edition, VmConfig::default().budget)
+    }
+
+    /// [`Os::boot`] with an explicit per-call instruction budget (smaller
+    /// budgets make hang detection faster in tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`Os::boot`].
+    pub fn boot_with_budget(edition: Edition, budget: u64) -> Result<Os, String> {
+        let program = minic::compile(edition.name(), &os_source(edition))
+            .map_err(|e| format!("OS source does not compile: {e}"))?;
+        let mut os = Os {
+            edition,
+            program,
+            mem: Memory::new(MEM_SIZE),
+            vm: Vm::with_config(VmConfig {
+                budget,
+                ..VmConfig::default()
+            }),
+            devices: DeviceStore::new(),
+            api_counts: BTreeMap::new(),
+            calls_total: 0,
+        };
+        os.reset_state()?;
+        Ok(os)
+    }
+
+    /// Re-initializes kernel structures (fresh heap, tables, globals)
+    /// without touching the code image — so an injected fault stays in
+    /// place, but state corruption from previous activations is cleared.
+    /// Models the rest interval between benchmark slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a trap during boot as text (possible when a fault is
+    /// injected into code the boot path shares).
+    pub fn reset_state(&mut self) -> Result<(), String> {
+        self.mem.clear();
+        for &(addr, value) in self.program.global_inits() {
+            self.mem
+                .write(addr, value)
+                .map_err(|e| format!("global init: {e}"))?;
+        }
+        self.vm
+            .call(
+                self.program.image(),
+                &mut self.mem,
+                &mut self.devices,
+                "os_boot",
+                &[],
+            )
+            .map_err(|e| format!("os_boot failed: {e}"))?;
+        Ok(())
+    }
+
+    /// The booted edition.
+    pub fn edition(&self) -> Edition {
+        self.edition
+    }
+
+    /// The compiled OS program (image + ground-truth metadata).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Mutable image access — the injector's patch point.
+    pub fn image_mut(&mut self) -> &mut mvm::CodeImage {
+        self.program.image_mut()
+    }
+
+    /// The device store (to populate files).
+    pub fn devices(&self) -> &DeviceStore {
+        &self.devices
+    }
+
+    /// Mutable device store access.
+    pub fn devices_mut(&mut self) -> &mut DeviceStore {
+        &mut self.devices
+    }
+
+    /// Calls an OS API function.
+    ///
+    /// # Errors
+    ///
+    /// [`OsCallError::Trap`] when the (possibly mutated) OS code crashes or
+    /// hangs; [`OsCallError::Internal`] when the symbol is missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `args.len()` does not match the function arity — that is
+    /// a caller bug, not a benchmark observation.
+    pub fn call(&mut self, api: OsApi, args: &[i64]) -> Result<CallResult, OsCallError> {
+        assert_eq!(
+            args.len(),
+            api.arity(),
+            "{api} takes {} argument(s)",
+            api.arity()
+        );
+        *self.api_counts.entry(api).or_insert(0) += 1;
+        self.calls_total += 1;
+        match self.vm.call(
+            self.program.image(),
+            &mut self.mem,
+            &mut self.devices,
+            api.symbol(),
+            args,
+        ) {
+            Ok(out) => Ok(CallResult {
+                value: out.return_value,
+                cost: out.executed + self.devices.take_cost(),
+            }),
+            Err(CallError::Trap(t)) => {
+                self.devices.take_cost();
+                Err(OsCallError::Trap(t))
+            }
+            Err(CallError::UnknownFunction(n)) => Err(OsCallError::Internal(format!(
+                "symbol `{n}` not linked"
+            ))),
+        }
+    }
+
+    /// Host-side write of a NUL-terminated string into OS memory (models a
+    /// user-space buffer the caller owns).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the buffer does not fit.
+    pub fn poke_cstr(&mut self, addr: i64, s: &str) -> Result<(), String> {
+        self.mem.write_cstr(addr, s).map_err(|e| e.to_string())
+    }
+
+    /// Host-side read of a NUL-terminated string from OS memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on out-of-bounds reads.
+    pub fn peek_cstr(&self, addr: i64, max_len: usize) -> Result<String, String> {
+        self.mem.read_cstr(addr, max_len).map_err(|e| e.to_string())
+    }
+
+    /// Host-side single-cell read.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on out-of-bounds access.
+    pub fn peek(&self, addr: i64) -> Result<i64, String> {
+        self.mem.read(addr).map_err(|e| e.to_string())
+    }
+
+    /// Host-side block read.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on out-of-bounds access.
+    pub fn peek_block(&self, addr: i64, len: usize) -> Result<Vec<i64>, String> {
+        self.mem.read_block(addr, len).map_err(|e| e.to_string())
+    }
+
+    /// Host-side single-cell write.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on out-of-bounds access.
+    pub fn poke(&mut self, addr: i64, value: i64) -> Result<(), String> {
+        self.mem.write(addr, value).map_err(|e| e.to_string())
+    }
+
+    /// Enables per-address VM execution counting (offline cost studies).
+    pub fn enable_cost_profiling(&mut self) {
+        let len = self.program.image().len();
+        self.vm.enable_profiling(len);
+    }
+
+    /// Instructions executed per linked function since
+    /// [`Os::enable_cost_profiling`], sorted by function name. Empty when
+    /// profiling is disabled.
+    pub fn function_costs(&self) -> Vec<(String, u64)> {
+        let Some(counts) = self.vm.profile() else {
+            return Vec::new();
+        };
+        let mut out: Vec<(String, u64)> = self
+            .program
+            .image()
+            .funcs()
+            .iter()
+            .map(|f| {
+                let total: u64 = (f.entry..f.end)
+                    .map(|a| counts.get(a as usize).copied().unwrap_or(0))
+                    .sum();
+                (f.name.clone(), total)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Per-function call counts since the last [`Os::clear_api_counts`] —
+    /// the raw material of the profiling phase.
+    pub fn api_counts(&self) -> &BTreeMap<OsApi, u64> {
+        &self.api_counts
+    }
+
+    /// Total API calls observed.
+    pub fn calls_total(&self) -> u64 {
+        self.calls_total
+    }
+
+    /// Resets the API trace.
+    pub fn clear_api_counts(&mut self) {
+        self.api_counts.clear();
+        self.calls_total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted() -> Os {
+        let mut os = Os::boot(Edition::Nimbus2000).expect("boots");
+        os.devices_mut().add_file("/web/index.html", b"<html>hi</html>");
+        os
+    }
+
+    /// Scratch area for test buffers, well away from kernel structures.
+    const SCRATCH: i64 = 210_000;
+
+    #[test]
+    fn boot_both_editions() {
+        for ed in Edition::ALL {
+            let os = Os::boot(ed).expect("boots");
+            assert_eq!(os.edition(), ed);
+        }
+    }
+
+    #[test]
+    fn heap_alloc_and_free_roundtrip() {
+        let mut os = booted();
+        let p1 = os.call(OsApi::RtlAllocateHeap, &[100]).unwrap().value;
+        let p2 = os.call(OsApi::RtlAllocateHeap, &[100]).unwrap().value;
+        assert!(p1 > 0 && p2 > 0 && p1 != p2);
+        // Blocks do not overlap.
+        assert!((p1 - p2).abs() >= 100);
+        assert_eq!(os.call(OsApi::RtlFreeHeap, &[p1]).unwrap().value, 0);
+        assert_eq!(os.call(OsApi::RtlFreeHeap, &[p2]).unwrap().value, 0);
+        // Double free is rejected (status, not crash).
+        assert!(os.call(OsApi::RtlFreeHeap, &[p2]).unwrap().value < 0);
+        // Bogus pointer rejected.
+        assert!(os.call(OsApi::RtlFreeHeap, &[12345]).unwrap().value < 0);
+        assert!(os.call(OsApi::RtlFreeHeap, &[0]).unwrap().value < 0);
+    }
+
+    #[test]
+    fn heap_exhaustion_returns_null() {
+        let mut os = booted();
+        // Ask for more than the heap region holds.
+        let p = os.call(OsApi::RtlAllocateHeap, &[1_000_000]).unwrap().value;
+        assert_eq!(p, 0);
+        assert_eq!(os.call(OsApi::RtlAllocateHeap, &[0]).unwrap().value, 0);
+        assert_eq!(os.call(OsApi::RtlAllocateHeap, &[-5]).unwrap().value, 0);
+    }
+
+    #[test]
+    fn path_conversion() {
+        let mut os = booted();
+        os.poke_cstr(SCRATCH, "C:\\web\\index.html").unwrap();
+        let rc = os
+            .call(OsApi::RtlDosPathToNative, &[SCRATCH, SCRATCH + 300])
+            .unwrap()
+            .value;
+        assert_eq!(rc, 0);
+        assert_eq!(
+            os.peek_cstr(SCRATCH + 300, 256).unwrap(),
+            "/web/index.html"
+        );
+        // Forward slashes pass through.
+        os.poke_cstr(SCRATCH, "C:/web/a.html").unwrap();
+        os.call(OsApi::RtlDosPathToNative, &[SCRATCH, SCRATCH + 300])
+            .unwrap();
+        assert_eq!(os.peek_cstr(SCRATCH + 300, 256).unwrap(), "/web/a.html");
+        // Invalid inputs are statuses, not crashes.
+        assert!(os
+            .call(OsApi::RtlDosPathToNative, &[0, SCRATCH + 300])
+            .unwrap()
+            .value < 0);
+    }
+
+    #[test]
+    fn xp_collapses_duplicate_separators() {
+        let mut os = Os::boot(Edition::NimbusXp).unwrap();
+        os.poke_cstr(SCRATCH, "C://web//a.html").unwrap();
+        os.call(OsApi::RtlDosPathToNative, &[SCRATCH, SCRATCH + 300])
+            .unwrap();
+        assert_eq!(os.peek_cstr(SCRATCH + 300, 256).unwrap(), "/web/a.html");
+    }
+
+    #[test]
+    fn file_open_read_close() {
+        let mut os = booted();
+        os.poke_cstr(SCRATCH, "/web/index.html").unwrap();
+        let h = os.call(OsApi::NtOpenFile, &[SCRATCH]).unwrap().value;
+        assert!(h > 0);
+        let buf = SCRATCH + 400;
+        let n = os.call(OsApi::ReadFile, &[h, buf, 6]).unwrap().value;
+        assert_eq!(n, 6);
+        assert_eq!(os.peek_cstr(buf, 6).unwrap(), "<html>");
+        // Sequential read continues at the file position.
+        let n = os.call(OsApi::ReadFile, &[h, buf, 100]).unwrap().value;
+        assert_eq!(n, 9); // "hi</html>"
+        assert_eq!(os.call(OsApi::CloseHandle, &[h]).unwrap().value, 0);
+        // Using the closed handle fails cleanly.
+        assert!(os.call(OsApi::ReadFile, &[h, buf, 4]).unwrap().value < 0);
+        assert!(os.call(OsApi::CloseHandle, &[h]).unwrap().value < 0);
+    }
+
+    #[test]
+    fn set_file_pointer_seeks() {
+        let mut os = booted();
+        os.poke_cstr(SCRATCH, "/web/index.html").unwrap();
+        let h = os.call(OsApi::NtOpenFile, &[SCRATCH]).unwrap().value;
+        let old = os.call(OsApi::SetFilePointer, &[h, 6]).unwrap().value;
+        assert_eq!(old, 0);
+        let buf = SCRATCH + 400;
+        os.call(OsApi::ReadFile, &[h, buf, 2]).unwrap();
+        assert_eq!(os.peek_cstr(buf, 2).unwrap(), "hi");
+    }
+
+    #[test]
+    fn create_and_write_file() {
+        let mut os = booted();
+        os.poke_cstr(SCRATCH, "/web/post.dat").unwrap();
+        let h = os.call(OsApi::NtCreateFile, &[SCRATCH]).unwrap().value;
+        assert!(h > 0);
+        os.poke_cstr(SCRATCH + 400, "data").unwrap();
+        let n = os
+            .call(OsApi::WriteFile, &[h, SCRATCH + 400, 4])
+            .unwrap()
+            .value;
+        assert_eq!(n, 4);
+        os.call(OsApi::CloseHandle, &[h]).unwrap();
+        assert_eq!(os.devices().file_size("/web/post.dat"), Some(4));
+    }
+
+    #[test]
+    fn missing_file_is_a_status() {
+        let mut os = booted();
+        os.poke_cstr(SCRATCH, "/nope.html").unwrap();
+        let h = os.call(OsApi::NtOpenFile, &[SCRATCH]).unwrap().value;
+        assert!(h < 0);
+    }
+
+    #[test]
+    fn critical_sections_nest() {
+        let mut os = booted();
+        let cs = crate::source::CS_REGION;
+        assert_eq!(
+            os.call(OsApi::RtlEnterCriticalSection, &[cs]).unwrap().value,
+            0
+        );
+        assert_eq!(
+            os.call(OsApi::RtlEnterCriticalSection, &[cs]).unwrap().value,
+            0
+        );
+        assert_eq!(os.peek(cs).unwrap(), 2);
+        os.call(OsApi::RtlLeaveCriticalSection, &[cs]).unwrap();
+        os.call(OsApi::RtlLeaveCriticalSection, &[cs]).unwrap();
+        assert_eq!(os.peek(cs).unwrap(), 0);
+        // Leaving an unowned section is a status error.
+        assert!(os.call(OsApi::RtlLeaveCriticalSection, &[cs]).unwrap().value < 0);
+    }
+
+    #[test]
+    fn corrupted_lock_hangs_and_is_contained() {
+        let mut os = Os::boot_with_budget(Edition::Nimbus2000, 50_000).unwrap();
+        let cs = crate::source::CS_REGION;
+        // Corrupt the lock: count 1, owner someone else.
+        os.poke(cs, 1).unwrap();
+        os.poke(cs + 1, 77).unwrap();
+        let err = os.call(OsApi::RtlEnterCriticalSection, &[cs]).unwrap_err();
+        assert!(err.is_hang());
+    }
+
+    #[test]
+    fn strings_and_unicode() {
+        let mut os = booted();
+        os.poke_cstr(SCRATCH, "hello").unwrap();
+        let s = SCRATCH + 300;
+        os.call(OsApi::RtlInitAnsiString, &[s, SCRATCH]).unwrap();
+        assert_eq!(os.peek(s).unwrap(), 5);
+        assert_eq!(os.peek(s + 2).unwrap(), SCRATCH);
+        os.call(OsApi::RtlInitUnicodeString, &[s, SCRATCH]).unwrap();
+        assert_eq!(os.peek(s).unwrap(), 10);
+        let dst = SCRATCH + 500;
+        let n = os
+            .call(OsApi::RtlUnicodeToMultibyte, &[dst, SCRATCH, 100])
+            .unwrap()
+            .value;
+        assert_eq!(n, 5);
+        assert_eq!(os.peek_cstr(dst, 100).unwrap(), "hello");
+    }
+
+    #[test]
+    fn free_unicode_string_releases_heap_buffer() {
+        let mut os = booted();
+        let buf = os.call(OsApi::RtlAllocateHeap, &[32]).unwrap().value;
+        os.poke_cstr(buf, "abc").unwrap();
+        let s = SCRATCH;
+        os.call(OsApi::RtlInitUnicodeString, &[s, buf]).unwrap();
+        assert_eq!(
+            os.call(OsApi::RtlFreeUnicodeString, &[s]).unwrap().value,
+            0
+        );
+        assert_eq!(os.peek(s + 2).unwrap(), 0);
+        // The buffer went back to the heap: the next alloc can reuse it.
+        let again = os.call(OsApi::RtlAllocateHeap, &[32]).unwrap().value;
+        assert!(again > 0);
+    }
+
+    #[test]
+    fn virtual_memory_protection_table() {
+        let mut os = booted();
+        let old = os
+            .call(OsApi::NtProtectVirtualMemory, &[70_000, 128, 4])
+            .unwrap()
+            .value;
+        assert_eq!(old, 0);
+        assert_eq!(
+            os.call(OsApi::NtQueryVirtualMemory, &[70_000]).unwrap().value,
+            4
+        );
+        let old = os
+            .call(OsApi::NtProtectVirtualMemory, &[70_000, 128, 2])
+            .unwrap()
+            .value;
+        assert_eq!(old, 4);
+        assert_eq!(
+            os.call(OsApi::NtQueryVirtualMemory, &[99_999]).unwrap().value,
+            0
+        );
+    }
+
+    #[test]
+    fn api_trace_counts_calls() {
+        let mut os = booted();
+        os.call(OsApi::RtlAllocateHeap, &[8]).unwrap();
+        os.call(OsApi::RtlAllocateHeap, &[8]).unwrap();
+        os.call(OsApi::NtQueryVirtualMemory, &[0]).unwrap();
+        assert_eq!(os.api_counts()[&OsApi::RtlAllocateHeap], 2);
+        assert_eq!(os.calls_total(), 3);
+        os.clear_api_counts();
+        assert!(os.api_counts().is_empty());
+        assert_eq!(os.calls_total(), 0);
+    }
+
+    #[test]
+    fn reset_state_clears_corruption_keeps_files() {
+        let mut os = booted();
+        let p = os.call(OsApi::RtlAllocateHeap, &[64]).unwrap().value;
+        assert!(p > 0);
+        os.reset_state().unwrap();
+        assert_eq!(os.devices().file_count(), 1);
+        // Heap is fresh again.
+        let p2 = os.call(OsApi::RtlAllocateHeap, &[64]).unwrap().value;
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn call_cost_scales_with_io_volume() {
+        let mut os = booted();
+        os.devices_mut().add_file("/big", &vec![7u8; 4000]);
+        os.poke_cstr(SCRATCH, "/big").unwrap();
+        let h = os.call(OsApi::NtOpenFile, &[SCRATCH]).unwrap().value;
+        let small = os
+            .call(OsApi::ReadFile, &[h, SCRATCH + 400, 10])
+            .unwrap()
+            .cost;
+        let large = os
+            .call(OsApi::ReadFile, &[h, SCRATCH + 400, 3000])
+            .unwrap()
+            .cost;
+        assert!(large > small + 2000, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn cost_profiling_attributes_instructions_to_functions() {
+        let mut os = booted();
+        os.enable_cost_profiling();
+        os.call(OsApi::RtlAllocateHeap, &[32]).unwrap();
+        let costs = os.function_costs();
+        let alloc = costs
+            .iter()
+            .find(|(n, _)| n == "rtl_allocate_heap")
+            .unwrap();
+        assert!(alloc.1 > 10, "alloc cost {}", alloc.1);
+        let never = costs.iter().find(|(n, _)| n == "nt_write_file").unwrap();
+        assert_eq!(never.1, 0);
+        // Total attribution is consistent with the call outcome.
+        let total: u64 = costs.iter().map(|(_, c)| c).sum();
+        assert!(total >= alloc.1);
+    }
+
+    #[test]
+    fn registry_set_query_delete_enumerate() {
+        let mut os = booted();
+        os.poke_cstr(SCRATCH, "config/port").unwrap();
+        assert_eq!(
+            os.call(OsApi::NtSetValueKey, &[SCRATCH, 8080]).unwrap().value,
+            0
+        );
+        assert_eq!(
+            os.call(OsApi::NtQueryValueKey, &[SCRATCH]).unwrap().value,
+            8080
+        );
+        // Overwrite in place.
+        os.call(OsApi::NtSetValueKey, &[SCRATCH, 9090]).unwrap();
+        assert_eq!(
+            os.call(OsApi::NtQueryValueKey, &[SCRATCH]).unwrap().value,
+            9090
+        );
+        // Enumerate sees it.
+        assert_eq!(
+            os.call(OsApi::NtEnumerateValueKey, &[0]).unwrap().value,
+            9090
+        );
+        // Delete, then the key misses.
+        assert_eq!(
+            os.call(OsApi::NtDeleteValueKey, &[SCRATCH]).unwrap().value,
+            0
+        );
+        assert!(os.call(OsApi::NtQueryValueKey, &[SCRATCH]).unwrap().value < 0);
+        assert!(os.call(OsApi::NtDeleteValueKey, &[SCRATCH]).unwrap().value < 0);
+        // Invalid args are statuses.
+        assert!(os.call(OsApi::NtQueryValueKey, &[0]).unwrap().value < 0);
+        assert!(os.call(OsApi::NtEnumerateValueKey, &[-1]).unwrap().value < 0);
+    }
+
+    #[test]
+    fn registry_distinct_keys_coexist() {
+        let mut os = booted();
+        for i in 0..10 {
+            os.poke_cstr(SCRATCH, &format!("config/key{i}")).unwrap();
+            os.call(OsApi::NtSetValueKey, &[SCRATCH, 100 + i]).unwrap();
+        }
+        for i in 0..10 {
+            os.poke_cstr(SCRATCH, &format!("config/key{i}")).unwrap();
+            assert_eq!(
+                os.call(OsApi::NtQueryValueKey, &[SCRATCH]).unwrap().value,
+                100 + i
+            );
+        }
+    }
+
+    #[test]
+    fn registry_survives_until_reset() {
+        let mut os = booted();
+        os.poke_cstr(SCRATCH, "config/x").unwrap();
+        os.call(OsApi::NtSetValueKey, &[SCRATCH, 7]).unwrap();
+        os.reset_state().unwrap();
+        os.poke_cstr(SCRATCH, "config/x").unwrap();
+        assert!(os.call(OsApi::NtQueryValueKey, &[SCRATCH]).unwrap().value < 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 1 argument")]
+    fn arity_is_enforced() {
+        let mut os = booted();
+        let _ = os.call(OsApi::NtClose, &[1, 2]);
+    }
+}

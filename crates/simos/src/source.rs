@@ -1,0 +1,1083 @@
+//! The OS source code (MiniC) for both editions.
+//!
+//! The OS is real code: a first-fit heap allocator, a handle table, path
+//! conversion, string routines, critical sections and a virtual-memory
+//! protection table — all compiled to MVM machine code, which is what the
+//! G-SWFIT scanner mutates. The XP-like edition adds validation, auditing
+//! and hardening blocks, growing the code (and therefore the faultload)
+//! substantially, as in the paper's Table 3.
+
+use crate::os::Edition;
+
+/// Hypercall numbers understood by the device layer.
+pub mod hc {
+    /// `lookup(path) -> file_id | -1`
+    pub const LOOKUP: i32 = 1;
+    /// `size(file_id) -> len | -1`
+    pub const SIZE: i32 = 2;
+    /// `read(file_id, off, dst, len) -> n | -1`
+    pub const READ: i32 = 3;
+    /// `write(file_id, off, src, len) -> n | -1`
+    pub const WRITE: i32 = 4;
+    /// `create(path) -> file_id | -1`
+    pub const CREATE: i32 = 5;
+}
+
+/// Data-memory size for an OS machine (cells).
+pub const MEM_SIZE: usize = 262_144;
+
+/// Start of the region reserved for caller critical-section structures.
+pub const CS_REGION: i64 = 4096;
+
+/// Produces the complete MiniC source for an edition.
+pub fn os_source(edition: Edition) -> String {
+    let xp = edition == Edition::NimbusXp;
+    let mut s = String::with_capacity(32 * 1024);
+
+    s.push_str(
+        r#"
+// ===================================================================
+// SimOS services layer. Modules: ntcore (rtl_* / nt_*), kbase (k32-like).
+// ===================================================================
+
+const HC_LOOKUP = 1;
+const HC_SIZE = 2;
+const HC_READ = 3;
+const HC_WRITE = 4;
+const HC_CREATE = 5;
+
+const E_OK = 0;
+const E_INVALID = -1;
+const E_NOMEM = -2;
+const E_NOTFOUND = -3;
+const E_BADHANDLE = -4;
+const E_BUSY = -5;
+
+const HTAB_BASE = 1024;
+const HTAB_COUNT = 64;
+const HSLOT_SIZE = 8;
+const PROT_BASE = 2048;
+const PROT_COUNT = 64;
+const PSLOT_SIZE = 4;
+const AUDIT_BASE = 3072;
+const AUDIT_SIZE = 256;
+const HEAP_BASE = 8192;
+const HEAP_END = 196608;
+const ALLOC_MAGIC = 23057;
+const MAX_PATH = 256;
+const MODE_READ = 1;
+const MODE_WRITE = 2;
+const REG_BASE = 5120;
+const REG_COUNT = 96;
+const RSLOT_SIZE = 4;
+const PF_BASE = 5632;
+const PF_COUNT = 64;
+const PF_SLOT = 3;
+
+global heap_free_head = 0;
+global heap_init_done = 0;
+global alloc_count = 0;
+global free_count = 0;
+global open_files = 0;
+global audit_pos = 0;
+global cs_contentions = 0;
+global reg_entries = 0;
+"#,
+    );
+
+    if xp {
+        s.push_str(
+            r#"
+// --- XP-edition bookkeeping ------------------------------------------
+global alloc_bytes = 0;
+global free_errors = 0;
+global io_reads = 0;
+global io_writes = 0;
+global path_conversions = 0;
+global close_count = 0;
+"#,
+        );
+    }
+
+    if xp {
+        // XP-only integrity subsystem: periodic self-checks over kernel
+        // structures (the kind of defensive code that made XP's system
+        // modules substantially larger than 2000's).
+        s.push_str(
+            r#"
+// --- XP-edition integrity subsystem ------------------------------------
+
+fn heap_validate() {
+    var cur = 0;
+    var count = 0;
+    var bad = 0;
+    cur = heap_free_head;
+    while (cur != 0 && count < 4096) {
+        if (cur < HEAP_BASE || cur >= HEAP_END) {
+            bad = bad + 1;
+            break;
+        }
+        if (mem[cur] <= 0) {
+            bad = bad + 1;
+            break;
+        }
+        count = count + 1;
+        cur = mem[cur + 1];
+    }
+    if (bad != 0) { audit_put(11); }
+    return bad;
+}
+
+fn ht_validate() {
+    var i = 0;
+    var used = 0;
+    while (i < HTAB_COUNT) {
+        if (mem[HTAB_BASE + i * HSLOT_SIZE] == 1) { used = used + 1; }
+        i = i + 1;
+    }
+    if (used != open_files) { audit_put(12); }
+    return used;
+}
+
+fn str_validate(p) {
+    var i = 0;
+    var c = 0;
+    if (p == 0) { return E_INVALID; }
+    while (i < 48) {
+        c = mem[p + i];
+        if (c == 0) { return i; }
+        if (c < 0 || c > 1114111) { return E_INVALID; }
+        i = i + 1;
+    }
+    return E_INVALID;
+}
+
+fn audit_snapshot(dst) {
+    var i = 0;
+    if (dst == 0) { return E_INVALID; }
+    while (i < AUDIT_SIZE) {
+        mem[dst + i] = mem[AUDIT_BASE + i];
+        i = i + 1;
+    }
+    return AUDIT_SIZE;
+}
+
+
+fn reg_validate() {
+    var i = 0;
+    var used = 0;
+    var slot = 0;
+    while (i < REG_COUNT) {
+        slot = REG_BASE + i * RSLOT_SIZE;
+        if (mem[slot] == 1) {
+            used = used + 1;
+            if (mem[slot + 1] == 0) { audit_put(23); }
+        }
+        i = i + 1;
+    }
+    if (used != reg_entries) { audit_put(24); }
+    return used;
+}
+
+fn pf_note_open(fid) {
+    var i = 0;
+    var slot = 0;
+    var free_slot = 0;
+    var cold = 0;
+    var cold_hits = 0;
+    free_slot = -1;
+    while (i < PF_COUNT) {
+        slot = PF_BASE + i * PF_SLOT;
+        if (mem[slot] == 1 && mem[slot + 1] == fid) {
+            mem[slot + 2] = mem[slot + 2] + 1;
+            return mem[slot + 2];
+        }
+        if (mem[slot] == 0 && free_slot < 0) { free_slot = slot; }
+        i = i + 1;
+    }
+    if (free_slot < 0) {
+        // Evict the coldest entry.
+        i = 0;
+        cold = PF_BASE;
+        cold_hits = mem[PF_BASE + 2];
+        while (i < PF_COUNT) {
+            slot = PF_BASE + i * PF_SLOT;
+            if (mem[slot + 2] < cold_hits) {
+                cold = slot;
+                cold_hits = mem[slot + 2];
+            }
+            i = i + 1;
+        }
+        free_slot = cold;
+        audit_put(25);
+    }
+    mem[free_slot] = 1;
+    mem[free_slot + 1] = fid;
+    mem[free_slot + 2] = 1;
+    return 1;
+}
+
+fn pf_hot_count(threshold) {
+    var i = 0;
+    var hot = 0;
+    while (i < PF_COUNT) {
+        if (mem[PF_BASE + i * PF_SLOT] == 1) {
+            if (mem[PF_BASE + i * PF_SLOT + 2] >= threshold) { hot = hot + 1; }
+        }
+        i = i + 1;
+    }
+    return hot;
+}
+
+fn quick_stats(dst) {
+    if (dst == 0) { return E_INVALID; }
+    mem[dst] = alloc_count;
+    mem[dst + 1] = free_count;
+    mem[dst + 2] = open_files;
+    mem[dst + 3] = io_reads;
+    mem[dst + 4] = io_writes;
+    mem[dst + 5] = free_errors;
+    mem[dst + 6] = path_conversions;
+    mem[dst + 7] = cs_contentions;
+    return 8;
+}
+"#,
+        );
+    }
+
+    // ---------------- internal helpers ----------------
+    s.push_str(
+        r#"
+// --- internal helpers --------------------------------------------------
+
+fn str_len(p) {
+    var n = 0;
+    if (p == 0) { return 0; }
+    while (n < MAX_PATH && mem[p + n] != 0) {
+        n = n + 1;
+    }
+    return n;
+}
+
+fn audit_put(code) {
+    mem[AUDIT_BASE + audit_pos] = code;
+    audit_pos = audit_pos + 1;
+    if (audit_pos >= AUDIT_SIZE) { audit_pos = 0; }
+    return 0;
+}
+
+fn ht_find_free() {
+    var i = 0;
+    while (i < HTAB_COUNT) {
+        if (mem[HTAB_BASE + i * HSLOT_SIZE] == 0) { return i; }
+        i = i + 1;
+    }
+    return E_NOMEM;
+}
+
+fn ht_install(fid, mode) {
+    var idx = 0;
+    var base = 0;
+    idx = ht_find_free();
+    if (idx < 0) { return E_NOMEM; }
+    base = HTAB_BASE + idx * HSLOT_SIZE;
+    mem[base] = 1;
+    mem[base + 1] = fid;
+    mem[base + 2] = 0;
+    mem[base + 3] = mode;
+    open_files = open_files + 1;
+    return idx + 1;
+}
+
+fn ht_slot(h) {
+    var idx = 0;
+    if (h <= 0 || h > HTAB_COUNT) { return E_BADHANDLE; }
+    idx = h - 1;
+    if (mem[HTAB_BASE + idx * HSLOT_SIZE] != 1) { return E_BADHANDLE; }
+    return HTAB_BASE + idx * HSLOT_SIZE;
+}
+
+fn os_boot() {
+    var i = 0;
+    mem[HEAP_BASE] = HEAP_END - HEAP_BASE;
+    mem[HEAP_BASE + 1] = 0;
+    heap_free_head = HEAP_BASE;
+    heap_init_done = 1;
+    i = 0;
+    while (i < HTAB_COUNT) {
+        mem[HTAB_BASE + i * HSLOT_SIZE] = 0;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < PROT_COUNT) {
+        mem[PROT_BASE + i * PSLOT_SIZE] = 0;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < AUDIT_SIZE) {
+        mem[AUDIT_BASE + i] = 0;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < REG_COUNT) {
+        mem[REG_BASE + i * RSLOT_SIZE] = 0;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < PF_COUNT) {
+        mem[PF_BASE + i * PF_SLOT] = 0;
+        i = i + 1;
+    }
+    reg_entries = 0;
+    audit_pos = 0;
+    open_files = 0;
+    alloc_count = 0;
+    free_count = 0;
+    return 0;
+}
+"#,
+    );
+
+    // ---------------- heap ----------------
+    s.push_str(
+        r#"
+// --- module ntcore: heap -----------------------------------------------
+
+fn rtl_allocate_heap(size) {
+    var prev = 0;
+    var cur = 0;
+    var bsize = 0;
+    var need = 0;
+    var res = 0;
+"#,
+    );
+    if xp {
+        s.push_str("    var k = 0;\n");
+    }
+    s.push_str(
+        r#"
+    if (heap_init_done == 0) { return 0; }
+    if (size <= 0) { return 0; }
+    if (size > HEAP_END - HEAP_BASE) { return 0; }
+"#,
+    );
+    if xp {
+        // XP: size-class rounding for small allocations.
+        s.push_str("    if (size < 64) { size = ((size + 3) / 4) * 4; }\n");
+        s.push_str("    if (size == 0) { return 0; }\n");
+    }
+    s.push_str(
+        r#"
+    need = size + 2;
+    cur = heap_free_head;
+    while (cur != 0) {
+        bsize = mem[cur];
+        if (bsize >= need && bsize <= HEAP_END - HEAP_BASE) {
+            if (bsize >= need + 4) {
+                mem[cur] = bsize - need;
+                cur = cur + (bsize - need);
+                mem[cur] = need;
+            } else {
+                if (prev == 0) { heap_free_head = mem[cur + 1]; }
+                else { mem[prev + 1] = mem[cur + 1]; }
+            }
+            mem[cur + 1] = ALLOC_MAGIC;
+            alloc_count = alloc_count + 1;
+            res = cur + 2;
+"#,
+    );
+    if xp {
+        s.push_str(
+            r#"
+            alloc_bytes = alloc_bytes + size;
+            if (size <= 32) {
+                k = 0;
+                while (k < size) {
+                    mem[res + k] = 0;
+                    k = k + 1;
+                }
+            }
+            audit_put(1);
+            if (alloc_count % 256 == 0) { heap_validate(); }
+"#,
+        );
+    }
+    s.push_str(
+        r#"
+            return res;
+        }
+        prev = cur;
+        cur = mem[cur + 1];
+    }
+    return 0;
+}
+
+fn rtl_free_heap(p) {
+    var blk = 0;
+"#,
+    );
+    if xp {
+        s.push_str("    var scan = 0;\n");
+    }
+    s.push_str(
+        r#"
+    if (p == 0) { return E_INVALID; }
+    blk = p - 2;
+    if (blk < HEAP_BASE || blk >= HEAP_END) { return E_INVALID; }
+    if (mem[blk + 1] != ALLOC_MAGIC) { return E_INVALID; }
+"#,
+    );
+    if xp {
+        s.push_str(
+            r#"
+    // XP hardening: double-free audit over the free list.
+    if (free_count % 256 == 0) { heap_validate(); }
+    scan = heap_free_head;
+    while (scan != 0) {
+        if (scan == blk) {
+            free_errors = free_errors + 1;
+            audit_put(9);
+            return E_INVALID;
+        }
+        scan = mem[scan + 1];
+    }
+"#,
+        );
+    }
+    s.push_str(
+        r#"
+    mem[blk + 1] = heap_free_head;
+    heap_free_head = blk;
+    free_count = free_count + 1;
+    return E_OK;
+}
+"#,
+    );
+
+    // ---------------- strings & paths ----------------
+    s.push_str(
+        r#"
+// --- module ntcore: strings & paths -------------------------------------
+
+fn rtl_init_ansi_string(s, src) {
+    var n = 0;
+    if (s == 0) { return E_INVALID; }
+"#,
+    );
+    if xp {
+        // XP: character-range validation of the source string.
+        s.push_str("    if (src != 0 && str_validate(src) < 0) { return E_INVALID; }\n");
+    }
+    s.push_str(
+        r#"
+    n = str_len(src);
+    mem[s] = n;
+    mem[s + 1] = n + 1;
+    mem[s + 2] = src;
+    return E_OK;
+}
+
+fn rtl_init_unicode_string(s, src) {
+    var n = 0;
+    if (s == 0) { return E_INVALID; }
+    n = str_len(src);
+    mem[s] = n * 2;
+    mem[s + 1] = (n + 1) * 2;
+    mem[s + 2] = src;
+    return E_OK;
+}
+
+fn rtl_free_unicode_string(s) {
+    var buf = 0;
+    if (s == 0) { return E_INVALID; }
+    buf = mem[s + 2];
+    if (buf != 0) {
+        rtl_free_heap(buf);
+        mem[s + 2] = 0;
+    }
+    mem[s] = 0;
+    mem[s + 1] = 0;
+    return E_OK;
+}
+
+fn rtl_unicode_to_multibyte(dst, src, maxn) {
+    var i = 0;
+    var c = 0;
+    if (dst == 0 || src == 0 || maxn <= 0) { return E_INVALID; }
+"#,
+    );
+    if xp {
+        // XP: full character-range pre-validation pass.
+        s.push_str("    i = 0;\n");
+        s.push_str("    while (i < maxn - 1 && i < 24) {\n");
+        s.push_str("        c = mem[src + i];\n");
+        s.push_str("        if (c == 0) { break; }\n");
+        s.push_str("        if (c < 0 || c > 1114111) { return E_INVALID; }\n");
+        s.push_str("        i = i + 1;\n");
+        s.push_str("    }\n");
+        s.push_str("    i = 0;\n");
+    }
+    s.push_str(
+        r#"
+    c = mem[src];
+    while (i < maxn - 1 && c != 0) {
+        mem[dst + i] = c & 255;
+        i = i + 1;
+        c = mem[src + i];
+    }
+    mem[dst + i] = 0;
+    return i;
+}
+
+fn rtl_dos_path_to_native(src, dst) {
+    var i = 0;
+    var j = 0;
+    var c = 0;
+"#,
+    );
+    if xp {
+        s.push_str("    var last = 0;\n");
+    }
+    s.push_str(
+        r#"
+    if (src == 0 || dst == 0) { return E_INVALID; }
+    c = mem[src + 1];
+    if (c == ':') { i = 2; }
+    while (i < MAX_PATH) {
+        c = mem[src + i];
+        if (c == 0) { break; }
+        if (c == '\\') { c = '/'; }
+"#,
+    );
+    if xp {
+        s.push_str(
+            r#"
+        // XP: collapse duplicate separators.
+        if (c == '/' && last == '/') {
+            i = i + 1;
+            continue;
+        }
+        // XP: drop "./" segments.
+        if (c == '.' && last == '/') {
+            if (mem[src + i + 1] == '/' || mem[src + i + 1] == '\\') {
+                i = i + 2;
+                continue;
+            }
+        }
+        last = c;
+"#,
+        );
+    }
+    s.push_str(
+        r#"
+        mem[dst + j] = c;
+        i = i + 1;
+        j = j + 1;
+    }
+    mem[dst + j] = 0;
+"#,
+    );
+    if xp {
+        s.push_str("    path_conversions = path_conversions + 1;\n    audit_put(2);\n");
+    }
+    s.push_str(
+        r#"
+    if (j == 0) { return E_INVALID; }
+    if (mem[dst] != '/') { return E_INVALID; }
+    return E_OK;
+}
+"#,
+    );
+
+    // ---------------- critical sections ----------------
+    s.push_str(
+        r#"
+// --- module ntcore: critical sections -----------------------------------
+
+fn rtl_enter_critical_section(cs) {
+    var spins = 0;
+    if (cs == 0) { return E_INVALID; }
+    while (mem[cs] != 0 && mem[cs + 1] != 1) {
+        spins = spins + 1;
+        cs_contentions = cs_contentions + 1;
+"#,
+    );
+    if xp {
+        s.push_str(
+            r#"
+        if (spins > 100000) {
+            audit_put(7);
+            return E_BUSY;
+        }
+"#,
+        );
+    }
+    s.push_str(
+        r#"
+    }
+    mem[cs] = mem[cs] + 1;
+    mem[cs + 1] = 1;
+    mem[cs + 2] = mem[cs + 2] + 1;
+    return E_OK;
+}
+
+fn rtl_leave_critical_section(cs) {
+    if (cs == 0) { return E_INVALID; }
+    if (mem[cs] <= 0) { return E_INVALID; }
+"#,
+    );
+    if xp {
+        // XP: leaving a section owned by someone else is audited.
+        s.push_str("    if (mem[cs + 1] != 1) { audit_put(28); }\n");
+    }
+    s.push_str(
+        r#"
+    mem[cs] = mem[cs] - 1;
+    if (mem[cs] == 0) { mem[cs + 1] = 0; }
+    return E_OK;
+}
+"#,
+    );
+
+    // ---------------- files ----------------
+    s.push_str(
+        r#"
+// --- module ntcore: files ------------------------------------------------
+
+fn nt_open_file(path) {
+    var fid = 0;
+    if (path == 0) { return E_INVALID; }
+    if (mem[path] == 0) { return E_INVALID; }
+    fid = hcall(HC_LOOKUP, path);
+    if (fid < 0) {
+        audit_put(31);
+        return E_NOTFOUND;
+    }
+    audit_put(fid * 8 + 3);
+"#,
+    );
+    if xp {
+        // XP: the prefetcher records every open for readahead heuristics.
+        s.push_str("    pf_note_open(fid);\n");
+    }
+    s.push_str(
+        r#"
+    return ht_install(fid, MODE_READ);
+}
+
+fn nt_create_file(path) {
+    var fid = 0;
+    if (path == 0) { return E_INVALID; }
+    if (mem[path] == 0) { return E_INVALID; }
+    fid = hcall(HC_CREATE, path);
+    if (fid < 0) {
+        audit_put(32);
+        return E_NOTFOUND;
+    }
+    audit_put(fid * 8 + 5);
+    return ht_install(fid, MODE_WRITE);
+}
+
+fn nt_close(h) {
+    var base = 0;
+    base = ht_slot(h);
+    if (base < 0) { return E_BADHANDLE; }
+
+"#,
+    );
+    if xp {
+        // XP: periodic handle-table integrity audit on the close path.
+        s.push_str("    close_count = close_count + 1;\n");
+        s.push_str("    if (close_count % 32 == 0) { ht_validate(); }\n");
+        s.push_str("    if (mem[base + 3] == MODE_WRITE) { audit_put(26); }\n");
+    }
+    s.push_str(
+        r#"    mem[base] = 0;
+    mem[base + 1] = 0;
+    mem[base + 2] = 0;
+    mem[base + 3] = 0;
+    open_files = open_files - 1;
+    audit_put(h + 256);
+    return E_OK;
+}
+
+fn nt_read_file(h, buf, len) {
+    var base = 0;
+    var fid = 0;
+    var pos = 0;
+    var n = 0;
+"#,
+    );
+    if xp {
+        // XP needs a scratch local for the zero-pad loop below.
+        s.push_str("    var k = 0;\n");
+    }
+    s.push_str(
+        r#"
+    base = ht_slot(h);
+    if (base < 0) {
+        audit_put(33);
+        return E_BADHANDLE;
+    }
+    if (buf == 0 || len <= 0) { return E_INVALID; }
+    fid = mem[base + 1];
+    pos = mem[base + 2];
+    n = hcall(HC_READ, fid, pos, buf, len);
+    if (n > 0) { mem[base + 2] = pos + n; }
+"#,
+    );
+    if xp {
+        // XP: zero-pad the unread tail of the buffer (information-leak hardening).
+        s.push_str("    if (n > 0 && n < len) {\n");
+        s.push_str("        k = n;\n");
+        s.push_str("        while (k < len && k < n + 16) {\n");
+        s.push_str("            mem[buf + k] = 0;\n");
+        s.push_str("            k = k + 1;\n");
+        s.push_str("        }\n");
+        s.push_str("    }\n");
+    }
+    s.push('\n');
+    if xp {
+        s.push_str("    io_reads = io_reads + 1;\n");
+    }
+    s.push_str(
+        r#"
+    return n;
+}
+
+fn nt_write_file(h, buf, len) {
+    var base = 0;
+    var fid = 0;
+    var pos = 0;
+    var n = 0;
+    base = ht_slot(h);
+    if (base < 0) {
+        audit_put(34);
+        return E_BADHANDLE;
+    }
+    if (buf == 0 || len <= 0) { return E_INVALID; }
+"#,
+    );
+    if xp {
+        s.push_str(
+            r#"
+    if (mem[base + 3] != MODE_WRITE) {
+        audit_put(8);
+        return E_INVALID;
+    }
+"#,
+        );
+    }
+    s.push_str(
+        r#"
+    fid = mem[base + 1];
+    pos = mem[base + 2];
+    n = hcall(HC_WRITE, fid, pos, buf, len);
+    if (n > 0) { mem[base + 2] = pos + n; }
+"#,
+    );
+    if xp {
+        s.push_str("    io_writes = io_writes + 1;\n");
+    }
+    s.push_str(
+        r#"
+    return n;
+}
+"#,
+    );
+
+    // ---------------- virtual memory ----------------
+    s.push_str(
+        r#"
+// --- module ntcore: virtual memory ---------------------------------------
+
+fn nt_protect_virtual_memory(base, len, prot) {
+    var i = 0;
+    var slot = 0;
+    var old = 0;
+    var free_slot = 0;
+    if (len <= 0) { return E_INVALID; }
+    free_slot = -1;
+    while (i < PROT_COUNT) {
+        slot = PROT_BASE + i * PSLOT_SIZE;
+        if (mem[slot] == 1 && mem[slot + 1] == base) {
+            old = mem[slot + 3];
+            mem[slot + 2] = len;
+            mem[slot + 3] = prot;
+            return old;
+        }
+        if (mem[slot] == 0 && free_slot < 0) { free_slot = slot; }
+        i = i + 1;
+    }
+    if (free_slot < 0) { return E_NOMEM; }
+    mem[free_slot] = 1;
+    mem[free_slot + 1] = base;
+    mem[free_slot + 2] = len;
+    mem[free_slot + 3] = prot;
+    return 0;
+}
+
+fn nt_query_virtual_memory(base) {
+    var i = 0;
+    var slot = 0;
+    while (i < PROT_COUNT) {
+        slot = PROT_BASE + i * PSLOT_SIZE;
+        if (mem[slot] == 1 && mem[slot + 1] == base) {
+            return mem[slot + 3];
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+"#,
+    );
+
+    // ---------------- kbase wrappers ----------------
+    s.push_str(
+        r#"
+// --- module ntcore: registry (configuration store) ------------------------
+
+fn reg_hash(key) {
+    var h = 0;
+    var i = 0;
+    var c = 0;
+    if (key == 0) { return 0; }
+    while (i < MAX_PATH) {
+        c = mem[key + i];
+        if (c == 0) { break; }
+        h = (h * 31 + c) & 1048575;
+        i = i + 1;
+    }
+    if (h == 0) { h = 1; }
+    return h;
+}
+
+fn reg_find(h) {
+    var i = 0;
+    var slot = 0;
+    while (i < REG_COUNT) {
+        slot = REG_BASE + i * RSLOT_SIZE;
+        if (mem[slot] == 1 && mem[slot + 1] == h) { return slot; }
+        i = i + 1;
+    }
+    return E_NOTFOUND;
+}
+
+fn nt_set_value_key(key, value) {
+    var h = 0;
+    var slot = 0;
+    var i = 0;
+    var free_slot = 0;
+    if (key == 0) { return E_INVALID; }
+    h = reg_hash(key);
+    slot = reg_find(h);
+    if (slot >= 0) {
+        mem[slot + 2] = value;
+        return E_OK;
+    }
+    free_slot = -1;
+    i = 0;
+    while (i < REG_COUNT) {
+        slot = REG_BASE + i * RSLOT_SIZE;
+        if (mem[slot] == 0 && free_slot < 0) { free_slot = slot; }
+        i = i + 1;
+    }
+    if (free_slot < 0) {
+        audit_put(21);
+        return E_NOMEM;
+    }
+"#,
+    );
+    if xp {
+        // XP hardening: structural check before mutating the store.
+        s.push_str("    reg_validate();\n");
+    }
+    s.push_str(
+        r#"
+    mem[free_slot] = 1;
+    mem[free_slot + 1] = h;
+    mem[free_slot + 2] = value;
+    mem[free_slot + 3] = 0;
+    reg_entries = reg_entries + 1;
+    return E_OK;
+}
+
+fn nt_query_value_key(key) {
+    var slot = 0;
+    if (key == 0) { return E_INVALID; }
+    slot = reg_find(reg_hash(key));
+    if (slot < 0) { return E_NOTFOUND; }
+    mem[slot + 3] = mem[slot + 3] + 1;
+    return mem[slot + 2];
+}
+
+fn nt_delete_value_key(key) {
+    var slot = 0;
+    if (key == 0) { return E_INVALID; }
+    slot = reg_find(reg_hash(key));
+    if (slot < 0) { return E_NOTFOUND; }
+    mem[slot] = 0;
+    mem[slot + 1] = 0;
+    mem[slot + 2] = 0;
+    mem[slot + 3] = 0;
+    reg_entries = reg_entries - 1;
+    audit_put(22);
+    return E_OK;
+}
+
+fn nt_enumerate_value_key(index) {
+    var i = 0;
+    var seen = 0;
+    var slot = 0;
+    if (index < 0) { return E_INVALID; }
+    while (i < REG_COUNT) {
+        slot = REG_BASE + i * RSLOT_SIZE;
+        if (mem[slot] == 1) {
+            if (seen == index) { return mem[slot + 2]; }
+            seen = seen + 1;
+        }
+        i = i + 1;
+    }
+    return E_NOTFOUND;
+}
+
+// --- module kbase: validating wrappers ------------------------------------
+
+fn close_handle(h) {
+    if (h > 0 && h <= HTAB_COUNT) {
+        return nt_close(h);
+    }
+    audit_put(41);
+    return E_INVALID;
+}
+
+fn read_file(h, buf, len) {
+    if (h > 0 && buf > 0 && len > 0) {
+        h = h;
+    } else {
+        audit_put(42);
+        return E_INVALID;
+    }
+"#,
+    );
+    if xp {
+        s.push_str("    if (len > 65536) { return E_INVALID; }\n");
+    }
+    s.push_str(
+        r#"
+    return nt_read_file(h, buf, len);
+}
+
+fn write_file(h, buf, len) {
+    if (h > 0 && buf > 0 && len > 0) {
+        h = h;
+    } else {
+        audit_put(43);
+        return E_INVALID;
+    }
+"#,
+    );
+    if xp {
+        s.push_str("    if (len > 65536) { return E_INVALID; }\n");
+    }
+    s.push_str(
+        r#"
+    return nt_write_file(h, buf, len);
+}
+
+fn set_file_pointer(h, pos) {
+    var base = 0;
+    var old = 0;
+    if (h <= 0 || pos < 0) {
+        audit_put(44);
+        return E_INVALID;
+    }
+    base = ht_slot(h);
+    if (base < 0) { return E_BADHANDLE; }
+    old = mem[base + 2];
+"#,
+    );
+    if xp {
+        // XP: seeks past EOF are audited (readahead heuristics).
+        s.push_str("    if (pos > hcall(HC_SIZE, mem[base + 1]) + 1) { audit_put(27); }\n");
+    }
+    s.push_str(
+        r#"
+    mem[base + 2] = pos;
+    return old;
+}
+
+fn get_long_path_name(src, dst) {
+    var i = 0;
+    var c = 0;
+    if (src == 0 || dst == 0) { return E_INVALID; }
+    while (i < MAX_PATH) {
+        c = mem[src + i];
+        if (c == 0) { break; }
+        mem[dst + i] = c;
+        i = i + 1;
+    }
+"#,
+    );
+    if xp {
+        s.push_str(
+            r#"
+    // XP: strip trailing dots and spaces.
+    while (i > 0 && (mem[dst + i - 1] == '.' || mem[dst + i - 1] == ' ')) {
+        i = i - 1;
+    }
+"#,
+        );
+    }
+    s.push_str(
+        r#"
+    mem[dst + i] = 0;
+    if (i == 0) { return E_INVALID; }
+    return i;
+}
+"#,
+    );
+
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_editions_compile() {
+        for (ed, name) in [
+            (Edition::Nimbus2000, "nimbus-2000"),
+            (Edition::NimbusXp, "nimbus-xp"),
+        ] {
+            let src = os_source(ed);
+            let p = minic::compile(name, &src)
+                .unwrap_or_else(|e| panic!("{name} does not compile: {e}"));
+            assert!(p.image().len() > 200, "{name} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn xp_edition_is_substantially_larger() {
+        let w2k = minic::compile("w2k", &os_source(Edition::Nimbus2000)).unwrap();
+        let xp = minic::compile("xp", &os_source(Edition::NimbusXp)).unwrap();
+        let ratio = xp.image().len() as f64 / w2k.image().len() as f64;
+        assert!(
+            ratio > 1.2 && ratio < 2.5,
+            "xp/w2k code ratio {ratio} out of expected band"
+        );
+    }
+
+    #[test]
+    fn exports_all_21_api_functions() {
+        let p = minic::compile("w2k", &os_source(Edition::Nimbus2000)).unwrap();
+        for f in crate::api::OsApi::ALL {
+            assert!(
+                p.image().func(f.symbol()).is_some(),
+                "missing symbol {}",
+                f.symbol()
+            );
+        }
+    }
+}

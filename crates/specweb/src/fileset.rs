@@ -1,0 +1,179 @@
+//! The served document tree.
+//!
+//! SPECWeb99 organizes the file set into directories, each holding four
+//! *classes* of files by size, nine files per class, with fixed access
+//! probabilities per class (class 1 — around 10 kB in the original — gets
+//! half the traffic). We reproduce the structure at a scaled-down size; the
+//! contents are deterministic from a seed so every client knows the expected
+//! checksum of every file.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimRng;
+use simos::DeviceStore;
+use webserver::checksum_of;
+
+/// Number of size classes (fixed by SPECWeb99).
+pub const CLASSES: usize = 4;
+
+/// SPECWeb99 class access weights (class 0..3).
+pub const CLASS_WEIGHTS: [f64; CLASSES] = [0.35, 0.50, 0.14, 0.01];
+
+/// File-set shape.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FileSetConfig {
+    /// Number of directories.
+    pub dirs: usize,
+    /// Files per (directory, class).
+    pub files_per_class: usize,
+    /// Cells per file for each class (scaled-down SPECWeb99 sizes).
+    pub class_sizes: [usize; CLASSES],
+    /// Seed for the deterministic contents.
+    pub seed: u64,
+}
+
+impl Default for FileSetConfig {
+    fn default() -> Self {
+        FileSetConfig {
+            dirs: 6,
+            files_per_class: 4,
+            class_sizes: [512, 4096, 12288, 24576],
+            seed: 0x5EC_F11E,
+        }
+    }
+}
+
+/// One servable file, with the client-side knowledge needed for checking.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileEntry {
+    /// DOS-style path the client requests.
+    pub dos_path: String,
+    /// Native path stored on the device.
+    pub native_path: String,
+    /// Size class (0..4).
+    pub class: usize,
+    /// Length in cells.
+    pub len: u64,
+    /// Content checksum.
+    pub sum: i64,
+}
+
+/// The populated file set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FileSet {
+    config: FileSetConfig,
+    entries: Vec<FileEntry>,
+}
+
+impl FileSet {
+    /// Generates the tree and writes every file into `devices`.
+    pub fn populate(config: FileSetConfig, devices: &mut DeviceStore) -> FileSet {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let mut entries = Vec::new();
+        for d in 0..config.dirs {
+            for class in 0..CLASSES {
+                for f in 0..config.files_per_class {
+                    let native_path = format!("/web/dir{d}/class{class}_{f}");
+                    let dos_path = format!("C:\\web\\dir{d}\\class{class}_{f}");
+                    let len = config.class_sizes[class];
+                    let content: Vec<i64> =
+                        (0..len).map(|_| (rng.next_u64() & 0xFF) as i64).collect();
+                    let sum = checksum_of(&content);
+                    devices.add_file_cells(&native_path, content);
+                    entries.push(FileEntry {
+                        dos_path,
+                        native_path,
+                        class,
+                        len: len as u64,
+                        sum,
+                    });
+                }
+            }
+        }
+        FileSet { config, entries }
+    }
+
+    /// The shape used to build this set.
+    pub fn config(&self) -> &FileSetConfig {
+        &self.config
+    }
+
+    /// All files.
+    pub fn entries(&self) -> &[FileEntry] {
+        &self.entries
+    }
+
+    /// Files of one class.
+    pub fn class_entries(&self, class: usize) -> impl Iterator<Item = &FileEntry> {
+        self.entries.iter().filter(move |e| e.class == class)
+    }
+
+    /// Mean payload size in cells under the class access weights — used to
+    /// reason about expected aggregate bitrates.
+    pub fn weighted_mean_len(&self) -> f64 {
+        CLASS_WEIGHTS
+            .iter()
+            .zip(self.config.class_sizes.iter())
+            .map(|(w, s)| w * *s as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populates_every_directory_and_class() {
+        let mut dev = DeviceStore::new();
+        let fs = FileSet::populate(FileSetConfig::default(), &mut dev);
+        let cfg = FileSetConfig::default();
+        assert_eq!(
+            fs.entries().len(),
+            cfg.dirs * CLASSES * cfg.files_per_class
+        );
+        assert_eq!(dev.file_count(), fs.entries().len());
+        for e in fs.entries() {
+            assert_eq!(dev.file_size(&e.native_path), Some(e.len as usize));
+        }
+    }
+
+    #[test]
+    fn checksums_match_device_content() {
+        let mut dev = DeviceStore::new();
+        let fs = FileSet::populate(FileSetConfig::default(), &mut dev);
+        for e in fs.entries().iter().take(10) {
+            let content = dev.file(&e.native_path).unwrap();
+            assert_eq!(checksum_of(content), e.sum, "{}", e.native_path);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut d1 = DeviceStore::new();
+        let mut d2 = DeviceStore::new();
+        let a = FileSet::populate(FileSetConfig::default(), &mut d1);
+        let b = FileSet::populate(FileSetConfig::default(), &mut d2);
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn class_sizes_grow() {
+        let cfg = FileSetConfig::default();
+        for w in cfg.class_sizes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        assert!((CLASS_WEIGHTS.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_len_is_reasonable() {
+        let mut dev = DeviceStore::new();
+        let fs = FileSet::populate(FileSetConfig::default(), &mut dev);
+        let mean = fs.weighted_mean_len();
+        assert!(mean > 512.0 && mean < 24576.0, "{mean}");
+    }
+}

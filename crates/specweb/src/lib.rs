@@ -1,0 +1,24 @@
+//! `specweb` — a SPECWeb99-like workload for the dependability benchmark.
+//!
+//! The paper extends the industry-standard SPECWeb99 performance benchmark
+//! into the first web-server dependability benchmark. This crate models the
+//! workload side:
+//!
+//! * [`fileset`] — the served document tree: directories × four size
+//!   classes × files per class, with SPECWeb99's class popularity,
+//! * [`gen`] — the operation generator: static GET / dynamic GET / POST in
+//!   SPECWeb99's mix, Zipf-ish file popularity,
+//! * [`measures`] — the client-side measures: SPC (simultaneous conforming
+//!   connections), THR (operations/s), RTM (mean response time) and ER%
+//!   (error rate), including the 320 kbit/s conformance rule.
+//!
+//! The benchmark *campaign* (slots, injection, watchdog) lives in the
+//! `depbench` crate; this crate is only the workload and its measures.
+
+pub mod fileset;
+pub mod gen;
+pub mod measures;
+
+pub use fileset::{FileEntry, FileSet, FileSetConfig};
+pub use gen::RequestGenerator;
+pub use measures::{IntervalMeasures, CONFORMING_CELLS_PER_SEC};

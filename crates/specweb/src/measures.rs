@@ -1,0 +1,285 @@
+//! Client-side measures: SPC, THR, RTM, ER%.
+//!
+//! SPECWeb99's headline metric is the number of **simultaneous conforming
+//! connections**: connections sustaining at least 320 kbit/s with fewer than
+//! 1 % failed operations. With one byte per cell, 320 kbit/s is 40 000
+//! cells per simulated second. We compute SPC as the number of conforming
+//! connections the measured aggregate service rate can sustain, gated by
+//! the per-connection error rule — faults therefore depress SPC through
+//! both throughput loss and error bursts, as in the paper.
+
+use serde::{Deserialize, Serialize};
+use simkit::{OnlineStats, SimDuration};
+
+/// 320 kbit/s in cells (bytes) per second.
+pub const CONFORMING_CELLS_PER_SEC: f64 = 40_000.0;
+
+/// Maximum error fraction for a conforming connection.
+pub const CONFORMING_MAX_ERR: f64 = 0.01;
+
+/// Per-connection tallies.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct ConnTally {
+    ops: u64,
+    errors: u64,
+    cells: u64,
+}
+
+/// Accumulated measures for one measurement interval.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IntervalMeasures {
+    conns: Vec<ConnTally>,
+    rt_ms: OnlineStats,
+    duration: SimDuration,
+}
+
+impl IntervalMeasures {
+    /// A fresh accumulator for `conns` client connections.
+    pub fn new(conns: usize) -> IntervalMeasures {
+        IntervalMeasures {
+            conns: vec![ConnTally::default(); conns],
+            rt_ms: OnlineStats::new(),
+            duration: SimDuration::ZERO,
+        }
+    }
+
+    /// Records one completed operation on connection `conn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `conn` is out of range.
+    pub fn record_op(&mut self, conn: usize, cells: u64, error: bool, rt: SimDuration) {
+        let t = &mut self.conns[conn];
+        t.ops += 1;
+        t.cells += cells;
+        if error {
+            t.errors += 1;
+        }
+        self.rt_ms.push(rt.as_millis_f64());
+    }
+
+    /// Declares the interval length (used by the rate computations).
+    pub fn set_duration(&mut self, d: SimDuration) {
+        self.duration = d;
+    }
+
+    /// The interval length.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Number of client connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Total completed operations.
+    pub fn ops(&self) -> u64 {
+        self.conns.iter().map(|c| c.ops).sum()
+    }
+
+    /// Total failed operations.
+    pub fn errors(&self) -> u64 {
+        self.conns.iter().map(|c| c.errors).sum()
+    }
+
+    /// Total payload cells transferred.
+    pub fn cells(&self) -> u64 {
+        self.conns.iter().map(|c| c.cells).sum()
+    }
+
+    /// THR: operations per simulated second.
+    pub fn thr(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops() as f64 / secs
+        }
+    }
+
+    /// RTM: mean response time in milliseconds.
+    pub fn rtm(&self) -> f64 {
+        self.rt_ms.mean()
+    }
+
+    /// ER%: failed operations as a percentage of all operations.
+    pub fn er_pct(&self) -> f64 {
+        let ops = self.ops();
+        if ops == 0 {
+            0.0
+        } else {
+            self.errors() as f64 * 100.0 / ops as f64
+        }
+    }
+
+    /// CC%: percentage of connections meeting the <1 % error rule.
+    pub fn clean_conn_pct(&self) -> f64 {
+        if self.conns.is_empty() {
+            return 0.0;
+        }
+        self.clean_conns() as f64 * 100.0 / self.conns.len() as f64
+    }
+
+    fn clean_conns(&self) -> usize {
+        self.conns
+            .iter()
+            .filter(|c| c.ops > 0 && (c.errors as f64) < CONFORMING_MAX_ERR * c.ops as f64)
+            .count()
+    }
+
+    /// Merges another interval (e.g. the next benchmark slot) into this one.
+    /// Connections are matched by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the connection counts differ.
+    pub fn merge(&mut self, other: &IntervalMeasures) {
+        assert_eq!(
+            self.conns.len(),
+            other.conns.len(),
+            "cannot merge intervals with different connection counts"
+        );
+        for (a, b) in self.conns.iter_mut().zip(other.conns.iter()) {
+            a.ops += b.ops;
+            a.errors += b.errors;
+            a.cells += b.cells;
+        }
+        self.rt_ms.merge(&other.rt_ms);
+        self.duration += other.duration;
+    }
+
+    /// SPC: simultaneous conforming connections — how many 320 kbit/s,
+    /// low-error connections the measured aggregate rate sustains, capped
+    /// by the number of connections that actually met the error rule.
+    pub fn spc(&self) -> u32 {
+        self.spc_unrounded().floor() as u32
+    }
+
+    /// [`spc`](IntervalMeasures::spc) before rounding — averaging several
+    /// slots' SPC should round once at the end, not per slot.
+    pub fn spc_unrounded(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let aggregate = self.cells() as f64 / secs;
+        let by_rate = aggregate / CONFORMING_CELLS_PER_SEC;
+        by_rate.min(self.clean_conns() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_uniform(m: &mut IntervalMeasures, ops_per_conn: u64, cells: u64, err_every: u64) {
+        for conn in 0..m.conn_count() {
+            for i in 0..ops_per_conn {
+                let err = err_every != 0 && i % err_every == 0;
+                m.record_op(conn, cells, err, SimDuration::from_millis(350));
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_interval_yields_full_measures() {
+        let mut m = IntervalMeasures::new(40);
+        // 40 conns × 60 ops × 7000 cells over 20 s = 840 k cells/s
+        record_uniform(&mut m, 60, 7000, 0);
+        m.set_duration(SimDuration::from_secs(20));
+        assert_eq!(m.ops(), 2400);
+        assert_eq!(m.thr(), 120.0);
+        assert_eq!(m.er_pct(), 0.0);
+        assert!((m.rtm() - 350.0).abs() < 1e-9);
+        // 840k / 40k = 21 conforming connections
+        assert_eq!(m.spc(), 21);
+        assert_eq!(m.clean_conn_pct(), 100.0);
+    }
+
+    #[test]
+    fn errors_gate_conformance() {
+        let mut m = IntervalMeasures::new(10);
+        // Every conn has 10% errors -> no conn conforms.
+        record_uniform(&mut m, 50, 50_000, 10);
+        m.set_duration(SimDuration::from_secs(10));
+        assert!(m.er_pct() > 5.0);
+        assert_eq!(m.spc(), 0);
+        assert_eq!(m.clean_conn_pct(), 0.0);
+    }
+
+    #[test]
+    fn rate_caps_spc_even_with_clean_conns() {
+        let mut m = IntervalMeasures::new(40);
+        // Tiny payloads: clean but slow.
+        record_uniform(&mut m, 10, 100, 0);
+        m.set_duration(SimDuration::from_secs(10));
+        assert_eq!(m.spc(), 0);
+        assert_eq!(m.clean_conn_pct(), 100.0);
+    }
+
+    #[test]
+    fn clean_conn_cap_applies() {
+        let mut m = IntervalMeasures::new(4);
+        // Two conns clean and fast, two conns erroring.
+        for conn in 0..2 {
+            for _ in 0..100 {
+                m.record_op(conn, 50_000, false, SimDuration::from_millis(100));
+            }
+        }
+        for conn in 2..4 {
+            for i in 0..100 {
+                m.record_op(conn, 50_000, i % 5 == 0, SimDuration::from_millis(100));
+            }
+        }
+        m.set_duration(SimDuration::from_secs(10));
+        // Aggregate rate would allow 50, but only 2 conns are clean.
+        assert_eq!(m.spc(), 2);
+    }
+
+    #[test]
+    fn empty_interval_is_zeroes() {
+        let mut m = IntervalMeasures::new(8);
+        m.set_duration(SimDuration::from_secs(5));
+        assert_eq!(m.ops(), 0);
+        assert_eq!(m.thr(), 0.0);
+        assert_eq!(m.rtm(), 0.0);
+        assert_eq!(m.er_pct(), 0.0);
+        assert_eq!(m.spc(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_slots() {
+        let mut a = IntervalMeasures::new(4);
+        let mut b = IntervalMeasures::new(4);
+        for conn in 0..4 {
+            a.record_op(conn, 10_000, false, SimDuration::from_millis(100));
+            b.record_op(conn, 20_000, conn == 0, SimDuration::from_millis(300));
+        }
+        a.set_duration(SimDuration::from_secs(1));
+        b.set_duration(SimDuration::from_secs(1));
+        a.merge(&b);
+        assert_eq!(a.ops(), 8);
+        assert_eq!(a.errors(), 1);
+        assert_eq!(a.cells(), 120_000);
+        assert_eq!(a.duration(), SimDuration::from_secs(2));
+        assert!((a.rtm() - 200.0).abs() < 1e-9);
+        // Connection 0 carried the error.
+        assert!(a.clean_conn_pct() < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different connection counts")]
+    fn merge_rejects_mismatched_conns() {
+        let mut a = IntervalMeasures::new(2);
+        let b = IntervalMeasures::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn zero_duration_is_safe() {
+        let m = IntervalMeasures::new(8);
+        assert_eq!(m.thr(), 0.0);
+        assert_eq!(m.spc(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! `webserver` — the benchmark targets (BTs).
+//!
+//! The paper compares two real web servers, Apache and Abyss, running over a
+//! faulty OS; Sambar and Savant additionally participate in the profiling
+//! phase. This crate provides their simulated counterparts, all speaking the
+//! same `simos` API but differing in exactly the robustness mechanisms the
+//! paper credits for the observed gap:
+//!
+//! * [`Heron`] (≈ Apache) — a master/worker architecture. Every OS status is
+//!   checked; failed requests release their resources; a crashed worker is
+//!   restarted by the master (the *built-in self-restart* the paper
+//!   highlights); only a master-level failure kills the process.
+//! * [`Wren`] (≈ Abyss) — a single-process server that assumes the OS works:
+//!   statuses go unchecked, error paths leak handles and buffers, any trap
+//!   kills the process, and nothing restarts it.
+//! * [`Sparrow`], [`Swift`] — additional servers with different API usage
+//!   mixes, used only to compute the Table 2 intersection.
+//!
+//! Faults are **never** injected into these servers (they are the BT, not
+//! the FIT); their code is ordinary Rust calling into the OS.
+//!
+//! # Example
+//!
+//! ```
+//! use simos::{Edition, Os};
+//! use webserver::{checksum_of, Heron, Method, Request, WebServer};
+//!
+//! let mut os = Os::boot(Edition::Nimbus2000)?;
+//! let content = vec![7i64; 64];
+//! os.devices_mut().add_file_cells("/web/hello", content.clone());
+//! let mut server = Heron::new();
+//! assert!(server.start(&mut os));
+//! let req = Request {
+//!     method: Method::GetStatic,
+//!     path: "C:\\web\\hello".into(),
+//!     expected_len: 64,
+//!     expected_sum: checksum_of(&content),
+//!     post_len: 0,
+//! };
+//! let response = server.serve(&mut os, &req);
+//! assert!(response.is_correct_for(&req));
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod driver;
+pub mod heron;
+pub mod request;
+pub mod server;
+pub mod sparrow;
+pub mod swift;
+pub mod wren;
+
+pub use heron::Heron;
+pub use request::{checksum_of, Method, Outcome, Request, ServeResult};
+pub use server::{ServerKind, ServerState, ServerStats, WebServer};
+pub use sparrow::Sparrow;
+pub use swift::Swift;
+pub use wren::Wren;

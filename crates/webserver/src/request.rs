@@ -1,0 +1,156 @@
+//! HTTP-like requests and responses (the wire format is abstracted away —
+//! what matters to the benchmark is operations, bytes and correctness).
+
+use serde::{Deserialize, Serialize};
+
+/// Request method, following the SPECWeb99 operation mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Static GET — read a file and send it.
+    GetStatic,
+    /// Dynamic GET — read a file, transform it (ad rotation, CGI-ish).
+    GetDynamic,
+    /// POST — submit data, server persists it and acknowledges.
+    Post,
+}
+
+/// One client operation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// DOS-style path as a browser/config would hold it (e.g.
+    /// `C:\web\dir3\class2_7`).
+    pub path: String,
+    /// Expected payload size in cells (client-side knowledge for checking).
+    pub expected_len: u64,
+    /// Expected content checksum (client-side knowledge for checking).
+    pub expected_sum: i64,
+    /// POST body size in cells (0 for GETs).
+    pub post_len: u64,
+}
+
+/// What the server did with a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Completed with a payload: byte count and content checksum as served.
+    Ok {
+        /// Cells served.
+        bytes: u64,
+        /// Checksum of the served content.
+        checksum: i64,
+    },
+    /// The server answered with an error (or the response was abandoned).
+    Error,
+}
+
+/// Served response plus its simulated cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeResult {
+    /// Response outcome.
+    pub outcome: Outcome,
+    /// Simulated cost units consumed producing it (OS work + server work).
+    pub cost: u64,
+}
+
+impl ServeResult {
+    /// True when the client would count this operation as correct: an OK
+    /// response with the expected length and checksum.
+    pub fn is_correct_for(&self, req: &Request) -> bool {
+        match self.outcome {
+            Outcome::Ok { bytes, checksum } => match req.method {
+                Method::GetStatic | Method::GetDynamic => {
+                    bytes == req.expected_len && checksum == req.expected_sum
+                }
+                // POST acknowledgements are small; correctness is acceptance.
+                Method::Post => true,
+            },
+            Outcome::Error => false,
+        }
+    }
+}
+
+/// Content checksum used by clients and servers (order-sensitive rolling
+/// sum, cheap and collision-resistant enough to catch wrong-file payloads).
+pub fn checksum_of(cells: &[i64]) -> i64 {
+    let mut h: i64 = 0;
+    for &c in cells {
+        h = h.wrapping_mul(31).wrapping_add(c);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str, content: &[i64]) -> Request {
+        Request {
+            method: Method::GetStatic,
+            path: path.to_string(),
+            expected_len: content.len() as u64,
+            expected_sum: checksum_of(content),
+            post_len: 0,
+        }
+    }
+
+    #[test]
+    fn correctness_requires_length_and_checksum() {
+        let content = [1, 2, 3, 4];
+        let req = get("C:/web/a", &content);
+        let ok = ServeResult {
+            outcome: Outcome::Ok {
+                bytes: 4,
+                checksum: checksum_of(&content),
+            },
+            cost: 10,
+        };
+        assert!(ok.is_correct_for(&req));
+        let short = ServeResult {
+            outcome: Outcome::Ok {
+                bytes: 3,
+                checksum: checksum_of(&content[..3]),
+            },
+            cost: 10,
+        };
+        assert!(!short.is_correct_for(&req));
+        let wrong = ServeResult {
+            outcome: Outcome::Ok {
+                bytes: 4,
+                checksum: checksum_of(&[9, 9, 9, 9]),
+            },
+            cost: 10,
+        };
+        assert!(!wrong.is_correct_for(&req));
+        let err = ServeResult {
+            outcome: Outcome::Error,
+            cost: 10,
+        };
+        assert!(!err.is_correct_for(&req));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum_of(&[1, 2, 3]), checksum_of(&[3, 2, 1]));
+        assert_eq!(checksum_of(&[]), 0);
+    }
+
+    #[test]
+    fn posts_count_on_acceptance() {
+        let req = Request {
+            method: Method::Post,
+            path: "C:/web/post".into(),
+            expected_len: 0,
+            expected_sum: 0,
+            post_len: 16,
+        };
+        let ok = ServeResult {
+            outcome: Outcome::Ok {
+                bytes: 1,
+                checksum: 0,
+            },
+            cost: 1,
+        };
+        assert!(ok.is_correct_for(&req));
+    }
+}

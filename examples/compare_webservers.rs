@@ -1,0 +1,79 @@
+//! Compare two web servers' dependability — the paper's case study in
+//! miniature.
+//!
+//! Boots the 2000-like OS edition, builds a fine-tuned faultload for the
+//! profiled API subset, then benchmarks Heron (Apache-like) and Wren
+//! (Abyss-like) against the same faultload and prints the §3.2 metrics
+//! side by side.
+//!
+//! Run with: `cargo run --release -p examples --bin compare_webservers`
+
+use depbench::{profile_servers, Campaign, CampaignConfig, DependabilityMetrics, ProfilePhaseConfig};
+use simos::{Edition, Os};
+use swfit_core::Scanner;
+use webserver::ServerKind;
+
+fn main() {
+    let edition = Edition::Nimbus2000;
+
+    // Fine-tune the faultload with the four-server profile (§2.4).
+    let profile_cfg = ProfilePhaseConfig::default();
+    let profile = profile_servers(edition, &ServerKind::ALL, &profile_cfg);
+    let selected = profile.select_functions(profile_cfg.min_avg_pct);
+    println!(
+        "profiled {} servers; {} API functions selected ({:.1} % call coverage)",
+        ServerKind::ALL.len(),
+        selected.len(),
+        profile.coverage_pct(&selected)
+    );
+
+    let os = Os::boot(edition).expect("OS boots");
+    let mut faultload = Scanner::standard().scan_functions(os.program().image(), &selected);
+    // Keep the demo quick: sample every 4th fault.
+    faultload.faults = faultload.faults.into_iter().step_by(4).collect();
+    println!("faultload: {} faults (sampled)\n", faultload.len());
+
+    let cfg = CampaignConfig::default();
+    let mut rows = Vec::new();
+    for kind in ServerKind::BENCHMARKED {
+        let campaign = Campaign::new(edition, kind, cfg);
+        let baseline = campaign.run_profile_mode(0);
+        let result = campaign.run_injection(&faultload, 0);
+        let m = DependabilityMetrics::from_runs(&baseline, &result);
+        println!(
+            "{kind} ({}):  SPC {} -> {}   THR {:.1} -> {:.1}   ER% {:.1}   MIS {}  KNS {}  KCP {}  ADMf {}",
+            kind.paper_analogue(),
+            m.spc_baseline,
+            m.spc_f,
+            m.thr_baseline,
+            m.thr_f,
+            m.er_pct_f,
+            m.watchdog.mis,
+            m.watchdog.kns,
+            m.watchdog.kcp,
+            m.admf()
+        );
+        rows.push((kind, m));
+    }
+
+    let heron = &rows[0].1;
+    let wren = &rows[1].1;
+    println!("\nconclusions (the paper's Table 5 reading):");
+    println!(
+        "  error rate:    heron {:.1} % vs wren {:.1} %  -> {} propagates fewer errors",
+        heron.er_pct_f,
+        wren.er_pct_f,
+        if heron.er_pct_f <= wren.er_pct_f { "heron" } else { "wren" }
+    );
+    println!(
+        "  admin effort:  heron {} vs wren {}            -> {} needs less intervention",
+        heron.admf(),
+        wren.admf(),
+        if heron.admf() <= wren.admf() { "heron" } else { "wren" }
+    );
+    println!(
+        "  perf retained: heron {:.0} % vs wren {:.0} % of baseline THR",
+        heron.thr_retention() * 100.0,
+        wren.thr_retention() * 100.0
+    );
+}

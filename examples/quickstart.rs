@@ -1,0 +1,91 @@
+//! Quickstart: the G-SWFIT pipeline end-to-end on a small program.
+//!
+//! 1. Compile a MiniC program to MVM machine code.
+//! 2. Scan it with the standard operator library (step 1 of G-SWFIT).
+//! 3. Save/reload the faultload — it is a storable artifact.
+//! 4. Inject one fault, watch the behaviour change, restore, and verify the
+//!    pristine behaviour returns (step 2 of G-SWFIT).
+//!
+//! Run with: `cargo run -p examples --bin quickstart`
+
+use mvm::{Memory, NoHcalls, Vm};
+use swfit_core::{Faultload, FaultType, Injector, Scanner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small "target module": a bounded counter with validation.
+    let source = r#"
+        global total = 0;
+
+        fn clamp(x, lo, hi) {
+            if (x < lo) { return lo; }
+            if (x > hi) { return hi; }
+            return x;
+        }
+
+        fn account(amount) {
+            var v = 0;
+            if (amount > 0 && amount < 1000) {
+                v = clamp(amount, 10, 100);
+                total = total + v;
+            }
+            return total;
+        }
+    "#;
+    let mut program = minic::compile("quickstart", source)?;
+    println!(
+        "compiled {} instructions across {} functions",
+        program.image().len(),
+        program.image().funcs().len()
+    );
+
+    // --- step 1: scan for fault locations -------------------------------
+    let faultload = Scanner::standard().scan_image(program.image());
+    println!("\nscan found {} fault locations:", faultload.len());
+    for (t, n) in faultload.counts_by_type() {
+        if n > 0 {
+            println!("  {t:5} {n:3}  ({})", t.description());
+        }
+    }
+
+    // --- the faultload is an artifact ------------------------------------
+    let json = faultload.to_json()?;
+    let reloaded = Faultload::from_json(&json)?;
+    assert_eq!(reloaded, faultload);
+    println!("\nfaultload serializes to {} bytes of JSON", json.len());
+
+    // --- step 2: inject, observe, restore --------------------------------
+    let run = |program: &minic::Program| -> Result<i64, Box<dyn std::error::Error>> {
+        let mut vm = Vm::new();
+        let mut mem = Memory::new(8192);
+        let mut result = 0;
+        for amount in [50, 5000, 30, -7, 80] {
+            result = vm
+                .call(program.image(), &mut mem, &mut NoHcalls, "account", &[amount])?
+                .return_value;
+        }
+        Ok(result)
+    };
+
+    let pristine = run(&program)?;
+    println!("\npristine result: {pristine}");
+
+    let mifs = faultload
+        .faults
+        .iter()
+        .find(|f| f.fault_type == FaultType::Mifs && f.func == "account")
+        .expect("an MIFS site exists in `account`");
+    println!("injecting {mifs}");
+
+    let mut injector = Injector::new();
+    injector.inject(program.image_mut(), mifs)?;
+    let faulty = run(&program)?;
+    println!("faulty result:   {faulty}");
+    injector.restore(program.image_mut());
+    let restored = run(&program)?;
+    println!("restored result: {restored}");
+
+    assert_ne!(pristine, faulty, "the missing-if fault must be visible");
+    assert_eq!(pristine, restored, "restore must be exact");
+    println!("\nquickstart OK: fault emulated and cleanly removed");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Scanner-accuracy ablation: precision/recall against compiler ground
+//! truth.
+//!
+//! G-SWFIT's credibility rests on the claim that pattern scanning over the
+//! executable finds (only) the locations where a source-level fault could
+//! have produced the code. Our compiler records where every construct
+//! landed; the scanner never sees that map, so we can score it — per fault
+//! type, on both OS editions.
+//!
+//! Run with: `cargo run -p examples --bin scanner_accuracy`
+
+use simos::{Edition, Os};
+use swfit_core::{accuracy, Scanner};
+
+fn main() {
+    for edition in Edition::ALL {
+        let os = Os::boot(edition).expect("OS boots");
+        let program = os.program();
+        let faultload = Scanner::standard().scan_image(program.image());
+        let report = accuracy::measure(&faultload, program.constructs());
+
+        println!(
+            "=== {edition} ({} instructions, {} faults found) ===",
+            program.image().len(),
+            faultload.len()
+        );
+        println!("{:6} {:>9} {:>6} {:>8} {:>10} {:>8}", "type", "expected", "found", "matched", "precision", "recall");
+        for (t, pr) in &report.per_type {
+            println!(
+                "{:6} {:>9} {:>6} {:>8} {:>9.1}% {:>7.1}%",
+                t.acronym(),
+                pr.expected,
+                pr.found,
+                pr.matched,
+                pr.precision() * 100.0,
+                pr.recall() * 100.0
+            );
+        }
+        println!(
+            "overall: precision {:.1} %, recall {:.1} %\n",
+            report.overall_precision() * 100.0,
+            report.overall_recall() * 100.0
+        );
+    }
+    println!("(MLPC/WAEP/WPFV have no single-construct ground truth and are not scored.)");
+}

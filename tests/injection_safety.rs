@@ -1,0 +1,120 @@
+//! Injection safety: every fault in the generated faultloads must inject
+//! cleanly, leave the image decodable, restore exactly, and never escape
+//! the VM's containment while activated.
+
+use mvm::Instr;
+use proptest::prelude::*;
+use simos::{Edition, Os, OsApi};
+use swfit_core::{Faultload, Injector, Scanner};
+
+fn full_faultload(edition: Edition) -> (Os, Faultload) {
+    let os = Os::boot(edition).unwrap();
+    let fl = Scanner::standard().scan_image(os.program().image());
+    (os, fl)
+}
+
+/// Every fault of both editions: inject → decodable image → exact restore.
+#[test]
+fn every_fault_injects_decodes_and_restores() {
+    for edition in Edition::ALL {
+        let (mut os, fl) = full_faultload(edition);
+        let pristine = os.program().image().words().to_vec();
+        let mut injector = Injector::new();
+        for fault in &fl.faults {
+            injector
+                .inject(os.image_mut(), fault)
+                .unwrap_or_else(|e| panic!("{}: {e}", fault.id));
+            // Every patched word still decodes (mutations are real code).
+            for patch in &fault.patches {
+                let word = os.program().image().words()[patch.addr as usize];
+                assert!(
+                    Instr::decode(word).is_ok(),
+                    "{}: word at {} does not decode",
+                    fault.id,
+                    patch.addr
+                );
+            }
+            injector.restore(os.image_mut());
+            assert_eq!(
+                os.program().image().words(),
+                &pristine[..],
+                "{}: restore leaked",
+                fault.id
+            );
+        }
+    }
+}
+
+/// A fixed OS-API exercise; used to activate faults under containment.
+fn exercise(os: &mut Os) -> u32 {
+    let mut contained_failures = 0;
+    let scratch = 209_000;
+    os.poke_cstr(scratch, "C:\\web\\t.html").ok();
+    let seq: Vec<(OsApi, Vec<i64>)> = vec![
+        (OsApi::RtlEnterCriticalSection, vec![simos::source::CS_REGION]),
+        (OsApi::RtlAllocateHeap, vec![64]),
+        (OsApi::RtlInitUnicodeString, vec![scratch + 300, scratch]),
+        (OsApi::RtlDosPathToNative, vec![scratch, scratch + 400]),
+        (OsApi::NtOpenFile, vec![scratch + 400]),
+        (OsApi::ReadFile, vec![1, scratch + 500, 128]),
+        (OsApi::CloseHandle, vec![1]),
+        (OsApi::RtlLeaveCriticalSection, vec![simos::source::CS_REGION]),
+    ];
+    for (api, args) in seq {
+        if os.call(api, &args).is_err() {
+            contained_failures += 1;
+        }
+    }
+    contained_failures
+}
+
+/// Activating a sample of faults never panics the host: crashes and hangs
+/// are always contained as `OsCallError`.
+#[test]
+fn activated_faults_are_contained() {
+    let edition = Edition::Nimbus2000;
+    let (_, fl) = full_faultload(edition);
+    let mut injector = Injector::new();
+    for fault in fl.faults.iter().step_by(7) {
+        let mut os = Os::boot_with_budget(edition, 100_000).unwrap();
+        os.devices_mut().add_file("/web/t.html", b"content");
+        injector.inject(os.image_mut(), fault).expect("injects");
+        let _failures = exercise(&mut os);
+        injector.restore(os.image_mut());
+        // After restore and a state reset, the OS serves again.
+        os.reset_state().expect("resets");
+        let p = os.call(OsApi::RtlAllocateHeap, &[32]).expect("alloc works");
+        assert!(p.value > 0, "{}: OS did not recover", fault.id);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Injecting any randomly chosen fault pair in sequence (inject A,
+    /// restore A, inject B, restore B) always returns to the pristine image.
+    #[test]
+    fn prop_fault_pairs_restore_pristine(a in 0usize..200, b in 0usize..200) {
+        let (mut os, fl) = full_faultload(Edition::Nimbus2000);
+        prop_assume!(a < fl.len() && b < fl.len());
+        let pristine = os.program().image().words().to_vec();
+        let mut injector = Injector::new();
+        injector.inject(os.image_mut(), &fl.faults[a]).unwrap();
+        injector.restore(os.image_mut());
+        injector.inject(os.image_mut(), &fl.faults[b]).unwrap();
+        injector.restore(os.image_mut());
+        prop_assert_eq!(os.program().image().words(), &pristine[..]);
+    }
+
+    /// The scanner never proposes a patch outside its function's extent.
+    #[test]
+    fn prop_patches_stay_in_function(idx in 0usize..400) {
+        let (os, fl) = full_faultload(Edition::NimbusXp);
+        prop_assume!(idx < fl.len());
+        let fault = &fl.faults[idx];
+        let info = os.program().image().func(&fault.func).expect("func exists");
+        for p in &fault.patches {
+            prop_assert!(info.contains(p.addr), "{}: {} escapes", fault.id, p.addr);
+        }
+    }
+}
