@@ -68,12 +68,33 @@ fn bench_injection_slots(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_injection(c: &mut Criterion) {
+    // The executor speedup probe: the same 16-fault campaign at 1 worker
+    // and at the host's core count. Results are bit-identical (see the
+    // integration tests); only wall-clock should change.
+    let os = Os::boot(Edition::Nimbus2000).expect("boots");
+    let mut faultload = Scanner::standard().scan_image(os.program().image());
+    faultload.faults.truncate(16);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for jobs in [1, cores] {
+        let cfg = CampaignConfig {
+            parallelism: jobs,
+            ..quick_campaign_config()
+        };
+        let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, cfg);
+        c.bench_function(&format!("injection_campaign_16_slots_jobs_{jobs}"), |b| {
+            b.iter(|| campaign.run_injection(&faultload, 0))
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_profile_phase,
         bench_faultload_generation,
         bench_baseline_slot,
-        bench_injection_slots
+        bench_injection_slots,
+        bench_parallel_injection
 }
 criterion_main!(benches);

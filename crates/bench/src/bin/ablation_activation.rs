@@ -61,23 +61,20 @@ fn main() {
     };
     let cold_fl = sample(whole.restrict_to_functions(&cold), n);
 
-    let cfg = CampaignConfig::default();
+    let cfg = CampaignConfig::builder()
+        .parallelism(bench::jobs_from_args())
+        .build();
     let campaign = Campaign::new(edition, ServerKind::Wren, cfg);
-    let mut table = TextTable::new([
-        "Faultload",
-        "Faults",
-        "Activated",
-        "Rate %",
-        "ER%f",
-        "ADMf",
-    ]);
+    let mut table = TextTable::new(["Faultload", "Faults", "Activated", "Rate %", "ER%f", "ADMf"]);
     let mut rates = Vec::new();
     for (name, fl) in [
         ("profiled (selected FIT)", &profiled),
         ("complement (rest of OS)", &complement),
         ("cold (startup/diagnostic)", &cold_fl),
     ] {
-        let res = campaign.run_injection(fl, 0);
+        let res = campaign
+            .run_injection(fl, 0)
+            .expect("injection campaign runs");
         let activated = res.affected_slots();
         let rate = activated as f64 * 100.0 / fl.len().max(1) as f64;
         rates.push(rate);

@@ -64,10 +64,7 @@ fn main() {
     let (w2k_costs, w2k_faults) = (&data[0].1, &data[0].2);
     let (xp_costs, xp_faults) = (&data[1].1, &data[1].2);
     let cost_of = |costs: &[(String, u64)], name: &str| {
-        costs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map_or(0, |(_, c)| *c)
+        costs.iter().find(|(n, _)| n == name).map_or(0, |(_, c)| *c)
     };
     let faults_in = |fl: &swfit_core::Faultload, name: &str| {
         fl.faults.iter().filter(|f| f.func == name).count()
@@ -88,10 +85,18 @@ fn main() {
             api.paper_name().to_string(),
             cw.to_string(),
             cx.to_string(),
-            if cw > 0 { f(cx as f64 / cw as f64, 2) } else { "-".into() },
+            if cw > 0 {
+                f(cx as f64 / cw as f64, 2)
+            } else {
+                "-".into()
+            },
             fw.to_string(),
             fx.to_string(),
-            if fw > 0 { f(fx as f64 / fw as f64, 2) } else { "-".into() },
+            if fw > 0 {
+                f(fx as f64 / fw as f64, 2)
+            } else {
+                "-".into()
+            },
         ]);
     }
     println!("Ablation — edition cost & fault-surface attribution (identical call sequence)\n");

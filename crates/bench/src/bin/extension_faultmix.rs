@@ -12,8 +12,8 @@
 use depbench::interval::run_interval;
 use depbench::report::{f, TextTable};
 use depbench::{
-    apply_operator_fault, generate_operator_faults, undo_operator_fault, Campaign,
-    CampaignConfig, OperatorFault,
+    apply_operator_fault, generate_operator_faults, undo_operator_fault, Campaign, CampaignConfig,
+    OperatorFault,
 };
 use simkit::SimRng;
 use simos::{Edition, Os, OsApi};
@@ -24,12 +24,11 @@ use webserver::ServerKind;
 fn main() {
     let edition = Edition::Nimbus2000;
     let kind = ServerKind::Wren; // the fragile target shows models clearest
-    let cfg = CampaignConfig::default();
+    let cfg = CampaignConfig::builder()
+        .parallelism(bench::jobs_from_args())
+        .build();
     let n = if bench::quick() { 25 } else { 100 };
-    let api: Vec<String> = OsApi::ALL
-        .iter()
-        .map(|f| f.symbol().to_string())
-        .collect();
+    let api: Vec<String> = OsApi::ALL.iter().map(|f| f.symbol().to_string()).collect();
 
     let os = Os::boot(edition).expect("boots");
     let mut sw = Scanner::standard().scan_functions(os.program().image(), &api);
@@ -41,7 +40,7 @@ fn main() {
     hw.faults = hw.faults.into_iter().step_by(stride).take(n).collect();
 
     let campaign = Campaign::new(edition, kind, cfg);
-    let baseline = campaign.run_profile_mode(0);
+    let baseline = campaign.run_profile_mode(0).expect("profile mode runs");
 
     let mut table = TextTable::new([
         "Fault model",
@@ -67,7 +66,9 @@ fn main() {
     ]);
 
     for (name, fl) in [("software (G-SWFIT)", &sw), ("hardware (bit flips)", &hw)] {
-        let res = campaign.run_injection(fl, 0);
+        let res = campaign
+            .run_injection(fl, 0)
+            .expect("injection campaign runs");
         table.row([
             name.to_string(),
             fl.len().to_string(),
@@ -120,7 +121,13 @@ fn run_operator_campaign(
         os.reset_state().expect("resets");
         assert!(server.start(&mut os));
         let undo = apply_operator_fault(&mut os, fault);
-        let out = run_interval(&mut os, server.as_mut(), &mut generator, &mut rng, &cfg.interval);
+        let out = run_interval(
+            &mut os,
+            server.as_mut(),
+            &mut generator,
+            &mut rng,
+            &cfg.interval,
+        );
         undo_operator_fault(&mut os, undo);
         spc_sum += u64::from(out.measures.spc());
         match &mut total {

@@ -3,7 +3,7 @@
 //! ```text
 //! faultbench scan <edition> [--all] [--out FILE]   generate a faultload
 //! faultbench profile <edition>                     run the profiling phase
-//! faultbench campaign <edition> <server> [--faultload FILE] [--iterations N] [--out FILE]
+//! faultbench campaign <edition> <server> [--faultload FILE] [--iterations N] [--jobs N] [--out FILE]
 //! faultbench accuracy <edition>                    score the scanner
 //! ```
 //!
@@ -106,7 +106,12 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         table.row([
             row.func.clone(),
             f(row.average_pct, 2),
-            if selected.contains(&row.func) { "*" } else { "" }.to_string(),
+            if selected.contains(&row.func) {
+                "*"
+            } else {
+                ""
+            }
+            .to_string(),
         ]);
     }
     print!("{}", table.render());
@@ -125,6 +130,15 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| format!("bad iteration count `{v}`")))
         .transpose()?
         .unwrap_or(1);
+    let jobs: usize = flag_value(args, "--jobs")
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))
+        })
+        .transpose()?
+        .unwrap_or(1);
     let faultload = match flag_value(args, "--faultload") {
         Some(path) => {
             let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
@@ -139,22 +153,17 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             Scanner::standard().scan_functions(os.program().image(), &api)
         }
     };
-    {
-        let os = Os::boot(edition)?;
-        if !faultload.matches_image(os.program().image()) {
-            return Err(format!(
-                "faultload was generated from a different {edition} build; re-run `faultbench scan`"
-            ));
-        }
-    }
     eprintln!(
-        "campaign: {edition} / {server}, {} faults, {iterations} iteration(s)",
+        "campaign: {edition} / {server}, {} faults, {iterations} iteration(s), {jobs} job(s)",
         faultload.len()
     );
-    let campaign = Campaign::new(edition, server, CampaignConfig::default());
-    let baseline = campaign.run_profile_mode(0);
+    let cfg = CampaignConfig::builder().parallelism(jobs).build();
+    let campaign = Campaign::new(edition, server, cfg);
+    let baseline = campaign.run_profile_mode(0).map_err(|e| e.to_string())?;
     let mut metrics_out: Vec<DependabilityMetrics> = Vec::new();
-    let mut table = TextTable::new(["run", "SPC", "THR", "RTM", "ER%", "MIS", "KNS", "KCP", "ADMf"]);
+    let mut table = TextTable::new([
+        "run", "SPC", "THR", "RTM", "ER%", "MIS", "KNS", "KCP", "ADMf",
+    ]);
     table.row([
         "baseline".to_string(),
         baseline.spc().to_string(),
@@ -167,7 +176,14 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         "0".to_string(),
     ]);
     for it in 0..iterations {
-        let res = campaign.run_injection(&faultload, it);
+        let res = campaign
+            .run_injection(&faultload, it)
+            .map_err(|e| match e {
+                depbench::CampaignError::FingerprintMismatch { .. } => format!(
+                    "faultload was generated from a different {edition} build; re-run `faultbench scan`"
+                ),
+                other => other.to_string(),
+            })?;
         let m = DependabilityMetrics::from_runs(&baseline, &res);
         table.row([
             format!("iteration {}", it + 1),
@@ -184,8 +200,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     print!("{}", table.render());
     if let Some(path) = flag_value(args, "--out") {
-        let json =
-            serde_json::to_string_pretty(&metrics_out).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&metrics_out).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
@@ -197,7 +212,14 @@ fn cmd_accuracy(args: &[String]) -> Result<(), String> {
     let os = Os::boot(edition)?;
     let fl = Scanner::standard().scan_image(os.program().image());
     let report = accuracy::measure(&fl, os.program().constructs());
-    let mut table = TextTable::new(["type", "expected", "found", "matched", "precision", "recall"]);
+    let mut table = TextTable::new([
+        "type",
+        "expected",
+        "found",
+        "matched",
+        "precision",
+        "recall",
+    ]);
     for (t, pr) in &report.per_type {
         table.row([
             t.acronym().to_string(),

@@ -16,7 +16,9 @@ struct Series {
 }
 
 fn main() {
-    let cfg = CampaignConfig::default();
+    let cfg = CampaignConfig::builder()
+        .parallelism(bench::jobs_from_args())
+        .build();
     let iterations: u64 = if bench::quick() { 1 } else { 3 };
     let mut series: Vec<Series> = Vec::new();
 
@@ -24,10 +26,12 @@ fn main() {
         let faultload = tuned_faultload(edition);
         for kind in ServerKind::BENCHMARKED {
             let campaign = Campaign::new(edition, kind, cfg);
-            let baseline = campaign.run_profile_mode(0);
+            let baseline = campaign.run_profile_mode(0).expect("profile mode runs");
             let runs: Vec<DependabilityMetrics> = (0..iterations)
                 .map(|it| {
-                    let r = campaign.run_injection(&faultload, it);
+                    let r = campaign
+                        .run_injection(&faultload, it)
+                        .expect("injection campaign runs");
                     DependabilityMetrics::from_runs(&baseline, &r)
                 })
                 .collect();
@@ -36,11 +40,21 @@ fn main() {
         }
     }
 
-    println!("Figure 5 — Comparison of the behavior of Heron and Wren in presence of software faults\n");
+    println!(
+        "Figure 5 — Comparison of the behavior of Heron and Wren in presence of software faults\n"
+    );
     type Metric = Box<dyn Fn(&DependabilityMetrics) -> f64>;
     let panels: [(&str, Metric, bool); 5] = [
-        ("SPC (baseline vs faulty)", Box::new(|m| f64::from(m.spc_f)), true),
-        ("THR ops/s (baseline vs faulty)", Box::new(|m| m.thr_f), true),
+        (
+            "SPC (baseline vs faulty)",
+            Box::new(|m| f64::from(m.spc_f)),
+            true,
+        ),
+        (
+            "THR ops/s (baseline vs faulty)",
+            Box::new(|m| m.thr_f),
+            true,
+        ),
         ("RTM ms (baseline vs faulty)", Box::new(|m| m.rtm_f), true),
         ("ER%f", Box::new(|m| m.er_pct_f), false),
         ("ADMf (MIS+KNS+KCP)", Box::new(|m| m.admf() as f64), false),
@@ -80,7 +94,9 @@ fn main() {
     }
 
     println!("CSV:");
-    println!("edition,server,spc_base,spc_f,thr_base,thr_f,rtm_base,rtm_f,er_pct_f,mis,kns,kcp,admf");
+    println!(
+        "edition,server,spc_base,spc_f,thr_base,thr_f,rtm_base,rtm_f,er_pct_f,mis,kns,kcp,admf"
+    );
     for s in &series {
         println!(
             "{},{},{},{},{},{},{},{},{},{},{},{},{}",

@@ -7,7 +7,13 @@ use swfit_core::{standard_operators, FaultType};
 
 fn main() {
     let ops = standard_operators();
-    let mut table = TextTable::new(["Fault type", "Description", "Coverage", "ODC type", "Operator"]);
+    let mut table = TextTable::new([
+        "Fault type",
+        "Description",
+        "Coverage",
+        "ODC type",
+        "Operator",
+    ]);
     for t in FaultType::ALL {
         let implemented = ops.iter().any(|o| o.fault_type() == t);
         table.row([

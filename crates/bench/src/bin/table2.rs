@@ -25,9 +25,7 @@ fn main() {
         "Selected",
     ]);
     let mut rows = set.rows();
-    rows.sort_by(|a, b| {
-        (module_of(&a.func), &a.func).cmp(&(module_of(&b.func), &b.func))
-    });
+    rows.sort_by(|a, b| (module_of(&a.func), &a.func).cmp(&(module_of(&b.func), &b.func)));
     for r in &rows {
         let api = OsApi::from_symbol(&r.func);
         let name = api.map_or(r.func.clone(), |a| a.paper_name().to_string());

@@ -18,17 +18,15 @@ fn main() {
         let fl = tuned_faultload(edition);
         let counts = fl.counts_by_type();
         let mut cells = vec![format!("{} ({})", edition, edition.paper_analogue())];
-        cells.extend(
-            FaultType::ALL
-                .iter()
-                .map(|t| counts[t].to_string()),
-        );
+        cells.extend(FaultType::ALL.iter().map(|t| counts[t].to_string()));
         cells.push(fl.len().to_string());
         table.row(cells);
         totals.push((edition, fl.len()));
     }
 
-    println!("Table 3 — Faultload details (faults per type, fine-tuned to the profiled FIT subset)\n");
+    println!(
+        "Table 3 — Faultload details (faults per type, fine-tuned to the profiled FIT subset)\n"
+    );
     print!("{}", table.render());
     let (w2k, xp) = (totals[0].1 as f64, totals[1].1 as f64);
     println!(

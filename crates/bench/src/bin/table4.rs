@@ -8,7 +8,9 @@ use simos::Edition;
 use webserver::ServerKind;
 
 fn main() {
-    let cfg = CampaignConfig::default();
+    let cfg = CampaignConfig::builder()
+        .parallelism(bench::jobs_from_args())
+        .build();
     let mut table = TextTable::new([
         "OS / server",
         "SPC",
@@ -24,8 +26,8 @@ fn main() {
     for edition in Edition::ALL {
         for kind in ServerKind::BENCHMARKED {
             let c = Campaign::new(edition, kind, cfg);
-            let max_perf = c.run_baseline(0);
-            let profiled = c.run_profile_mode(0);
+            let max_perf = c.run_baseline(0).expect("baseline runs");
+            let profiled = c.run_profile_mode(0).expect("profile mode runs");
             let d_thr = (max_perf.thr() - profiled.thr()) * 100.0 / max_perf.thr();
             let d_rtm = (profiled.rtm() - max_perf.rtm()) * 100.0 / max_perf.rtm();
             worst = worst.max(d_thr.abs()).max(d_rtm.abs());
@@ -45,8 +47,5 @@ fn main() {
     println!("Table 4 — Performance degradation and intrusion evaluation");
     println!("(columns marked (p) ran with the injector in profile mode)\n");
     print!("{}", table.render());
-    println!(
-        "\nWorst-case degradation: {} % (paper: < 2 %)",
-        f(worst, 2)
-    );
+    println!("\nWorst-case degradation: {} % (paper: < 2 %)", f(worst, 2));
 }

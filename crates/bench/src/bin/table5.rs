@@ -13,7 +13,9 @@ use simos::Edition;
 use webserver::ServerKind;
 
 fn main() {
-    let cfg = CampaignConfig::default();
+    let cfg = CampaignConfig::builder()
+        .parallelism(bench::jobs_from_args())
+        .build();
     let iterations: u64 = if bench::quick() { 1 } else { 3 };
 
     for edition in Edition::ALL {
@@ -29,7 +31,7 @@ fn main() {
             let mut table = TextTable::new([
                 "Run", "SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS", "ADMf",
             ]);
-            let baseline = campaign.run_profile_mode(0);
+            let baseline = campaign.run_profile_mode(0).expect("profile mode runs");
             table.row([
                 "Baseline Perf.".to_string(),
                 baseline.spc().to_string(),
@@ -43,7 +45,9 @@ fn main() {
             ]);
             let mut runs = Vec::new();
             for it in 0..iterations {
-                let result = campaign.run_injection(&faultload, it);
+                let result = campaign
+                    .run_injection(&faultload, it)
+                    .expect("injection campaign runs");
                 let m = DependabilityMetrics::from_runs(&baseline, &result);
                 table.row([
                     format!("Iteration {}", it + 1),

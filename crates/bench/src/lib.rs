@@ -20,7 +20,29 @@ use webserver::ServerKind;
 
 /// True when `FAULTLOAD_QUICK=1` — binaries then shrink their workloads.
 pub fn quick() -> bool {
-    std::env::var("FAULTLOAD_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("FAULTLOAD_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Parses `--jobs N` from the process arguments — the campaign worker-thread
+/// count every regenerator binary accepts. Defaults to 1 (sequential);
+/// results are bit-identical at any value.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag value is missing or not a
+/// positive integer.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("--jobs needs a positive integer")),
+        None => 1,
+    }
 }
 
 /// The profiling phase for an edition (all four servers, §2.4 defaults).
@@ -44,11 +66,7 @@ pub fn tuned_faultload(edition: Edition) -> Faultload {
         // Sample across the whole faultload (every k-th fault) so the quick
         // pass still sees every fault type and function.
         let stride = (faultload.len() / 60).max(1);
-        faultload.faults = faultload
-            .faults
-            .into_iter()
-            .step_by(stride)
-            .collect();
+        faultload.faults = faultload.faults.into_iter().step_by(stride).collect();
     }
     faultload
 }
@@ -69,11 +87,6 @@ mod tests {
     fn xp_faultload_is_larger_as_in_table_3() {
         let w2k = tuned_faultload(Edition::Nimbus2000);
         let xp = tuned_faultload(Edition::NimbusXp);
-        assert!(
-            xp.len() > w2k.len(),
-            "xp {} vs w2k {}",
-            xp.len(),
-            w2k.len()
-        );
+        assert!(xp.len() > w2k.len(), "xp {} vs w2k {}", xp.len(), w2k.len());
     }
 }

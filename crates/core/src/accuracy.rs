@@ -236,7 +236,11 @@ mod tests {
                 pr.expected
             );
         }
-        assert!(report.overall_recall() >= 0.6, "{}", report.overall_recall());
+        assert!(
+            report.overall_recall() >= 0.6,
+            "{}",
+            report.overall_recall()
+        );
     }
 
     #[test]

@@ -230,11 +230,7 @@ mod tests {
             "f",
         );
         // The if's beqz target is a branch target…
-        let beqz_rel = v
-            .instrs
-            .iter()
-            .position(|i| i.op == Opcode::Beqz)
-            .unwrap();
+        let beqz_rel = v.instrs.iter().position(|i| i.op == Opcode::Beqz).unwrap();
         let target = v.instrs[beqz_rel].target().unwrap();
         assert!(v.is_branch_target(target));
         // …but g's entry (a call target) is not.
@@ -245,7 +241,10 @@ mod tests {
 
     #[test]
     fn straight_line_detection() {
-        let v = view_of("fn f(a) { var x = a + 1; var y = a * 2; return x + y; }", "f");
+        let v = view_of(
+            "fn f(a) { var x = a + 1; var y = a * 2; return x + y; }",
+            "f",
+        );
         let start = v.after_prologue();
         // Declarations are straight-line code.
         assert!(v.is_straight_line(start, start + 3));
@@ -259,11 +258,7 @@ mod tests {
     #[test]
     fn eval_slice_covers_condition_expression() {
         let v = view_of("fn f(a, b) { if (a + b > 3) { return 1; } return 0; }", "f");
-        let beqz_rel = v
-            .instrs
-            .iter()
-            .position(|i| i.op == Opcode::Beqz)
-            .unwrap();
+        let beqz_rel = v.instrs.iter().position(|i| i.op == Opcode::Beqz).unwrap();
         let reg = v.branch_cond_reg(beqz_rel).unwrap();
         let slice_start = v.eval_slice(reg, beqz_rel).unwrap();
         // Slice: ld a, ld b, add, ldi 3, cmplt  (5 instructions)

@@ -49,8 +49,8 @@
 
 pub mod accuracy;
 pub mod faultload;
-pub mod hardware;
 pub mod funcview;
+pub mod hardware;
 pub mod injector;
 pub mod operators;
 pub mod profile;

@@ -128,10 +128,7 @@ fn if_sites(func: &FuncView) -> Vec<IfSite> {
                 k > last
                     && k < end
                     && target_rel(func, &func.instrs[k]) == Some(end)
-                    && func
-                        .branch_cond_reg(k)
-                        .and_then(|r| func.eval_slice(r, k))
-                        == Some(last + 1)
+                    && func.branch_cond_reg(k).and_then(|r| func.eval_slice(r, k)) == Some(last + 1)
                     && func.is_straight_line(last + 1, k)
             });
             match next {
@@ -159,10 +156,7 @@ fn if_sites(func: &FuncView) -> Vec<IfSite> {
         if jumped_into {
             continue;
         }
-        let Some(cond_start) = func
-            .branch_cond_reg(i)
-            .and_then(|r| func.eval_slice(r, i))
-        else {
+        let Some(cond_start) = func.branch_cond_reg(i).and_then(|r| func.eval_slice(r, i)) else {
             continue;
         };
         sites.push(IfSite {
@@ -799,11 +793,7 @@ mod tests {
         // The statement call is the first call in the function.
         let vs = views(src);
         let v = vs.iter().find(|v| v.name == "f").unwrap();
-        let first_call = v
-            .instrs
-            .iter()
-            .position(|i| i.op == Opcode::Call)
-            .unwrap();
+        let first_call = v.instrs.iter().position(|i| i.op == Opcode::Call).unwrap();
         assert_eq!(ms[0].site, v.abs(first_call));
     }
 

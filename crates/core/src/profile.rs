@@ -131,8 +131,7 @@ impl ProfileSet {
         self.rows()
             .into_iter()
             .filter(|r| {
-                r.average_pct >= min_avg_pct
-                    && self.traces.iter().all(|t| t.count(&r.func) > 0)
+                r.average_pct >= min_avg_pct && self.traces.iter().all(|t| t.count(&r.func) > 0)
             })
             .map(|r| r.func)
             .collect()
@@ -143,8 +142,7 @@ impl ProfileSet {
         self.all_functions()
             .into_iter()
             .map(|func| {
-                let per_bt_pct: Vec<f64> =
-                    self.traces.iter().map(|t| t.share_pct(&func)).collect();
+                let per_bt_pct: Vec<f64> = self.traces.iter().map(|t| t.share_pct(&func)).collect();
                 let average_pct = if per_bt_pct.is_empty() {
                     0.0
                 } else {

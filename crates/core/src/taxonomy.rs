@@ -192,10 +192,7 @@ impl FaultType {
 
     /// Total field coverage of the whole faultload (Table 1's bottom row).
     pub fn total_coverage_pct() -> f64 {
-        FaultType::ALL
-            .iter()
-            .map(|t| t.field_coverage_pct())
-            .sum()
+        FaultType::ALL.iter().map(|t| t.field_coverage_pct()).sum()
     }
 }
 

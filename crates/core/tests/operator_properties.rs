@@ -36,11 +36,9 @@ impl Stmt {
             Stmt::AssignExpr(v, l, r) => {
                 format!("{} = {} + {} * 2;", var(*v), var(*l), var(*r))
             }
-            Stmt::IfGuarded(c, k, v, k2) => format!(
-                "if ({} > {k}) {{ {} = {k2}; }}",
-                var(*c),
-                var(*v)
-            ),
+            Stmt::IfGuarded(c, k, v, k2) => {
+                format!("if ({} > {k}) {{ {} = {k2}; }}", var(*c), var(*v))
+            }
             Stmt::IfAnd(c1, c2, v, k) => format!(
                 "if ({} > 0 && {} != {k}) {{ {} = {} + 1; }}",
                 var(*c1),
@@ -56,7 +54,11 @@ impl Stmt {
             ),
             Stmt::CallHelper(v) => format!("helper({});", var(*v)),
             Stmt::MemWrite(addr, v) => {
-                format!("mem[{}] = {};", 1000 + (addr.unsigned_abs() % 1000), var(*v))
+                format!(
+                    "mem[{}] = {};",
+                    1000 + (addr.unsigned_abs() % 1000),
+                    var(*v)
+                )
             }
             Stmt::Return(v) => format!("return {};", var(*v)),
         }
@@ -79,7 +81,10 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
 }
 
 fn program_source(stmts: &[Stmt]) -> String {
-    let body: String = stmts.iter().map(|s| format!("    {}\n", s.to_source())).collect();
+    let body: String = stmts
+        .iter()
+        .map(|s| format!("    {}\n", s.to_source()))
+        .collect();
     format!(
         "fn helper(v) {{ return v + 1; }}\n\
          fn main(a, b) {{\n    var x = 1;\n    var y = 2;\n    var z = 0;\n{body}    return x + y + z;\n}}"

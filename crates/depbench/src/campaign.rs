@@ -7,15 +7,70 @@
 //! system is allowed to recover — we model it by resetting the OS kernel
 //! state and starting a fresh server process, keeping slots independent and
 //! the campaign repeatable).
+//!
+//! Slots are *independent* — each derives its random stream from
+//! `(seed, iteration, slot index)` and starts from a fresh generator and
+//! pristine OS state — so the campaign can run them on several worker
+//! threads ([`CampaignConfig::parallelism`]) with results bit-identical to
+//! the sequential run (see [`crate::executor`]).
+
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimRng};
 use simos::{Edition, Os};
 use specweb::{FileSet, FileSetConfig, IntervalMeasures, RequestGenerator};
-use swfit_core::{Faultload, Injector};
-use webserver::{ServerKind, ServerState};
+use swfit_core::{Faultload, InjectError, Injector};
+use webserver::{ServerKind, ServerState, WebServer};
 
+use crate::executor::run_slots;
 use crate::interval::{run_interval, IntervalConfig, WatchdogCounts};
+
+/// Why a campaign run could not produce a result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The faultload carries a fingerprint that does not match the booted
+    /// OS image — it was generated from a different build, and injecting it
+    /// would patch arbitrary words.
+    FingerprintMismatch {
+        /// The faultload's declared target.
+        target: String,
+        /// The edition the campaign tried to run against.
+        edition: Edition,
+    },
+    /// The OS failed to compile or boot.
+    BootFailed(String),
+    /// A fault could not be injected into the image.
+    InjectFailed(InjectError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::FingerprintMismatch { target, edition } => write!(
+                f,
+                "faultload `{target}` was generated from a different {edition} build"
+            ),
+            CampaignError::BootFailed(m) => write!(f, "OS boot failed: {m}"),
+            CampaignError::InjectFailed(e) => write!(f, "fault injection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::InjectFailed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InjectError> for CampaignError {
+    fn from(e: InjectError) -> CampaignError {
+        CampaignError::InjectFailed(e)
+    }
+}
 
 /// Campaign parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -29,8 +84,13 @@ pub struct CampaignConfig {
     pub warmup: SimDuration,
     /// VM instruction budget per OS call (hang detector).
     pub os_budget: u64,
-    /// Base RNG seed; iteration `i` uses `seed + i`.
+    /// Base RNG seed; iteration `i` and slot `s` use the stream
+    /// `SimRng::derive(seed, &[i, s])`.
     pub seed: u64,
+    /// Worker threads running fault slots. `1` (or `0`) runs sequentially
+    /// on the caller's thread; results are bit-identical either way.
+    #[serde(default)]
+    pub parallelism: usize,
 }
 
 impl Default for CampaignConfig {
@@ -41,11 +101,19 @@ impl Default for CampaignConfig {
             warmup: SimDuration::from_millis(400),
             os_budget: 300_000,
             seed: 20040628, // DSN 2004
+            parallelism: 1,
         }
     }
 }
 
 impl CampaignConfig {
+    /// A fluent builder starting from [`CampaignConfig::default`].
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
+            config: CampaignConfig::default(),
+        }
+    }
+
     /// The paper-faithful time mapping: each fault is applied for a full
     /// 10-second slot (the paper chose 10 s because the average operation
     /// takes under a second — the same ratio holds here, where operations
@@ -60,6 +128,74 @@ impl CampaignConfig {
             },
             ..CampaignConfig::default()
         }
+    }
+}
+
+/// Builds a [`CampaignConfig`] fluently.
+///
+/// # Example
+///
+/// ```
+/// use depbench::CampaignConfig;
+///
+/// let cfg = CampaignConfig::builder()
+///     .seed(7)
+///     .parallelism(4)
+///     .build();
+/// assert_eq!(cfg.seed, 7);
+/// assert_eq!(cfg.parallelism, 4);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfigBuilder {
+    config: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Sets the per-slot interval configuration.
+    #[must_use]
+    pub fn interval(mut self, interval: IntervalConfig) -> Self {
+        self.config.interval = interval;
+        self
+    }
+
+    /// Sets the file-set shape.
+    #[must_use]
+    pub fn fileset(mut self, fileset: FileSetConfig) -> Self {
+        self.config.fileset = fileset;
+        self
+    }
+
+    /// Sets the pre-injection warm-up duration.
+    #[must_use]
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.config.warmup = warmup;
+        self
+    }
+
+    /// Sets the per-call VM instruction budget.
+    #[must_use]
+    pub fn os_budget(mut self, os_budget: u64) -> Self {
+        self.config.os_budget = os_budget;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads for fault slots.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> CampaignConfig {
+        self.config
     }
 }
 
@@ -112,6 +248,35 @@ impl CampaignResult {
     }
 }
 
+/// One worker's private benchmark stack: a booted OS with the populated
+/// file set, a server process, a pristine request-generator template (cloned
+/// fresh for every slot, so slots stay independent), and an injector.
+///
+/// `pristine_devices` snapshots the device tree right after population;
+/// every slot starts by restoring it, because served traffic mutates the
+/// tree (POST log files) and a slot's outcome must depend only on
+/// `(iteration, slot)`, never on what ran before on this worker.
+struct WorkerStack {
+    os: Os,
+    server: Box<dyn WebServer>,
+    generator_template: RequestGenerator,
+    injector: Injector,
+    pristine_devices: simos::DeviceStore,
+}
+
+impl WorkerStack {
+    /// The rest-interval recovery (Fig. 4): restore the document tree to
+    /// its populated snapshot, reset OS state, and replace the server with
+    /// a fresh process. After this, the slot's outcome depends only on
+    /// `(iteration, slot)` — not on what this worker ran before, which is
+    /// what makes parallel execution bit-identical to sequential.
+    fn reset(&mut self, kind: ServerKind) {
+        *self.os.devices_mut() = self.pristine_devices.clone();
+        self.os.reset_state().expect("pristine OS state resets");
+        self.server = kind.build();
+    }
+}
+
 /// A configured campaign for one (edition, server) pair.
 #[derive(Clone, Debug)]
 pub struct Campaign {
@@ -135,143 +300,222 @@ impl Campaign {
         &self.config
     }
 
-    fn boot(&self) -> (Os, RequestGenerator) {
+    fn boot(&self) -> Result<(Os, RequestGenerator), CampaignError> {
         let mut os = Os::boot_with_budget(self.edition, self.config.os_budget)
-            .expect("embedded OS source compiles and boots");
+            .map_err(CampaignError::BootFailed)?;
         let fs = FileSet::populate(self.config.fileset, os.devices_mut());
-        (os, RequestGenerator::new(fs))
+        Ok((os, RequestGenerator::new(fs)))
+    }
+
+    /// One worker's stack. Only called after a probe boot has succeeded, so
+    /// a failure here would be a bug (the compiled image is cached).
+    fn worker_stack(&self, injector: Injector) -> WorkerStack {
+        let (os, generator_template) = self
+            .boot()
+            .expect("a probe boot of this edition already succeeded");
+        let pristine_devices = os.devices().clone();
+        WorkerStack {
+            os,
+            server: self.server.build(),
+            generator_template,
+            injector,
+            pristine_devices,
+        }
+    }
+
+    /// The derived random stream for one `(iteration, slot)` pair — the
+    /// splittable seeding that makes parallel slot execution bit-identical
+    /// to sequential.
+    fn slot_rng(&self, iteration: u64, slot: usize) -> SimRng {
+        SimRng::derive(self.config.seed, &[iteration, slot as u64])
     }
 
     /// Baseline run without the injector (Table 4's "Max. Perf." row).
-    pub fn run_baseline(&self, iteration: u64) -> IntervalMeasures {
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::BootFailed`] when the OS cannot compile or boot.
+    pub fn run_baseline(&self, iteration: u64) -> Result<IntervalMeasures, CampaignError> {
         self.run_fault_free(iteration, SimDuration::ZERO)
     }
 
     /// Baseline run with the injector in profile mode: all campaign
     /// bookkeeping happens, the target is never mutated, and the injector's
     /// busy time loads the server machine (Table 4's "Profile mode" row).
-    pub fn run_profile_mode(&self, iteration: u64) -> IntervalMeasures {
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::BootFailed`] when the OS cannot compile or boot.
+    pub fn run_profile_mode(&self, iteration: u64) -> Result<IntervalMeasures, CampaignError> {
         // Bookkeeping cost scales with the slot (scan-map lookups, logging):
         // ~0.7 % of the slot, matching the paper's sub-2 % observed overhead.
         let busy = self.config.interval.duration / 150;
         self.run_fault_free(iteration, busy)
     }
 
-    fn run_fault_free(&self, iteration: u64, injector_busy: SimDuration) -> IntervalMeasures {
-        let (mut os, mut generator) = self.boot();
-        let mut rng = SimRng::seed_from_u64(self.config.seed + iteration);
-        let mut injector = Injector::profile_mode();
-        let mut server = self.server.build();
-        assert!(server.start(&mut os), "baseline start must succeed");
-        let mut total: Option<IntervalMeasures> = None;
+    fn run_fault_free(
+        &self,
+        iteration: u64,
+        injector_busy: SimDuration,
+    ) -> Result<IntervalMeasures, CampaignError> {
+        // Probe boot: validates the edition compiles/boots once, up front,
+        // so worker boots cannot fail later.
+        let _probe = self.boot()?;
         let cfg = IntervalConfig {
             injector_busy,
             ..self.config.interval
         };
         // Several slots, mirroring the slotted campaign structure (same
         // rest-interval recovery between slots as the injection campaign).
-        for slot in 0..8 {
-            os.reset_state().expect("pristine OS state resets");
-            assert!(server.start(&mut os), "baseline restart succeeds");
-            if injector_busy > SimDuration::ZERO {
-                // Profile-mode bookkeeping: a no-op inject/restore cycle.
-                let fake = swfit_core::FaultDef {
-                    id: format!("profile-{slot}"),
-                    fault_type: swfit_core::FaultType::Mifs,
-                    func: String::new(),
-                    site: 0,
-                    patches: vec![],
-                    note: String::new(),
-                };
-                injector.inject(os.image_mut(), &fake).expect("profile inject");
-            }
-            let out = run_interval(&mut os, server.as_mut(), &mut generator, &mut rng, &cfg);
-            injector.restore(os.image_mut());
+        const SLOTS: usize = 8;
+        let per_slot: Vec<IntervalMeasures> = run_slots(
+            self.config.parallelism,
+            SLOTS,
+            || self.worker_stack(Injector::profile_mode()),
+            |stack, slot| {
+                stack.reset(self.server);
+                assert!(stack.server.start(&mut stack.os), "baseline start succeeds");
+                if injector_busy > SimDuration::ZERO {
+                    // Profile-mode bookkeeping: a no-op inject/restore cycle.
+                    let fake = swfit_core::FaultDef {
+                        id: format!("profile-{slot}"),
+                        fault_type: swfit_core::FaultType::Mifs,
+                        func: String::new(),
+                        site: 0,
+                        patches: vec![],
+                        note: String::new(),
+                    };
+                    stack
+                        .injector
+                        .inject(stack.os.image_mut(), &fake)
+                        .expect("profile inject");
+                }
+                let mut generator = stack.generator_template.clone();
+                let mut rng = self.slot_rng(iteration, slot);
+                let out = run_interval(
+                    &mut stack.os,
+                    stack.server.as_mut(),
+                    &mut generator,
+                    &mut rng,
+                    &cfg,
+                );
+                stack.injector.restore(stack.os.image_mut());
+                out.measures
+            },
+        );
+        // Fold in slot order so float accumulation matches at any
+        // parallelism.
+        let mut total: Option<IntervalMeasures> = None;
+        for measures in per_slot {
             match &mut total {
-                Some(t) => t.merge(&out.measures),
-                None => total = Some(out.measures),
+                Some(t) => t.merge(&measures),
+                None => total = Some(measures),
             }
         }
-        total.expect("at least one slot ran")
+        Ok(total.expect("at least one slot ran"))
     }
 
-    /// Runs the full injection campaign: one slot per fault.
+    /// Runs the full injection campaign: one slot per fault, sharded over
+    /// [`CampaignConfig::parallelism`] workers. Results are bit-identical
+    /// across parallelism settings.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `faultload` carries a fingerprint that does not match the
-    /// booted OS image — injecting a faultload generated from a different
-    /// build would patch arbitrary words.
-    pub fn run_injection(&self, faultload: &Faultload, iteration: u64) -> CampaignResult {
-        let (mut os, mut generator) = self.boot();
-        assert!(
-            faultload.matches_image(os.program().image()),
-            "faultload `{}` was generated from a different {} build",
-            faultload.target,
-            self.edition
-        );
-        let mut rng = SimRng::seed_from_u64(self.config.seed + iteration);
-        let mut injector = Injector::new();
-        let mut server = self.server.build();
-        let mut slots = Vec::with_capacity(faultload.len());
-        let mut total: Option<IntervalMeasures> = None;
-        let mut watchdog = WatchdogCounts::default();
-
-        for fault in &faultload.faults {
-            // Rest interval: recover the system, keep the device files, and
-            // bring the server up on the pristine OS — the fault arrives
-            // while the server is already running, as in the paper's
-            // continuously-operating setup.
-            os.reset_state().expect("pristine OS state resets");
-            let started = server.start(&mut os);
-            debug_assert!(started, "fault-free startup succeeds");
-            // Warm-up traffic before the fault arrives (the paper's server
-            // runs continuously; the fault hits a warm, serving process).
-            let warmup_cfg = IntervalConfig {
-                duration: self.config.warmup,
-                ..self.config.interval
-            };
-            let _ = run_interval(
-                &mut os,
-                server.as_mut(),
-                &mut generator,
-                &mut rng,
-                &warmup_cfg,
-            );
-            injector
-                .inject(os.image_mut(), fault)
-                .expect("faultload patches fit the image");
-            let mut slot_watchdog = WatchdogCounts::default();
-            let out = run_interval(
-                &mut os,
-                server.as_mut(),
-                &mut generator,
-                &mut rng,
-                &self.config.interval,
-            );
-            injector.restore(os.image_mut());
-            slot_watchdog.merge(out.watchdog);
-            watchdog.merge(slot_watchdog);
-            let ended_dead = out.end_state != ServerState::Running;
-            match &mut total {
-                Some(t) => t.merge(&out.measures),
-                None => total = Some(out.measures.clone()),
-            }
-            slots.push(SlotResult {
-                fault_id: fault.id.clone(),
-                measures: out.measures,
-                watchdog: slot_watchdog,
-                ended_dead,
+    /// * [`CampaignError::BootFailed`] — the OS does not compile or boot;
+    /// * [`CampaignError::FingerprintMismatch`] — `faultload` was generated
+    ///   from a different build of this edition;
+    /// * [`CampaignError::InjectFailed`] — a fault's patches do not fit the
+    ///   image.
+    pub fn run_injection(
+        &self,
+        faultload: &Faultload,
+        iteration: u64,
+    ) -> Result<CampaignResult, CampaignError> {
+        let (probe, _) = self.boot()?;
+        if !faultload.matches_image(probe.program().image()) {
+            return Err(CampaignError::FingerprintMismatch {
+                target: faultload.target.clone(),
+                edition: self.edition,
             });
         }
+        drop(probe);
 
-        CampaignResult {
+        let per_slot: Vec<Result<SlotResult, CampaignError>> = run_slots(
+            self.config.parallelism,
+            faultload.len(),
+            || self.worker_stack(Injector::new()),
+            |stack, slot| self.run_one_fault_slot(stack, &faultload.faults[slot], iteration, slot),
+        );
+
+        let mut slots = Vec::with_capacity(per_slot.len());
+        for result in per_slot {
+            slots.push(result?);
+        }
+        let mut total: Option<IntervalMeasures> = None;
+        let mut watchdog = WatchdogCounts::default();
+        for slot in &slots {
+            watchdog.merge(slot.watchdog);
+            match &mut total {
+                Some(t) => t.merge(&slot.measures),
+                None => total = Some(slot.measures.clone()),
+            }
+        }
+
+        Ok(CampaignResult {
             edition: self.edition,
             server: self.server,
             measures: total.unwrap_or_else(|| IntervalMeasures::new(self.config.interval.conns)),
             watchdog,
             slots,
-        }
+        })
+    }
+
+    /// One Fig. 4 slot: rest-interval recovery, warm-up, inject, exercise,
+    /// restore. Depends only on `(iteration, slot)` — never on which worker
+    /// runs it or what ran before on this worker.
+    fn run_one_fault_slot(
+        &self,
+        stack: &mut WorkerStack,
+        fault: &swfit_core::FaultDef,
+        iteration: u64,
+        slot: usize,
+    ) -> Result<SlotResult, CampaignError> {
+        // Rest interval: recover the system and bring the server up on the
+        // pristine OS — the fault arrives while the server is already
+        // running, as in the paper's continuously-operating setup.
+        stack.reset(self.server);
+        let started = stack.server.start(&mut stack.os);
+        debug_assert!(started, "fault-free startup succeeds");
+        let mut generator = stack.generator_template.clone();
+        let mut rng = self.slot_rng(iteration, slot);
+        // Warm-up traffic before the fault arrives (the paper's server
+        // runs continuously; the fault hits a warm, serving process).
+        let warmup_cfg = IntervalConfig {
+            duration: self.config.warmup,
+            ..self.config.interval
+        };
+        let _ = run_interval(
+            &mut stack.os,
+            stack.server.as_mut(),
+            &mut generator,
+            &mut rng,
+            &warmup_cfg,
+        );
+        stack.injector.inject(stack.os.image_mut(), fault)?;
+        let out = run_interval(
+            &mut stack.os,
+            stack.server.as_mut(),
+            &mut generator,
+            &mut rng,
+            &self.config.interval,
+        );
+        stack.injector.restore(stack.os.image_mut());
+        Ok(SlotResult {
+            fault_id: fault.id.clone(),
+            watchdog: out.watchdog,
+            ended_dead: out.end_state != ServerState::Running,
+            measures: out.measures,
+        })
     }
 }
 
@@ -281,14 +525,13 @@ mod tests {
     use swfit_core::Scanner;
 
     fn quick_config() -> CampaignConfig {
-        CampaignConfig {
-            interval: IntervalConfig {
+        CampaignConfig::builder()
+            .interval(IntervalConfig {
                 duration: SimDuration::from_millis(300),
                 ..IntervalConfig::default()
-            },
-            os_budget: 150_000,
-            ..CampaignConfig::default()
-        }
+            })
+            .os_budget(150_000)
+            .build()
     }
 
     fn small_faultload(edition: Edition, n: usize) -> Faultload {
@@ -311,7 +554,7 @@ mod tests {
         // One paper slot holds many operations (avg op well under 1 s).
         let c = Campaign::new(Edition::Nimbus2000, ServerKind::Heron, cfg);
         let fl = small_faultload(Edition::Nimbus2000, 2);
-        let res = c.run_injection(&fl, 0);
+        let res = c.run_injection(&fl, 0).unwrap();
         for slot in &res.slots {
             assert!(slot.measures.ops() > 200, "ops {}", slot.measures.ops());
         }
@@ -320,18 +563,15 @@ mod tests {
     #[test]
     fn baseline_beats_faulty_run() {
         let c = Campaign::new(Edition::Nimbus2000, ServerKind::Heron, quick_config());
-        let baseline = c.run_baseline(0);
+        let baseline = c.run_baseline(0).unwrap();
         assert!(baseline.thr() > 40.0, "thr {}", baseline.thr());
         assert_eq!(baseline.er_pct(), 0.0);
 
         let fl = small_faultload(Edition::Nimbus2000, 25);
-        let res = c.run_injection(&fl, 0);
+        let res = c.run_injection(&fl, 0).unwrap();
         assert_eq!(res.slots.len(), 25);
         // Faults cost something: either errors or interventions show up.
-        assert!(
-            res.affected_slots() > 0,
-            "no fault had any visible effect"
-        );
+        assert!(res.affected_slots() > 0, "no fault had any visible effect");
         // "Missing construct" faults can *remove* OS work, so individual
         // slots may run marginally faster than baseline; the aggregate must
         // still stay in the same band rather than above it.
@@ -341,8 +581,8 @@ mod tests {
     #[test]
     fn profile_mode_overhead_is_small() {
         let c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
-        let max_perf = c.run_baseline(0);
-        let profiled = c.run_profile_mode(0);
+        let max_perf = c.run_baseline(0).unwrap();
+        let profiled = c.run_profile_mode(0).unwrap();
         assert_eq!(profiled.er_pct(), 0.0, "profile mode must not break ops");
         let deg = (max_perf.thr() - profiled.thr()) / max_perf.thr();
         assert!(deg.abs() < 0.05, "profile-mode degradation {deg}");
@@ -352,8 +592,8 @@ mod tests {
     fn injection_campaign_is_repeatable() {
         let c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
         let fl = small_faultload(Edition::Nimbus2000, 10);
-        let a = c.run_injection(&fl, 1);
-        let b = c.run_injection(&fl, 1);
+        let a = c.run_injection(&fl, 1).unwrap();
+        let b = c.run_injection(&fl, 1).unwrap();
         assert_eq!(a.measures.ops(), b.measures.ops());
         assert_eq!(a.measures.errors(), b.measures.errors());
         assert_eq!(a.watchdog, b.watchdog);
@@ -365,12 +605,47 @@ mod tests {
         let fl = small_faultload(Edition::Nimbus2000, 8);
         let pristine = Os::boot(Edition::Nimbus2000).unwrap();
         let words = pristine.program().image().words().to_vec();
-        let res = c.run_injection(&fl, 0);
+        let res = c.run_injection(&fl, 0).unwrap();
         assert_eq!(res.slots.len(), 8);
         // A fresh boot of the campaign OS would have identical code; the
         // campaign's own OS is dropped, so check restore bookkeeping via a
         // re-run determinism proxy plus pristine-word equality of a re-scan.
         let os2 = Os::boot(Edition::Nimbus2000).unwrap();
         assert_eq!(os2.program().image().words(), &words[..]);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let fl = small_faultload(Edition::Nimbus2000, 8);
+        let run = |parallelism: usize| {
+            let cfg = CampaignConfig::builder()
+                .interval(IntervalConfig {
+                    duration: SimDuration::from_millis(200),
+                    ..IntervalConfig::default()
+                })
+                .os_budget(150_000)
+                .parallelism(parallelism)
+                .build();
+            Campaign::new(Edition::Nimbus2000, ServerKind::Wren, cfg)
+                .run_injection(&fl, 0)
+                .unwrap()
+        };
+        let sequential = serde_json::to_string(&run(1)).unwrap();
+        let parallel = serde_json::to_string(&run(4)).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_an_error_not_a_panic() {
+        let mut fl = small_faultload(Edition::Nimbus2000, 3);
+        fl.fingerprint = Some(0xDEAD_BEEF);
+        let c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        match c.run_injection(&fl, 0) {
+            Err(CampaignError::FingerprintMismatch { target, edition }) => {
+                assert_eq!(target, fl.target);
+                assert_eq!(edition, Edition::Nimbus2000);
+            }
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
     }
 }

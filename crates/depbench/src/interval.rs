@@ -188,7 +188,11 @@ pub fn run_interval(
         let complete = server_free + transfer;
         let rt = complete.since(now);
         let error = !result.is_correct_for(&req);
-        let backoff = if error { cfg.error_backoff } else { SimDuration::ZERO };
+        let backoff = if error {
+            cfg.error_backoff
+        } else {
+            SimDuration::ZERO
+        };
         // The client perceives the backoff as part of the failed operation.
         measures.record_op(conn, cells, error, rt + backoff);
         queue.schedule(complete + cfg.think + backoff, Event::Issue(conn));
@@ -262,8 +266,7 @@ mod tests {
             let mut server = Wren::new();
             assert!(server.start(&mut os));
             let mut rng = SimRng::seed_from_u64(7);
-            let out =
-                run_interval(&mut os, &mut server, &mut generator, &mut rng, &quick_cfg());
+            let out = run_interval(&mut os, &mut server, &mut generator, &mut rng, &quick_cfg());
             (
                 out.measures.ops(),
                 out.measures.errors(),
@@ -294,7 +297,7 @@ mod tests {
 
     #[test]
     fn hung_server_is_killed_and_counted_kns() {
-        let (mut os_big, _) = setup(Edition::Nimbus2000);
+        let (os_big, _) = setup(Edition::Nimbus2000);
         drop(os_big);
         let mut os = Os::boot_with_budget(Edition::Nimbus2000, 60_000).unwrap();
         let fs = FileSet::populate(FileSetConfig::default(), os.devices_mut());

@@ -12,6 +12,9 @@
 //! * [`campaign`] — the slot structure of Fig. 4: one fault per slot,
 //!   inject → exercise → remove → rest, plus baseline and injector
 //!   profile-mode runs for the intrusiveness evaluation (Table 4);
+//! * [`executor`] — the parallel campaign engine: shards the independent
+//!   slots over worker threads with per-slot derived seeding, keeping
+//!   results bit-identical to the sequential run;
 //! * [`profilephase`] — the faultload fine-tuning of §2.4: drive all four
 //!   servers with the workload, trace their OS-API usage, intersect
 //!   (Table 2);
@@ -23,14 +26,19 @@
 //!   regenerators.
 
 pub mod campaign;
+pub mod executor;
 pub mod interval;
-pub mod opfaults;
 pub mod metrics;
+pub mod opfaults;
 pub mod profilephase;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, SlotResult};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError, CampaignResult, SlotResult,
+};
 pub use interval::{IntervalConfig, WatchdogCounts};
 pub use metrics::DependabilityMetrics;
-pub use opfaults::{apply_operator_fault, generate_operator_faults, undo_operator_fault, OperatorFault};
+pub use opfaults::{
+    apply_operator_fault, generate_operator_faults, undo_operator_fault, OperatorFault,
+};
 pub use profilephase::{profile_servers, ProfilePhaseConfig};

@@ -80,9 +80,8 @@ pub fn average_metrics(runs: &[DependabilityMetrics]) -> DependabilityMetrics {
     let sum_u32 = |f: fn(&DependabilityMetrics) -> u32| -> u32 {
         (runs.iter().map(|r| f(r) as f64).sum::<f64>() / n).round() as u32
     };
-    let sum_f = |f: fn(&DependabilityMetrics) -> f64| -> f64 {
-        runs.iter().map(f).sum::<f64>() / n
-    };
+    let sum_f =
+        |f: fn(&DependabilityMetrics) -> f64| -> f64 { runs.iter().map(f).sum::<f64>() / n };
     let avg_w = |f: fn(&WatchdogCounts) -> u64| -> u64 {
         (runs.iter().map(|r| f(&r.watchdog) as f64).sum::<f64>() / n).round() as u64
     };

@@ -121,7 +121,11 @@ pub fn undo_operator_fault(os: &mut Os, undo: OperatorUndo) {
 
 /// Generates a deterministic operator faultload over a file set: one
 /// delete, one truncate and one swap per directory sample.
-pub fn generate_operator_faults(fileset: &FileSet, rng: &mut SimRng, count: usize) -> Vec<OperatorFault> {
+pub fn generate_operator_faults(
+    fileset: &FileSet,
+    rng: &mut SimRng,
+    count: usize,
+) -> Vec<OperatorFault> {
     let entries = fileset.entries();
     let mut out = Vec::with_capacity(count);
     for i in 0..count {

@@ -61,7 +61,13 @@ pub fn profile_servers(
             duration: cfg.duration,
             ..cfg.interval
         };
-        let _ = run_interval(&mut os, server.as_mut(), &mut generator, &mut rng, &interval);
+        let _ = run_interval(
+            &mut os,
+            server.as_mut(),
+            &mut generator,
+            &mut rng,
+            &interval,
+        );
         let mut trace = ApiTrace::new();
         for (api, count) in os.api_counts() {
             trace.record(api.symbol(), *count);

@@ -80,7 +80,11 @@ pub fn generate(name: &str, items: &[Item]) -> Result<Program, CompileError> {
                 }
             }
             Item::Func(f) => {
-                if cg.func_sigs.insert(f.name.clone(), f.params.len()).is_some() {
+                if cg
+                    .func_sigs
+                    .insert(f.name.clone(), f.params.len())
+                    .is_some()
+                {
                     return Err(err(f.line, format!("duplicate function `{}`", f.name)));
                 }
             }
@@ -213,9 +217,7 @@ impl Codegen {
                     BinOp::Mul => a.wrapping_mul(b),
                     BinOp::Div if b != 0 => a.wrapping_div(b),
                     BinOp::Mod if b != 0 => a.wrapping_rem(b),
-                    BinOp::Div | BinOp::Mod => {
-                        return Err(err(line, "constant division by zero"))
-                    }
+                    BinOp::Div | BinOp::Mod => return Err(err(line, "constant division by zero")),
                     BinOp::And => a & b,
                     BinOp::Or => a | b,
                     BinOp::Xor => a ^ b,
@@ -738,10 +740,7 @@ impl Codegen {
 }
 
 /// Recursively collects `var` declarations (flat function scope).
-fn collect_locals(
-    stmts: &[Stmt],
-    locals: &mut BTreeMap<String, i64>,
-) -> Result<(), CompileError> {
+fn collect_locals(stmts: &[Stmt], locals: &mut BTreeMap<String, i64>) -> Result<(), CompileError> {
     for s in stmts {
         match s {
             Stmt::VarDecl { name, line, .. } => {

@@ -184,10 +184,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
-                let text: String = chars[start..i]
-                    .iter()
-                    .filter(|&&ch| ch != '_')
-                    .collect();
+                let text: String = chars[start..i].iter().filter(|&&ch| ch != '_').collect();
                 let digits = if radix == 16 { &text[2..] } else { &text[..] };
                 let value = i64::from_str_radix(digits, radix).map_err(|_| LexError {
                     line,

@@ -488,7 +488,11 @@ mod tests {
         let items = parse_src("const X = 1 + 2 * 3;").unwrap();
         match &items[0] {
             Item::Const { value, .. } => match value {
-                Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                Expr::Bin {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
                 }
                 other => panic!("bad tree: {other:?}"),
@@ -554,7 +558,10 @@ mod tests {
             Item::Func(f) => {
                 assert!(matches!(
                     &f.body[0],
-                    Stmt::Expr { expr: Expr::Call { .. }, .. }
+                    Stmt::Expr {
+                        expr: Expr::Call { .. },
+                        ..
+                    }
                 ));
                 assert!(matches!(&f.body[1], Stmt::Return { value: None, .. }));
             }

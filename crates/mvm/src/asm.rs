@@ -122,7 +122,9 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -226,15 +228,24 @@ fn parse_instr(
         }
         "mov" => {
             want(2)?;
-            Ok(Instr::mov(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?))
+            Ok(Instr::mov(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+            ))
         }
         "not" => {
             want(2)?;
-            Ok(Instr::not(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?))
+            Ok(Instr::not(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+            ))
         }
         "ldi" => {
             want(2)?;
-            Ok(Instr::ldi(parse_reg(ops[0], line)?, parse_imm(ops[1], line)?))
+            Ok(Instr::ldi(
+                parse_reg(ops[0], line)?,
+                parse_imm(ops[1], line)?,
+            ))
         }
         "addi" => {
             want(3)?;
@@ -414,10 +425,7 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let img = assemble(
-            "# header\n.func f\n   ; nothing\n\n  ret ; trailing\n",
-        )
-        .unwrap();
+        let img = assemble("# header\n.func f\n   ; nothing\n\n  ret ; trailing\n").unwrap();
         assert_eq!(img.len(), 1);
     }
 

@@ -231,10 +231,7 @@ impl CodeImage {
     /// Returns [`ImageError::AddressOutOfRange`] if any patch falls outside
     /// the image; in that case no patch is applied.
     pub fn apply(&mut self, patches: &[Patch]) -> Result<PatchSet, ImageError> {
-        if let Some(p) = patches
-            .iter()
-            .find(|p| p.addr as usize >= self.words.len())
-        {
+        if let Some(p) = patches.iter().find(|p| p.addr as usize >= self.words.len()) {
             return Err(ImageError::AddressOutOfRange(p.addr));
         }
         let mut entries = Vec::with_capacity(patches.len());

@@ -495,45 +495,39 @@ impl Instr {
         let zero = |r: Reg| r == Reg::ZERO;
         match self.op {
             Opcode::Nop | Opcode::Halt | Opcode::Ret
-                if (!zero(self.rd) || !zero(self.rs1) || !zero(self.rs2) || self.imm != 0) => {
-                    return err;
-                }
-            Opcode::Mov | Opcode::Not
-                if (!zero(self.rs2) || self.imm != 0) => {
-                    return err;
-                }
-            Opcode::Ldi
-                if (!zero(self.rs1) || !zero(self.rs2)) => {
-                    return err;
-                }
-            Opcode::Addi | Opcode::Muli | Opcode::Ld
-                if !zero(self.rs2) => {
-                    return err;
-                }
-            Opcode::St
-                if !zero(self.rd) => {
-                    return err;
-                }
+                if (!zero(self.rd) || !zero(self.rs1) || !zero(self.rs2) || self.imm != 0) =>
+            {
+                return err;
+            }
+            Opcode::Mov | Opcode::Not if (!zero(self.rs2) || self.imm != 0) => {
+                return err;
+            }
+            Opcode::Ldi if (!zero(self.rs1) || !zero(self.rs2)) => {
+                return err;
+            }
+            Opcode::Addi | Opcode::Muli | Opcode::Ld if !zero(self.rs2) => {
+                return err;
+            }
+            Opcode::St if !zero(self.rd) => {
+                return err;
+            }
             Opcode::Jmp | Opcode::Call | Opcode::Hcall
-                if (!zero(self.rd) || !zero(self.rs1) || !zero(self.rs2)) => {
-                    return err;
-                }
-            Opcode::Beqz | Opcode::Bnez
-                if (!zero(self.rd) || !zero(self.rs2)) => {
-                    return err;
-                }
-            Opcode::Push
-                if (!zero(self.rd) || !zero(self.rs2) || self.imm != 0) => {
-                    return err;
-                }
-            Opcode::Pop
-                if (!zero(self.rs1) || !zero(self.rs2) || self.imm != 0) => {
-                    return err;
-                }
-            op if op.is_alu3()
-                && self.imm != 0 => {
-                    return err;
-                }
+                if (!zero(self.rd) || !zero(self.rs1) || !zero(self.rs2)) =>
+            {
+                return err;
+            }
+            Opcode::Beqz | Opcode::Bnez if (!zero(self.rd) || !zero(self.rs2)) => {
+                return err;
+            }
+            Opcode::Push if (!zero(self.rd) || !zero(self.rs2) || self.imm != 0) => {
+                return err;
+            }
+            Opcode::Pop if (!zero(self.rs1) || !zero(self.rs2) || self.imm != 0) => {
+                return err;
+            }
+            op if op.is_alu3() && self.imm != 0 => {
+                return err;
+            }
             _ => {}
         }
         Ok(())

@@ -96,8 +96,13 @@ pub trait HcallHandler {
     ///
     /// Returns a [`Trap`] (usually [`Trap::BadHcall`]) for unknown numbers or
     /// invalid arguments.
-    fn hcall(&mut self, n: i32, at: u32, regs: &mut [i64; 32], mem: &mut Memory)
-        -> Result<(), Trap>;
+    fn hcall(
+        &mut self,
+        n: i32,
+        at: u32,
+        regs: &mut [i64; 32],
+        mem: &mut Memory,
+    ) -> Result<(), Trap>;
 }
 
 /// A handler that rejects every hypercall — for pure computational code.

@@ -2,7 +2,9 @@
 //! executes — mutated images run arbitrary instruction mixes, and every
 //! abnormal outcome must surface as a contained `Trap`.
 
-use mvm::{CallError, CodeImage, FuncInfo, Instr, Memory, NoHcalls, Opcode, Reg, Trap, Vm, VmConfig};
+use mvm::{
+    CallError, CodeImage, FuncInfo, Instr, Memory, NoHcalls, Opcode, Reg, Trap, Vm, VmConfig,
+};
 use proptest::prelude::*;
 
 /// Strategy: arbitrary *decodable* instructions with small-ish operands so
@@ -17,14 +19,30 @@ fn arb_instr(code_len: u32) -> impl Strategy<Value = Instr> {
         Just(Instr::ret()),
         (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::mov(a, b)),
         (reg.clone(), imm.clone()).prop_map(|(a, i)| Instr::ldi(a, i)),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(a, b, c)| Instr::alu3(Opcode::Add, a, b, c)),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(a, b, c)| Instr::alu3(Opcode::Div, a, b, c)),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(a, b, c)| Instr::alu3(Opcode::Mod, a, b, c)),
-        (reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(a, b, c)| Instr::alu3(Opcode::Shl, a, b, c)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Instr::alu3(
+            Opcode::Add,
+            a,
+            b,
+            c
+        )),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Instr::alu3(
+            Opcode::Div,
+            a,
+            b,
+            c
+        )),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Instr::alu3(
+            Opcode::Mod,
+            a,
+            b,
+            c
+        )),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Instr::alu3(
+            Opcode::Shl,
+            a,
+            b,
+            c
+        )),
         (reg.clone(), reg.clone(), imm.clone()).prop_map(|(a, b, i)| Instr::addi(a, b, i)),
         (reg.clone(), reg.clone(), imm.clone()).prop_map(|(a, b, i)| Instr::ld(a, b, i)),
         (reg.clone(), imm.clone(), reg.clone()).prop_map(|(b, i, s)| Instr::store(b, i, s)),

@@ -226,7 +226,10 @@ mod tests {
         let mut dev = DeviceStore::new();
         let id = dev.add_file("/web/a.html", b"abc");
         let mut mem = mem_with_path("/web/a.html");
-        assert_eq!(call(&mut dev, hc::LOOKUP, &[100], &mut mem).unwrap(), id as i64);
+        assert_eq!(
+            call(&mut dev, hc::LOOKUP, &[100], &mut mem).unwrap(),
+            id as i64
+        );
         let mut mem = mem_with_path("/missing");
         assert_eq!(call(&mut dev, hc::LOOKUP, &[100], &mut mem).unwrap(), -1);
     }

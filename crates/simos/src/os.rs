@@ -100,6 +100,38 @@ impl fmt::Display for OsCallError {
 
 impl std::error::Error for OsCallError {}
 
+/// Number of `minic::compile` runs performed by [`Os`] boots in this
+/// process — at most one per edition, thanks to the image cache.
+static OS_COMPILES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Compiles an edition's OS source once per process and hands out the cached
+/// [`Program`]. Booting an already-compiled edition clones the image instead
+/// of re-running the compiler, which is what makes per-worker OS instances
+/// in a parallel campaign affordable.
+fn compiled_program(edition: Edition) -> Result<&'static Program, String> {
+    use std::sync::OnceLock;
+    static CACHE: [OnceLock<Result<Program, String>>; Edition::ALL.len()] =
+        [OnceLock::new(), OnceLock::new()];
+    let slot = match edition {
+        Edition::Nimbus2000 => &CACHE[0],
+        Edition::NimbusXp => &CACHE[1],
+    };
+    slot.get_or_init(|| {
+        OS_COMPILES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        minic::compile(edition.name(), &os_source(edition))
+            .map_err(|e| format!("OS source does not compile: {e}"))
+    })
+    .as_ref()
+    .map_err(String::clone)
+}
+
+/// How many times an [`Os`] boot has actually invoked the compiler in this
+/// process. Bounded by the number of editions; lets tests verify that
+/// repeated boots hit the image cache.
+pub fn compile_count() -> u64 {
+    OS_COMPILES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A booted SimOS instance.
 #[derive(Debug)]
 pub struct Os {
@@ -131,8 +163,7 @@ impl Os {
     ///
     /// See [`Os::boot`].
     pub fn boot_with_budget(edition: Edition, budget: u64) -> Result<Os, String> {
-        let program = minic::compile(edition.name(), &os_source(edition))
-            .map_err(|e| format!("OS source does not compile: {e}"))?;
+        let program = compiled_program(edition)?.clone();
         let mut os = Os {
             edition,
             program,
@@ -237,9 +268,9 @@ impl Os {
                 self.devices.take_cost();
                 Err(OsCallError::Trap(t))
             }
-            Err(CallError::UnknownFunction(n)) => Err(OsCallError::Internal(format!(
-                "symbol `{n}` not linked"
-            ))),
+            Err(CallError::UnknownFunction(n)) => {
+                Err(OsCallError::Internal(format!("symbol `{n}` not linked")))
+            }
         }
     }
 
@@ -340,9 +371,35 @@ impl Os {
 mod tests {
     use super::*;
 
+    #[test]
+    fn repeated_boots_reuse_the_compiled_image() {
+        // Warm the cache for both editions, then boot repeatedly: the
+        // process-wide compile count must never exceed one per edition, no
+        // matter how many boots happen (or which test booted first).
+        for edition in Edition::ALL {
+            Os::boot(edition).expect("boots");
+        }
+        let after_warm = compile_count();
+        for _ in 0..4 {
+            for edition in Edition::ALL {
+                Os::boot(edition).expect("boots");
+            }
+        }
+        assert_eq!(compile_count(), after_warm, "a cached boot recompiled");
+        assert!(after_warm as usize <= Edition::ALL.len());
+    }
+
+    #[test]
+    fn cached_boots_are_identical_to_each_other() {
+        let a = Os::boot(Edition::Nimbus2000).expect("boots");
+        let b = Os::boot(Edition::Nimbus2000).expect("boots");
+        assert_eq!(a.program().image().words(), b.program().image().words());
+    }
+
     fn booted() -> Os {
         let mut os = Os::boot(Edition::Nimbus2000).expect("boots");
-        os.devices_mut().add_file("/web/index.html", b"<html>hi</html>");
+        os.devices_mut()
+            .add_file("/web/index.html", b"<html>hi</html>");
         os
     }
 
@@ -393,20 +450,19 @@ mod tests {
             .unwrap()
             .value;
         assert_eq!(rc, 0);
-        assert_eq!(
-            os.peek_cstr(SCRATCH + 300, 256).unwrap(),
-            "/web/index.html"
-        );
+        assert_eq!(os.peek_cstr(SCRATCH + 300, 256).unwrap(), "/web/index.html");
         // Forward slashes pass through.
         os.poke_cstr(SCRATCH, "C:/web/a.html").unwrap();
         os.call(OsApi::RtlDosPathToNative, &[SCRATCH, SCRATCH + 300])
             .unwrap();
         assert_eq!(os.peek_cstr(SCRATCH + 300, 256).unwrap(), "/web/a.html");
         // Invalid inputs are statuses, not crashes.
-        assert!(os
-            .call(OsApi::RtlDosPathToNative, &[0, SCRATCH + 300])
-            .unwrap()
-            .value < 0);
+        assert!(
+            os.call(OsApi::RtlDosPathToNative, &[0, SCRATCH + 300])
+                .unwrap()
+                .value
+                < 0
+        );
     }
 
     #[test]
@@ -478,11 +534,15 @@ mod tests {
         let mut os = booted();
         let cs = crate::source::CS_REGION;
         assert_eq!(
-            os.call(OsApi::RtlEnterCriticalSection, &[cs]).unwrap().value,
+            os.call(OsApi::RtlEnterCriticalSection, &[cs])
+                .unwrap()
+                .value,
             0
         );
         assert_eq!(
-            os.call(OsApi::RtlEnterCriticalSection, &[cs]).unwrap().value,
+            os.call(OsApi::RtlEnterCriticalSection, &[cs])
+                .unwrap()
+                .value,
             0
         );
         assert_eq!(os.peek(cs).unwrap(), 2);
@@ -490,7 +550,12 @@ mod tests {
         os.call(OsApi::RtlLeaveCriticalSection, &[cs]).unwrap();
         assert_eq!(os.peek(cs).unwrap(), 0);
         // Leaving an unowned section is a status error.
-        assert!(os.call(OsApi::RtlLeaveCriticalSection, &[cs]).unwrap().value < 0);
+        assert!(
+            os.call(OsApi::RtlLeaveCriticalSection, &[cs])
+                .unwrap()
+                .value
+                < 0
+        );
     }
 
     #[test]
@@ -530,10 +595,7 @@ mod tests {
         os.poke_cstr(buf, "abc").unwrap();
         let s = SCRATCH;
         os.call(OsApi::RtlInitUnicodeString, &[s, buf]).unwrap();
-        assert_eq!(
-            os.call(OsApi::RtlFreeUnicodeString, &[s]).unwrap().value,
-            0
-        );
+        assert_eq!(os.call(OsApi::RtlFreeUnicodeString, &[s]).unwrap().value, 0);
         assert_eq!(os.peek(s + 2).unwrap(), 0);
         // The buffer went back to the heap: the next alloc can reuse it.
         let again = os.call(OsApi::RtlAllocateHeap, &[32]).unwrap().value;
@@ -549,7 +611,9 @@ mod tests {
             .value;
         assert_eq!(old, 0);
         assert_eq!(
-            os.call(OsApi::NtQueryVirtualMemory, &[70_000]).unwrap().value,
+            os.call(OsApi::NtQueryVirtualMemory, &[70_000])
+                .unwrap()
+                .value,
             4
         );
         let old = os
@@ -558,7 +622,9 @@ mod tests {
             .value;
         assert_eq!(old, 4);
         assert_eq!(
-            os.call(OsApi::NtQueryVirtualMemory, &[99_999]).unwrap().value,
+            os.call(OsApi::NtQueryVirtualMemory, &[99_999])
+                .unwrap()
+                .value,
             0
         );
     }
@@ -628,7 +694,9 @@ mod tests {
         let mut os = booted();
         os.poke_cstr(SCRATCH, "config/port").unwrap();
         assert_eq!(
-            os.call(OsApi::NtSetValueKey, &[SCRATCH, 8080]).unwrap().value,
+            os.call(OsApi::NtSetValueKey, &[SCRATCH, 8080])
+                .unwrap()
+                .value,
             0
         );
         assert_eq!(

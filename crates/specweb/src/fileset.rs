@@ -127,10 +127,7 @@ mod tests {
         let mut dev = DeviceStore::new();
         let fs = FileSet::populate(FileSetConfig::default(), &mut dev);
         let cfg = FileSetConfig::default();
-        assert_eq!(
-            fs.entries().len(),
-            cfg.dirs * CLASSES * cfg.files_per_class
-        );
+        assert_eq!(fs.entries().len(), cfg.dirs * CLASSES * cfg.files_per_class);
         assert_eq!(dev.file_count(), fs.entries().len());
         for e in fs.entries() {
             assert_eq!(dev.file_size(&e.native_path), Some(e.len as usize));

@@ -63,8 +63,7 @@ impl RequestGenerator {
         };
         let class = rng.weighted(&CLASS_WEIGHTS);
         debug_assert!(class < CLASSES);
-        let in_class: Vec<&crate::fileset::FileEntry> =
-            self.fileset.class_entries(class).collect();
+        let in_class: Vec<&crate::fileset::FileEntry> = self.fileset.class_entries(class).collect();
         let idx = rng.zipf(in_class.len(), FILE_ZIPF_S);
         let entry = in_class[idx];
         Request {

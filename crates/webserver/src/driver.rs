@@ -172,7 +172,13 @@ pub fn startup_config(os: &mut Os, bufs: &Buffers) -> Result<u64, DriverError> {
         if os.poke_cstr(bufs.path_buf, key).is_err() {
             break;
         }
-        call(os, OsApi::NtSetValueKey, &[bufs.path_buf, value], m, &mut cost)?;
+        call(
+            os,
+            OsApi::NtSetValueKey,
+            &[bufs.path_buf, value],
+            m,
+            &mut cost,
+        )?;
         let got = call(os, OsApi::NtQueryValueKey, &[bufs.path_buf], m, &mut cost)?;
         if got != value {
             // Config store misbehaving: fall back to defaults, keep going.
@@ -209,7 +215,13 @@ pub fn serve_once(
     let mut degraded = false; // a status error was observed
 
     // ---- master: connection bookkeeping -------------------------------
-    call(os, OsApi::RtlEnterCriticalSection, &[bufs.cs], Phase::Master, &mut cost)?;
+    call(
+        os,
+        OsApi::RtlEnterCriticalSection,
+        &[bufs.cs],
+        Phase::Master,
+        &mut cost,
+    )?;
     let mut conn = call(os, OsApi::RtlAllocateHeap, &[24], Phase::Master, &mut cost)?;
     let mut conn_owned = conn > 0;
     if check && conn <= 0 {
@@ -237,7 +249,13 @@ pub fn serve_once(
         let b = call(os, OsApi::RtlAllocateHeap, &[32], w, &mut cost)?;
         if b > 0 {
             let _ = os.poke_cstr(b, header_text(hdr));
-            call(os, OsApi::RtlInitAnsiString, &[bufs.str_struct, b], w, &mut cost)?;
+            call(
+                os,
+                OsApi::RtlInitAnsiString,
+                &[bufs.str_struct, b],
+                w,
+                &mut cost,
+            )?;
             hdr_bufs.push(b);
         } else if check {
             // Header buffer refused: continue with fewer headers.
@@ -402,7 +420,13 @@ pub fn serve_once(
             w,
             &mut cost,
         )?;
-        call(os, OsApi::NtQueryVirtualMemory, &[bufs.data_buf], w, &mut cost)?;
+        call(
+            os,
+            OsApi::NtQueryVirtualMemory,
+            &[bufs.data_buf],
+            w,
+            &mut cost,
+        )?;
     }
 
     // ---- teardown -------------------------------------------------------
@@ -421,7 +445,13 @@ pub fn serve_once(
     } else {
         // Sloppy path: abandon handle, headers and connection record — the
         // leaks that snowball under a persistent OS fault.
-        call(os, OsApi::RtlLeaveCriticalSection, &[bufs.cs], Phase::Master, &mut cost)?;
+        call(
+            os,
+            OsApi::RtlLeaveCriticalSection,
+            &[bufs.cs],
+            Phase::Master,
+            &mut cost,
+        )?;
     }
 
     if check && failed {
@@ -466,7 +496,13 @@ fn teardown(
     if conn_owned {
         let _ = call(os, OsApi::RtlFreeHeap, &[conn], Phase::Master, cost)?;
     }
-    call(os, OsApi::RtlLeaveCriticalSection, &[bufs.cs], Phase::Master, cost)?;
+    call(
+        os,
+        OsApi::RtlLeaveCriticalSection,
+        &[bufs.cs],
+        Phase::Master,
+        cost,
+    )?;
     Ok(())
 }
 
@@ -499,7 +535,8 @@ mod tests {
     fn booted_with_file() -> (Os, Vec<i64>) {
         let mut os = Os::boot(Edition::Nimbus2000).unwrap();
         let content: Vec<i64> = (0..900).map(|i| (i * 13 + 7) % 256).collect();
-        os.devices_mut().add_file_cells("/web/dir0/class1_3", content.clone());
+        os.devices_mut()
+            .add_file_cells("/web/dir0/class1_3", content.clone());
         (os, content)
     }
 

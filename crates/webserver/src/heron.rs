@@ -250,7 +250,8 @@ mod tests {
     fn setup() -> (Os, Heron, Request) {
         let mut os = Os::boot(Edition::Nimbus2000).unwrap();
         let content: Vec<i64> = (0..500).map(|i| i % 200).collect();
-        os.devices_mut().add_file_cells("/web/dir1/class0_1", content.clone());
+        os.devices_mut()
+            .add_file_cells("/web/dir1/class0_1", content.clone());
         let mut h = Heron::new();
         assert!(h.start(&mut os));
         let req = Request {

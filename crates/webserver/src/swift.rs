@@ -81,7 +81,7 @@ impl WebServer for Swift {
         let bufs = self.bufs.expect("running server has buffers");
         self.seq += 1;
         self.stats.requests += 1;
-        
+
         match driver::serve_once(os, &bufs, &STYLE, req, self.seq) {
             Ok((outcome, mut cost)) => {
                 // Swift post-processes every response header through the

@@ -120,7 +120,8 @@ mod tests {
     fn setup() -> (Os, Wren, Request) {
         let mut os = Os::boot(Edition::Nimbus2000).unwrap();
         let content: Vec<i64> = (0..300).map(|i| i % 100).collect();
-        os.devices_mut().add_file_cells("/web/dir0/class0_0", content.clone());
+        os.devices_mut()
+            .add_file_cells("/web/dir0/class0_0", content.clone());
         let mut w = Wren::new();
         assert!(w.start(&mut os));
         let req = Request {

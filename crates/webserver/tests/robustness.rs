@@ -99,9 +99,9 @@ fn heron_worker_crash_limit_exhausts() {
     assert!(heron.start(&mut os));
     let req = get_req(&content);
     heron.serve(&mut os, &req); // healthy first
-    // A crash fault the *worker* keeps hitting: corrupt the heap free head
-    // before every request (the conn alloc is master-phase, so use a value
-    // that only breaks the *dynamic* allocation deeper in the sequence).
+                                // A crash fault the *worker* keeps hitting: corrupt the heap free head
+                                // before every request (the conn alloc is master-phase, so use a value
+                                // that only breaks the *dynamic* allocation deeper in the sequence).
     let mut crashes = 0;
     for _ in 0..64 {
         if heron.state() != ServerState::Running {

@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --release -p examples --bin compare_webservers`
 
-use depbench::{profile_servers, Campaign, CampaignConfig, DependabilityMetrics, ProfilePhaseConfig};
+use depbench::{
+    profile_servers, Campaign, CampaignConfig, DependabilityMetrics, ProfilePhaseConfig,
+};
 use simos::{Edition, Os};
 use swfit_core::Scanner;
 use webserver::ServerKind;
@@ -33,12 +35,16 @@ fn main() {
     faultload.faults = faultload.faults.into_iter().step_by(4).collect();
     println!("faultload: {} faults (sampled)\n", faultload.len());
 
-    let cfg = CampaignConfig::default();
+    let cfg = CampaignConfig::builder()
+        .parallelism(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .build();
     let mut rows = Vec::new();
     for kind in ServerKind::BENCHMARKED {
         let campaign = Campaign::new(edition, kind, cfg);
-        let baseline = campaign.run_profile_mode(0);
-        let result = campaign.run_injection(&faultload, 0);
+        let baseline = campaign.run_profile_mode(0).expect("profile mode runs");
+        let result = campaign
+            .run_injection(&faultload, 0)
+            .expect("injection campaign runs");
         let m = DependabilityMetrics::from_runs(&baseline, &result);
         println!(
             "{kind} ({}):  SPC {} -> {}   THR {:.1} -> {:.1}   ER% {:.1}   MIS {}  KNS {}  KCP {}  ADMf {}",
@@ -63,13 +69,21 @@ fn main() {
         "  error rate:    heron {:.1} % vs wren {:.1} %  -> {} propagates fewer errors",
         heron.er_pct_f,
         wren.er_pct_f,
-        if heron.er_pct_f <= wren.er_pct_f { "heron" } else { "wren" }
+        if heron.er_pct_f <= wren.er_pct_f {
+            "heron"
+        } else {
+            "wren"
+        }
     );
     println!(
         "  admin effort:  heron {} vs wren {}            -> {} needs less intervention",
         heron.admf(),
         wren.admf(),
-        if heron.admf() <= wren.admf() { "heron" } else { "wren" }
+        if heron.admf() <= wren.admf() {
+            "heron"
+        } else {
+            "wren"
+        }
     );
     println!(
         "  perf retained: heron {:.0} % vs wren {:.0} % of baseline THR",

@@ -22,11 +22,8 @@ fn main() {
 
     // 1. Checking-class operators only (MIA, MLAC, WLEC) — the ODC class
     //    that models missing/wrong validation.
-    let scanner = Scanner::with_operators(vec![
-        Box::new(MiaOp),
-        Box::new(MlacOp),
-        Box::new(WlecOp),
-    ]);
+    let scanner =
+        Scanner::with_operators(vec![Box::new(MiaOp), Box::new(MlacOp), Box::new(WlecOp)]);
     println!("custom library: {} operators", scanner.operator_count());
 
     // 2. Restrict the FIT to the file-handling services.
@@ -55,17 +52,20 @@ fn main() {
             println!("  {t:5} {n:3}");
         }
     }
-    assert!(faultload
-        .faults
-        .iter()
-        .all(|f| matches!(f.fault_type, FaultType::Mia | FaultType::Mlac | FaultType::Wlec)));
+    assert!(faultload.faults.iter().all(|f| matches!(
+        f.fault_type,
+        FaultType::Mia | FaultType::Mlac | FaultType::Wlec
+    )));
 
     // 3. The artifact round-trips like any other faultload.
     let json = faultload.to_json().expect("serializes");
     println!(
         "\nsaved {} bytes; first fault: {}",
         json.len(),
-        faultload.faults.first().map_or("none".into(), ToString::to_string)
+        faultload
+            .faults
+            .first()
+            .map_or("none".into(), ToString::to_string)
     );
 
     // Show where the faults sit, per function.

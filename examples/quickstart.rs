@@ -9,7 +9,7 @@
 //! Run with: `cargo run -p examples --bin quickstart`
 
 use mvm::{Memory, NoHcalls, Vm};
-use swfit_core::{Faultload, FaultType, Injector, Scanner};
+use swfit_core::{FaultType, Faultload, Injector, Scanner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small "target module": a bounded counter with validation.
@@ -60,7 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut result = 0;
         for amount in [50, 5000, 30, -7, 80] {
             result = vm
-                .call(program.image(), &mut mem, &mut NoHcalls, "account", &[amount])?
+                .call(
+                    program.image(),
+                    &mut mem,
+                    &mut NoHcalls,
+                    "account",
+                    &[amount],
+                )?
                 .return_value;
         }
         Ok(result)

@@ -24,7 +24,10 @@ fn main() {
             program.image().len(),
             faultload.len()
         );
-        println!("{:6} {:>9} {:>6} {:>8} {:>10} {:>8}", "type", "expected", "found", "matched", "precision", "recall");
+        println!(
+            "{:6} {:>9} {:>6} {:>8} {:>10} {:>8}",
+            "type", "expected", "found", "matched", "precision", "recall"
+        );
         for (t, pr) in &report.per_type {
             println!(
                 "{:6} {:>9} {:>6} {:>8} {:>9.1}% {:>7.1}%",

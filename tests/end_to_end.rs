@@ -58,10 +58,7 @@ fn profiling_selects_a_covering_intersection() {
 fn tuned_faultload_covers_most_fault_types() {
     let fl = sampled_faultload(Edition::Nimbus2000, 1);
     let counts = fl.counts_by_type();
-    let present = FaultType::ALL
-        .iter()
-        .filter(|t| counts[t] > 0)
-        .count();
+    let present = FaultType::ALL.iter().filter(|t| counts[t] > 0).count();
     assert!(present >= 10, "only {present} fault types present");
     assert!(fl.len() > 150, "faultload suspiciously small: {}", fl.len());
     // Faults are confined to the selected FIT functions.
@@ -82,13 +79,16 @@ fn campaign_produces_paper_shaped_metrics() {
     let mut results = Vec::new();
     for kind in ServerKind::BENCHMARKED {
         let campaign = Campaign::new(edition, kind, quick_config());
-        let baseline = campaign.run_profile_mode(0);
-        let res = campaign.run_injection(&fl, 0);
+        let baseline = campaign.run_profile_mode(0).expect("profile mode runs");
+        let res = campaign.run_injection(&fl, 0).expect("campaign runs");
         let m = DependabilityMetrics::from_runs(&baseline, &res);
         // Sanity: the faultload bites but does not zero the service.
         assert!(m.er_pct_f > 0.0, "{kind}: no errors at all");
         assert!(m.thr_f > 0.25 * m.thr_baseline, "{kind}: service collapsed");
-        assert!(m.thr_f < 1.15 * m.thr_baseline, "{kind}: faster under faults");
+        assert!(
+            m.thr_f < 1.15 * m.thr_baseline,
+            "{kind}: faster under faults"
+        );
         results.push(m);
     }
     let (heron, wren) = (&results[0], &results[1]);
@@ -114,7 +114,7 @@ fn watchdog_counters_match_slot_sums() {
     let edition = Edition::Nimbus2000;
     let fl = sampled_faultload(edition, 12);
     let campaign = Campaign::new(edition, ServerKind::Wren, quick_config());
-    let res = campaign.run_injection(&fl, 0);
+    let res = campaign.run_injection(&fl, 0).expect("campaign runs");
     let mis: u64 = res.slots.iter().map(|s| s.watchdog.mis).sum();
     let kns: u64 = res.slots.iter().map(|s| s.watchdog.kns).sum();
     let kcp: u64 = res.slots.iter().map(|s| s.watchdog.kcp).sum();
@@ -160,12 +160,15 @@ fn operator_faults_compose_with_the_interval() {
 fn hardware_faultload_runs_through_campaign() {
     use swfit_core::HardwareFaultload;
     let os = Os::boot(Edition::Nimbus2000).unwrap();
-    let api: Vec<String> = OsApi::TABLE2.iter().map(|f| f.symbol().to_string()).collect();
+    let api: Vec<String> = OsApi::TABLE2
+        .iter()
+        .map(|f| f.symbol().to_string())
+        .collect();
     let mut hw = HardwareFaultload::generate(os.program().image(), Some(&api), 1).as_faultload();
     hw.faults = hw.faults.into_iter().step_by(40).collect();
     assert!(!hw.faults.is_empty());
     let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
-    let res = campaign.run_injection(&hw, 0);
+    let res = campaign.run_injection(&hw, 0).expect("campaign runs");
     assert_eq!(res.slots.len(), hw.faults.len());
     // Bit flips execute; the run completes with contained outcomes only.
     assert!(res.measures.ops() > 0);
@@ -177,4 +180,40 @@ fn faultload_artifact_roundtrips_through_json() {
     let json = fl.to_json().expect("serializes");
     let back = Faultload::from_json(&json).expect("parses");
     assert_eq!(back, fl);
+}
+
+/// The parallel executor must be invisible in the results: the full
+/// `CampaignResult` serialized as JSON is byte-identical whether the slots
+/// ran on one worker or four.
+#[test]
+fn parallel_campaign_is_byte_identical_to_sequential() {
+    let edition = Edition::Nimbus2000;
+    let fl = sampled_faultload(edition, 12);
+    assert!(fl.len() >= 8, "need enough slots to shard");
+    let run = |parallelism: usize| {
+        let cfg = CampaignConfig {
+            parallelism,
+            ..quick_config()
+        };
+        let campaign = Campaign::new(edition, ServerKind::Heron, cfg);
+        let res = campaign.run_injection(&fl, 1).expect("campaign runs");
+        serde_json::to_string(&res).expect("serializes")
+    };
+    assert_eq!(run(1), run(4));
+}
+
+/// A faultload whose fingerprint does not match the booted image must come
+/// back as a typed error, not a panic.
+#[test]
+fn stale_faultload_fingerprint_is_a_typed_error() {
+    use depbench::CampaignError;
+    let mut fl = sampled_faultload(Edition::Nimbus2000, 20);
+    fl.fingerprint = Some(0x0BAD_F00D);
+    let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Heron, quick_config());
+    match campaign.run_injection(&fl, 0) {
+        Err(CampaignError::FingerprintMismatch { edition, .. }) => {
+            assert_eq!(edition, Edition::Nimbus2000);
+        }
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
 }

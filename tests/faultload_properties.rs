@@ -46,14 +46,14 @@ fn repeatability_same_seed_identical_results() {
     let mut fl = Scanner::standard().scan_functions(os.program().image(), &api_functions());
     fl.faults = fl.faults.into_iter().step_by(20).collect();
     let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Heron, quick_config());
-    let a = campaign.run_injection(&fl, 3);
-    let b = campaign.run_injection(&fl, 3);
+    let a = campaign.run_injection(&fl, 3).expect("campaign runs");
+    let b = campaign.run_injection(&fl, 3).expect("campaign runs");
     assert_eq!(a.measures.ops(), b.measures.ops());
     assert_eq!(a.measures.errors(), b.measures.errors());
     assert_eq!(a.measures.cells(), b.measures.cells());
     assert_eq!(a.watchdog, b.watchdog);
     // Different iterations (seeds) are similar but not identical.
-    let c = campaign.run_injection(&fl, 4);
+    let c = campaign.run_injection(&fl, 4).expect("campaign runs");
     assert_ne!(a.measures.ops(), c.measures.ops());
 }
 
@@ -104,8 +104,8 @@ fn scalability_faultload_tracks_fit_size() {
 fn non_intrusiveness_below_two_percent() {
     for kind in ServerKind::BENCHMARKED {
         let campaign = Campaign::new(Edition::Nimbus2000, kind, quick_config());
-        let max_perf = campaign.run_baseline(0);
-        let profiled = campaign.run_profile_mode(0);
+        let max_perf = campaign.run_baseline(0).expect("baseline runs");
+        let profiled = campaign.run_profile_mode(0).expect("profile mode runs");
         assert_eq!(profiled.errors(), 0, "{kind}: profile mode broke requests");
         let deg = (max_perf.thr() - profiled.thr()).abs() / max_perf.thr();
         assert!(deg < 0.02, "{kind}: profile-mode degradation {deg}");

@@ -51,14 +51,20 @@ fn exercise(os: &mut Os) -> u32 {
     let scratch = 209_000;
     os.poke_cstr(scratch, "C:\\web\\t.html").ok();
     let seq: Vec<(OsApi, Vec<i64>)> = vec![
-        (OsApi::RtlEnterCriticalSection, vec![simos::source::CS_REGION]),
+        (
+            OsApi::RtlEnterCriticalSection,
+            vec![simos::source::CS_REGION],
+        ),
         (OsApi::RtlAllocateHeap, vec![64]),
         (OsApi::RtlInitUnicodeString, vec![scratch + 300, scratch]),
         (OsApi::RtlDosPathToNative, vec![scratch, scratch + 400]),
         (OsApi::NtOpenFile, vec![scratch + 400]),
         (OsApi::ReadFile, vec![1, scratch + 500, 128]),
         (OsApi::CloseHandle, vec![1]),
-        (OsApi::RtlLeaveCriticalSection, vec![simos::source::CS_REGION]),
+        (
+            OsApi::RtlLeaveCriticalSection,
+            vec![simos::source::CS_REGION],
+        ),
     ];
     for (api, args) in seq {
         if os.call(api, &args).is_err() {

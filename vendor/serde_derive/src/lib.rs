@@ -1,0 +1,409 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token streams (the build environment
+//! has no `syn`/`quote`), so the supported shapes are exactly the ones this
+//! workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`),
+//! * tuple structs (newtype and multi-field),
+//! * enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, as real serde_json would emit them).
+//!
+//! Generics are deliberately unsupported; the derive panics with a clear
+//! message if it meets them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-model form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-model form).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(name, parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(name, count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct(name),
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    }
+}
+
+/// Advances `i` past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility, returning whether a `#[serde(default)]` attribute was seen.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    has_default |= attr_is_serde_default(g.stream());
+                    *i += 2;
+                } else {
+                    panic!("dangling `#`");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let mut toks = attr.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Splits a field/variant list on top-level commas. Angle brackets are plain
+/// `Punct`s in token streams, so nesting like `BTreeMap<String, i64>` is
+/// tracked by counting `<`/`>` at group level zero.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            let default = skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, got {other}"),
+            };
+            Field { name, default }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, got {other}"),
+            };
+            i += 1;
+            match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Variant::Struct(name, parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Variant::Tuple(name, count_tuple_fields(g.stream()))
+                }
+                // `Name = 0x01` discriminants and bare `Name` are both unit.
+                _ => Variant::Unit(name),
+            }
+        })
+        .collect()
+}
+
+fn field_to_entry(f: &Field, access: &str) -> String {
+    format!(
+        "(\"{n}\".to_string(), ::serde::Serialize::to_value({access})),",
+        n = f.name
+    )
+}
+
+fn field_from_obj(f: &Field, obj: &str, ty_name: &str) -> String {
+    if f.default {
+        format!(
+            "{n}: match {obj}.get(\"{n}\") {{ \
+               Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+               None => ::core::default::Default::default(), \
+             }},",
+            n = f.name
+        )
+    } else {
+        format!(
+            "{n}: match {obj}.get(\"{n}\") {{ \
+               Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+               None => return Err(::serde::DeError::msg(\
+                   \"missing field `{n}` in {ty_name}\")), \
+             }},",
+            n = f.name
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| field_to_entry(f, &format!("&self.{}", f.name)))
+                .collect();
+            (name, format!("::serde::Value::Object(vec![{entries}])"))
+        }
+        Item::TupleStruct(name, 1) => (name, "::serde::Serialize::to_value(&self.0)".to_string()),
+        Item::TupleStruct(name, n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            (name, format!("::serde::Value::Array(vec![{entries}])"))
+        }
+        Item::UnitStruct(name) => (name, "::serde::Value::Null".to_string()),
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => {
+                        format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                    }
+                    Variant::Tuple(vn, 1) => format!(
+                        "{name}::{vn}(__x0) => ::serde::Value::Object(vec![(\
+                           \"{vn}\".to_string(), ::serde::Serialize::to_value(__x0))]),"
+                    ),
+                    Variant::Tuple(vn, n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let vals: String = pats
+                            .iter()
+                            .map(|p| format!("::serde::Serialize::to_value({p}),"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({pat}) => ::serde::Value::Object(vec![(\
+                               \"{vn}\".to_string(), \
+                               ::serde::Value::Array(vec![{vals}]))]),",
+                            pat = pats.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let pat: String = fields.iter().map(|f| format!("{}, ", f.name)).collect();
+                        let entries: String =
+                            fields.iter().map(|f| field_to_entry(f, &f.name)).collect();
+                        format!(
+                            "{name}::{vn} {{ {pat} }} => ::serde::Value::Object(vec![(\
+                               \"{vn}\".to_string(), \
+                               ::serde::Value::Object(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| field_from_obj(f, "__value", name))
+                .collect();
+            (
+                name,
+                format!(
+                    "match __value {{ \
+                       ::serde::Value::Object(_) => Ok({name} {{ {inits} }}), \
+                       __other => Err(::serde::DeError::msg(format!(\
+                           \"expected object for {name}, got {{__other:?}}\"))), \
+                     }}"
+                ),
+            )
+        }
+        Item::TupleStruct(name, 1) => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))"),
+        ),
+        Item::TupleStruct(name, n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?,"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match __value {{ \
+                       ::serde::Value::Array(__xs) if __xs.len() == {n} => \
+                           Ok({name}({inits})), \
+                       __other => Err(::serde::DeError::msg(format!(\
+                           \"expected {n}-element array for {name}, got {{__other:?}}\"))), \
+                     }}"
+                ),
+            )
+        }
+        Item::UnitStruct(name) => (name, format!("Ok({name})")),
+        Item::Enum(name, variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!("\"{vn}\" => Ok({name}::{vn}),")),
+                    _ => None,
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(vn, 1) => Some(format!(
+                        "\"{vn}\" => Ok({name}::{vn}(\
+                           ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let inits: String = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => match __inner {{ \
+                               ::serde::Value::Array(__xs) if __xs.len() == {n} => \
+                                   Ok({name}::{vn}({inits})), \
+                               __other => Err(::serde::DeError::msg(format!(\
+                                   \"bad payload for {name}::{vn}: {{__other:?}}\"))), \
+                             }},"
+                        ))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| field_from_obj(f, "__inner", name))
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => match __inner {{ \
+                               ::serde::Value::Object(_) => Ok({name}::{vn} {{ {inits} }}), \
+                               __other => Err(::serde::DeError::msg(format!(\
+                                   \"bad payload for {name}::{vn}: {{__other:?}}\"))), \
+                             }},"
+                        ))
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match __value {{ \
+                       ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => Err(::serde::DeError::msg(format!(\
+                             \"unknown {name} variant `{{__other}}`\"))), \
+                       }}, \
+                       ::serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+                         let (__tag, __inner) = &__fields[0]; \
+                         match __tag.as_str() {{ \
+                           {data_arms} \
+                           __other => Err(::serde::DeError::msg(format!(\
+                               \"unknown {name} variant `{{__other}}`\"))), \
+                         }} \
+                       }} \
+                       __other => Err(::serde::DeError::msg(format!(\
+                           \"expected {name} variant, got {{__other:?}}\"))), \
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__value: &::serde::Value) -> \
+               ::core::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
