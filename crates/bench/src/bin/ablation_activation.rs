@@ -17,8 +17,9 @@
 //! tuned-vs-untuned contrast much starker than here, where the OS is small
 //! and its helpers are hot.)
 
+use bench::cli::CliArgs;
 use depbench::report::{f, TextTable};
-use depbench::{Campaign, CampaignConfig};
+use depbench::Campaign;
 use simos::{Edition, Os, OsApi};
 use swfit_core::{Faultload, Scanner};
 use webserver::ServerKind;
@@ -30,6 +31,8 @@ fn sample(mut fl: Faultload, n: usize) -> Faultload {
 }
 
 fn main() {
+    let cli = CliArgs::parse();
+    let store = cli.open_store().expect("store opens");
     let edition = Edition::Nimbus2000;
     let os = Os::boot(edition).expect("boots");
     let api: Vec<String> = OsApi::TABLE2
@@ -50,7 +53,12 @@ fn main() {
     .map(ToString::to_string)
     .collect();
 
-    let whole = Scanner::standard().scan_image(os.program().image());
+    let whole = match store.as_ref() {
+        Some(s) => s
+            .scan_image(&Scanner::standard(), os.program().image())
+            .expect("fault-map cache is readable"),
+        None => Scanner::standard().scan_image(os.program().image()),
+    };
     let n = if bench::quick() { 25 } else { 100 };
 
     let profiled = sample(whole.restrict_to_functions(&api), n);
@@ -61,9 +69,7 @@ fn main() {
     };
     let cold_fl = sample(whole.restrict_to_functions(&cold), n);
 
-    let cfg = CampaignConfig::builder()
-        .parallelism(bench::jobs_from_args())
-        .build();
+    let cfg = cli.config();
     let campaign = Campaign::new(edition, ServerKind::Wren, cfg);
     let mut table = TextTable::new(["Faultload", "Faults", "Activated", "Rate %", "ER%f", "ADMf"]);
     let mut rates = Vec::new();
@@ -72,8 +78,8 @@ fn main() {
         ("complement (rest of OS)", &complement),
         ("cold (startup/diagnostic)", &cold_fl),
     ] {
-        let res = campaign
-            .run_injection(fl, 0)
+        let res = cli
+            .run_injection(store.as_ref(), &campaign, fl, 0)
             .expect("injection campaign runs");
         let activated = res.affected_slots();
         let rate = activated as f64 * 100.0 / fl.len().max(1) as f64;

@@ -41,6 +41,8 @@ fn exercise(os: &mut Os) {
 type EditionData = (Edition, Vec<(String, u64)>, swfit_core::Faultload);
 
 fn main() {
+    let cli = bench::cli::CliArgs::parse();
+    let store = cli.open_store().expect("store opens");
     let mut data: Vec<EditionData> = Vec::new();
     for edition in Edition::ALL {
         let mut os = Os::boot(edition).expect("boots");
@@ -48,7 +50,12 @@ fn main() {
         os.enable_cost_profiling();
         exercise(&mut os);
         let costs = os.function_costs();
-        let faults = Scanner::standard().scan_image(os.program().image());
+        let faults = match store.as_ref() {
+            Some(s) => s
+                .scan_image(&Scanner::standard(), os.program().image())
+                .expect("fault-map cache is readable"),
+            None => Scanner::standard().scan_image(os.program().image()),
+        };
         data.push((edition, costs, faults));
     }
 

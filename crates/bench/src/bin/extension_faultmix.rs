@@ -9,6 +9,7 @@
 //! * **hardware** — transient single-bit flips in the same FIT code,
 //! * **operator** — administrator mistakes on the served document tree.
 
+use bench::cli::CliArgs;
 use depbench::interval::run_interval;
 use depbench::report::{f, TextTable};
 use depbench::{
@@ -24,9 +25,9 @@ use webserver::ServerKind;
 fn main() {
     let edition = Edition::Nimbus2000;
     let kind = ServerKind::Wren; // the fragile target shows models clearest
-    let cfg = CampaignConfig::builder()
-        .parallelism(bench::jobs_from_args())
-        .build();
+    let cli = CliArgs::parse();
+    let store = cli.open_store().expect("store opens");
+    let cfg = cli.config();
     let n = if bench::quick() { 25 } else { 100 };
     let api: Vec<String> = OsApi::ALL.iter().map(|f| f.symbol().to_string()).collect();
 
@@ -66,8 +67,8 @@ fn main() {
     ]);
 
     for (name, fl) in [("software (G-SWFIT)", &sw), ("hardware (bit flips)", &hw)] {
-        let res = campaign
-            .run_injection(fl, 0)
+        let res = cli
+            .run_injection(store.as_ref(), &campaign, fl, 0)
             .expect("injection campaign runs");
         table.row([
             name.to_string(),

@@ -1,18 +1,29 @@
 //! `faultbench` — command-line front end to the whole benchmark.
 //!
 //! ```text
-//! faultbench scan <edition> [--all] [--out FILE]   generate a faultload
+//! faultbench scan <edition> [--all] [--limit N] [--out FILE] [--store DIR]
 //! faultbench profile <edition>                     run the profiling phase
-//! faultbench campaign <edition> <server> [--faultload FILE] [--iterations N] [--jobs N] [--out FILE]
+//! faultbench campaign <edition> <server> [--faultload FILE] [--iterations N]
+//!            [--jobs N] [--seed N] [--limit N] [--out FILE]
+//!            [--store DIR] [--resume] [--save NAME]
+//! faultbench diff <runA> <runB> --store DIR        compare two stored runs
 //! faultbench accuracy <edition>                    score the scanner
 //! ```
 //!
 //! Editions: `nimbus-2000`, `nimbus-xp`. Servers: `heron`, `wren`.
+//!
+//! With `--store DIR`, scans are served from the store's content-addressed
+//! fault-map cache and campaigns are journaled crash-safely: a run killed
+//! mid-campaign resumes with `--resume`, replaying the completed slots and
+//! producing a byte-identical result. `--save NAME` stores the campaign
+//! result for later `diff`.
 
 use std::process::ExitCode;
 
+use bench::cli::CliArgs;
 use depbench::report::{f, TextTable};
-use depbench::{Campaign, CampaignConfig, DependabilityMetrics};
+use depbench::{Campaign, DependabilityMetrics};
+use faultstore::diff_runs;
 use simos::{Edition, Os};
 use swfit_core::{accuracy, Faultload, Scanner};
 use webserver::ServerKind;
@@ -23,10 +34,11 @@ fn main() -> ExitCode {
         Some("scan") => cmd_scan(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("accuracy") => cmd_accuracy(&args[1..]),
         _ => {
             eprintln!(
-                "usage: faultbench <scan|profile|campaign|accuracy> …\n\
+                "usage: faultbench <scan|profile|campaign|diff|accuracy> …\n\
                  see the module docs (`faultbench.rs`) for details"
             );
             return ExitCode::FAILURE;
@@ -65,17 +77,54 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
         .and_then(|i| args.get(i + 1))
 }
 
+/// Parses `--limit N` — truncate the faultload to its first N faults,
+/// sampled evenly across the image (for quick runs and CI).
+fn parse_limit(args: &[String]) -> Result<Option<usize>, String> {
+    flag_value(args, "--limit")
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--limit needs a positive integer, got `{v}`"))
+        })
+        .transpose()
+}
+
+/// Evenly samples a faultload down to at most `n` faults.
+fn sample(mut fl: Faultload, n: usize) -> Faultload {
+    let stride = (fl.len() / n).max(1);
+    fl.faults = fl.faults.into_iter().step_by(stride).take(n).collect();
+    fl
+}
+
 fn cmd_scan(args: &[String]) -> Result<(), String> {
     let edition = parse_edition(args.first())?;
+    let cli = CliArgs::from_slice(args)?;
+    let store = cli.open_store()?;
     let os = Os::boot(edition)?;
-    let faultload = if args.iter().any(|a| a == "--all") {
-        Scanner::standard().scan_image(os.program().image())
-    } else {
-        let api: Vec<String> = simos::OsApi::ALL
-            .iter()
-            .map(|f| f.symbol().to_string())
-            .collect();
-        Scanner::standard().scan_functions(os.program().image(), &api)
+    let scanner = Scanner::standard();
+    let whole_image = args.iter().any(|a| a == "--all");
+    let faultload = match (&store, whole_image) {
+        (Some(s), true) => s
+            .scan_image(&scanner, os.program().image())
+            .map_err(|e| e.to_string())?,
+        (None, true) => scanner.scan_image(os.program().image()),
+        (store, false) => {
+            let api: Vec<String> = simos::OsApi::ALL
+                .iter()
+                .map(|f| f.symbol().to_string())
+                .collect();
+            match store {
+                Some(s) => s
+                    .scan_functions(&scanner, os.program().image(), &api)
+                    .map_err(|e| e.to_string())?,
+                None => scanner.scan_functions(os.program().image(), &api),
+            }
+        }
+    };
+    let faultload = match parse_limit(args)? {
+        Some(n) => sample(faultload, n),
+        None => faultload,
     };
     eprintln!("{}: {} faults", edition, faultload.len());
     for (t, n) in faultload.counts_by_type() {
@@ -126,17 +175,13 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let edition = parse_edition(args.first())?;
     let server = parse_server(args.get(1))?;
+    let cli = CliArgs::from_slice(args)?;
+    let store = cli.open_store()?;
+    if store.is_none() && flag_value(args, "--save").is_some() {
+        return Err("--save needs --store DIR (runs are stored in the store)".into());
+    }
     let iterations: u64 = flag_value(args, "--iterations")
         .map(|v| v.parse().map_err(|_| format!("bad iteration count `{v}`")))
-        .transpose()?
-        .unwrap_or(1);
-    let jobs: usize = flag_value(args, "--jobs")
-        .map(|v| {
-            v.parse()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))
-        })
         .transpose()?
         .unwrap_or(1);
     let faultload = match flag_value(args, "--faultload") {
@@ -146,19 +191,29 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         }
         None => {
             let os = Os::boot(edition)?;
+            let scanner = Scanner::standard();
             let api: Vec<String> = simos::OsApi::ALL
                 .iter()
                 .map(|f| f.symbol().to_string())
                 .collect();
-            Scanner::standard().scan_functions(os.program().image(), &api)
+            match &store {
+                Some(s) => s
+                    .scan_functions(&scanner, os.program().image(), &api)
+                    .map_err(|e| e.to_string())?,
+                None => scanner.scan_functions(os.program().image(), &api),
+            }
         }
     };
+    let faultload = match parse_limit(args)? {
+        Some(n) => sample(faultload, n),
+        None => faultload,
+    };
     eprintln!(
-        "campaign: {edition} / {server}, {} faults, {iterations} iteration(s), {jobs} job(s)",
-        faultload.len()
+        "campaign: {edition} / {server}, {} faults, {iterations} iteration(s), {} job(s)",
+        faultload.len(),
+        cli.jobs.unwrap_or(1)
     );
-    let cfg = CampaignConfig::builder().parallelism(jobs).build();
-    let campaign = Campaign::new(edition, server, cfg);
+    let campaign = Campaign::new(edition, server, cli.config());
     let baseline = campaign.run_profile_mode(0).map_err(|e| e.to_string())?;
     let mut metrics_out: Vec<DependabilityMetrics> = Vec::new();
     let mut table = TextTable::new([
@@ -176,14 +231,26 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         "0".to_string(),
     ]);
     for it in 0..iterations {
-        let res = campaign
-            .run_injection(&faultload, it)
-            .map_err(|e| match e {
+        let res = match &store {
+            Some(s) => s
+                .run_resumable(&campaign, &faultload, it, cli.resume)
+                .map_err(|e| e.to_string())?,
+            None => campaign.run_injection(&faultload, it).map_err(|e| match e {
                 depbench::CampaignError::FingerprintMismatch { .. } => format!(
                     "faultload was generated from a different {edition} build; re-run `faultbench scan`"
                 ),
                 other => other.to_string(),
-            })?;
+            })?,
+        };
+        if let (Some(s), Some(name)) = (&store, flag_value(args, "--save")) {
+            let run_name = if iterations == 1 {
+                name.clone()
+            } else {
+                format!("{name}-it{}", it + 1)
+            };
+            let path = s.save_run(&run_name, &res).map_err(|e| e.to_string())?;
+            eprintln!("saved run `{run_name}` -> {}", path.display());
+        }
         let m = DependabilityMetrics::from_runs(&baseline, &res);
         table.row([
             format!("iteration {}", it + 1),
@@ -204,6 +271,20 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let (Some(name_a), Some(name_b)) = (args.first(), args.get(1)) else {
+        return Err("usage: faultbench diff <runA> <runB> --store DIR".into());
+    };
+    let cli = CliArgs::from_slice(args)?;
+    let store = cli
+        .open_store()?
+        .ok_or("diff needs --store DIR (the runs live in the store)")?;
+    let a = store.load_run(name_a).map_err(|e| e.to_string())?;
+    let b = store.load_run(name_b).map_err(|e| e.to_string())?;
+    print!("{}", diff_runs(name_a, &a, name_b, &b));
     Ok(())
 }
 

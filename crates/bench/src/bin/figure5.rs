@@ -3,9 +3,10 @@
 //! plotting. The figure shows, per OS edition: SPC (baseline vs faulty),
 //! THR (baseline vs faulty), RTM, ER% and ADMf.
 
-use bench::tuned_faultload;
+use bench::cli::CliArgs;
+use bench::tuned_faultload_cached;
 use depbench::report::{bar, f};
-use depbench::{Campaign, CampaignConfig, DependabilityMetrics};
+use depbench::{Campaign, DependabilityMetrics};
 use simos::Edition;
 use webserver::ServerKind;
 
@@ -16,21 +17,21 @@ struct Series {
 }
 
 fn main() {
-    let cfg = CampaignConfig::builder()
-        .parallelism(bench::jobs_from_args())
-        .build();
+    let cli = CliArgs::parse();
+    let store = cli.open_store().expect("store opens");
+    let cfg = cli.config();
     let iterations: u64 = if bench::quick() { 1 } else { 3 };
     let mut series: Vec<Series> = Vec::new();
 
     for edition in Edition::ALL {
-        let faultload = tuned_faultload(edition);
+        let faultload = tuned_faultload_cached(edition, store.as_ref());
         for kind in ServerKind::BENCHMARKED {
             let campaign = Campaign::new(edition, kind, cfg);
             let baseline = campaign.run_profile_mode(0).expect("profile mode runs");
             let runs: Vec<DependabilityMetrics> = (0..iterations)
                 .map(|it| {
-                    let r = campaign
-                        .run_injection(&faultload, it)
+                    let r = cli
+                        .run_injection(store.as_ref(), &campaign, &faultload, it)
                         .expect("injection campaign runs");
                     DependabilityMetrics::from_runs(&baseline, &r)
                 })

@@ -6,6 +6,8 @@ use depbench::report::{f, TextTable};
 use swfit_core::{standard_operators, FaultType};
 
 fn main() {
+    // Uniform CLI surface: validate (and ignore) the shared flags.
+    let _cli = bench::cli::CliArgs::parse();
     let ops = standard_operators();
     let mut table = TextTable::new([
         "Fault type",

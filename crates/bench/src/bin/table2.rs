@@ -9,6 +9,8 @@ use depbench::ProfilePhaseConfig;
 use simos::{Edition, OsApi};
 
 fn main() {
+    // Uniform CLI surface: validate (and ignore) the shared flags.
+    let _cli = bench::cli::CliArgs::parse();
     let edition = Edition::Nimbus2000;
     let set = run_profile_phase(edition);
     let cfg = ProfilePhaseConfig::default();

@@ -2,12 +2,15 @@
 //! type for each OS edition, using the full §2 pipeline (profile → select →
 //! restricted scan).
 
-use bench::tuned_faultload;
+use bench::cli::CliArgs;
+use bench::tuned_faultload_cached;
 use depbench::report::TextTable;
 use simos::Edition;
 use swfit_core::FaultType;
 
 fn main() {
+    let cli = CliArgs::parse();
+    let store = cli.open_store().expect("store opens");
     let mut header: Vec<String> = vec!["OS edition".into()];
     header.extend(FaultType::ALL.iter().map(|t| t.acronym().to_string()));
     header.push("Total".into());
@@ -15,7 +18,7 @@ fn main() {
 
     let mut totals = Vec::new();
     for edition in Edition::ALL {
-        let fl = tuned_faultload(edition);
+        let fl = tuned_faultload_cached(edition, store.as_ref());
         let counts = fl.counts_by_type();
         let mut cells = vec![format!("{} ({})", edition, edition.paper_analogue())];
         cells.extend(FaultType::ALL.iter().map(|t| counts[t].to_string()));

@@ -2,15 +2,14 @@
 //! injector-in-profile-mode performance for every (OS, server) pair, with
 //! the per-metric degradation percentages.
 
+use bench::cli::CliArgs;
 use depbench::report::{f, TextTable};
-use depbench::{Campaign, CampaignConfig};
+use depbench::Campaign;
 use simos::Edition;
 use webserver::ServerKind;
 
 fn main() {
-    let cfg = CampaignConfig::builder()
-        .parallelism(bench::jobs_from_args())
-        .build();
+    let cfg = CliArgs::parse().config();
     let mut table = TextTable::new([
         "OS / server",
         "SPC",

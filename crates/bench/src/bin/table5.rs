@@ -5,21 +5,22 @@
 //! This is the headline experiment. The full run takes a few minutes in
 //! release mode; set `FAULTLOAD_QUICK=1` for a truncated smoke pass.
 
-use bench::tuned_faultload;
+use bench::cli::CliArgs;
+use bench::tuned_faultload_cached;
 use depbench::metrics::average_metrics;
 use depbench::report::{f, TextTable};
-use depbench::{Campaign, CampaignConfig, DependabilityMetrics};
+use depbench::{Campaign, DependabilityMetrics};
 use simos::Edition;
 use webserver::ServerKind;
 
 fn main() {
-    let cfg = CampaignConfig::builder()
-        .parallelism(bench::jobs_from_args())
-        .build();
+    let cli = CliArgs::parse();
+    let store = cli.open_store().expect("store opens");
+    let cfg = cli.config();
     let iterations: u64 = if bench::quick() { 1 } else { 3 };
 
     for edition in Edition::ALL {
-        let faultload = tuned_faultload(edition);
+        let faultload = tuned_faultload_cached(edition, store.as_ref());
         println!(
             "=== {} ({}) — faultload: {} faults ===\n",
             edition,
@@ -45,8 +46,8 @@ fn main() {
             ]);
             let mut runs = Vec::new();
             for it in 0..iterations {
-                let result = campaign
-                    .run_injection(&faultload, it)
+                let result = cli
+                    .run_injection(store.as_ref(), &campaign, &faultload, it)
                     .expect("injection campaign runs");
                 let m = DependabilityMetrics::from_runs(&baseline, &result);
                 table.row([

@@ -1,0 +1,199 @@
+//! Shared command-line flags for every regenerator binary.
+//!
+//! All ten binaries accept the same campaign-affecting flags, parsed here
+//! once instead of hand-rolled per binary:
+//!
+//! ```text
+//! --jobs N       worker threads for fault slots (default 1; results are
+//!                bit-identical at any value)
+//! --seed N       base RNG seed (default: the paper-dated default)
+//! --store DIR    persistent fault store: scans are served from the
+//!                content-addressed cache, campaigns are journaled
+//! --resume       resume interrupted campaigns from the store's journal
+//!                (requires --store)
+//! ```
+//!
+//! Unrecognized arguments are left alone — binaries keep their own extra
+//! flags (`--out`, `--faultload`, …).
+
+use depbench::{Campaign, CampaignConfig, CampaignConfigBuilder, CampaignResult};
+use faultstore::FaultStore;
+use swfit_core::Faultload;
+
+/// The shared flags, parsed from the process arguments.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CliArgs {
+    /// `--jobs N`: campaign worker threads. `None` = 1 (sequential).
+    pub jobs: Option<usize>,
+    /// `--seed N`: base RNG seed override.
+    pub seed: Option<u64>,
+    /// `--store DIR`: root of the persistent [`FaultStore`].
+    pub store: Option<std::path::PathBuf>,
+    /// `--resume`: replay the journaled prefix of an interrupted campaign.
+    pub resume: bool,
+}
+
+impl CliArgs {
+    /// Parses the current process arguments, exiting with a usage message
+    /// on malformed flag values.
+    pub fn parse() -> CliArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match CliArgs::from_slice(&args) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses a pre-collected argument slice.
+    ///
+    /// # Errors
+    ///
+    /// A usage message when a flag value is missing or malformed, or when
+    /// `--resume` is given without `--store`.
+    pub fn from_slice(args: &[String]) -> Result<CliArgs, String> {
+        let value_of = |name: &str| -> Result<Option<&String>, String> {
+            match args.iter().position(|a| a == name) {
+                Some(i) => args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .map(Some)
+                    .ok_or_else(|| format!("{name} needs a value")),
+                None => Ok(None),
+            }
+        };
+        let jobs = value_of("--jobs")?
+            .map(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))
+            })
+            .transpose()?;
+        let seed = value_of("--seed")?
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--seed needs an unsigned integer, got `{v}`"))
+            })
+            .transpose()?;
+        let store = value_of("--store")?.map(std::path::PathBuf::from);
+        let resume = args.iter().any(|a| a == "--resume");
+        if resume && store.is_none() {
+            return Err("--resume needs --store DIR (the journal lives in the store)".into());
+        }
+        Ok(CliArgs {
+            jobs,
+            seed,
+            store,
+            resume,
+        })
+    }
+
+    /// Applies the campaign-affecting flags to a config builder.
+    #[must_use]
+    pub fn configure(&self, mut builder: CampaignConfigBuilder) -> CampaignConfigBuilder {
+        builder = builder.parallelism(self.jobs.unwrap_or(1));
+        if let Some(seed) = self.seed {
+            builder = builder.seed(seed);
+        }
+        builder
+    }
+
+    /// A ready [`CampaignConfig`] reflecting `--jobs`/`--seed`.
+    pub fn config(&self) -> CampaignConfig {
+        self.configure(CampaignConfig::builder()).build()
+    }
+
+    /// Opens the `--store` directory, if one was given.
+    ///
+    /// # Errors
+    ///
+    /// The store error, stringified for CLI reporting.
+    pub fn open_store(&self) -> Result<Option<FaultStore>, String> {
+        self.store
+            .as_deref()
+            .map(|dir| FaultStore::open(dir).map_err(|e| e.to_string()))
+            .transpose()
+    }
+
+    /// Runs one injection campaign iteration, journaled through the store
+    /// when one is given (honouring `--resume`), plain otherwise.
+    ///
+    /// # Errors
+    ///
+    /// The campaign or store error, stringified for CLI reporting.
+    pub fn run_injection(
+        &self,
+        store: Option<&FaultStore>,
+        campaign: &Campaign,
+        faultload: &Faultload,
+        iteration: u64,
+    ) -> Result<CampaignResult, String> {
+        match store {
+            Some(store) => store
+                .run_resumable(campaign, faultload, iteration, self.resume)
+                .map_err(|e| e.to_string()),
+            None => campaign
+                .run_injection(faultload, iteration)
+                .map_err(|e| e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_are_sequential_and_storeless() {
+        let cli = CliArgs::from_slice(&[]).unwrap();
+        assert_eq!(cli, CliArgs::default());
+        let cfg = cli.config();
+        assert_eq!(cfg.parallelism, 1);
+        assert_eq!(cfg.seed, CampaignConfig::default().seed);
+    }
+
+    #[test]
+    fn flags_parse_and_configure() {
+        let cli = CliArgs::from_slice(&args(&[
+            "--jobs", "4", "--seed", "7", "--store", "s", "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.seed, Some(7));
+        assert_eq!(cli.store.as_deref(), Some(std::path::Path::new("s")));
+        assert!(cli.resume);
+        let cfg = cli.config();
+        assert_eq!(cfg.parallelism, 4);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        for bad in [
+            &["--jobs", "0"][..],
+            &["--jobs", "many"],
+            &["--jobs"],
+            &["--seed", "-1"],
+            &["--seed"],
+            &["--store"],
+            &["--resume"], // without --store
+            &["--jobs", "--seed"],
+        ] {
+            assert!(CliArgs::from_slice(&args(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn foreign_flags_are_ignored() {
+        let cli =
+            CliArgs::from_slice(&args(&["campaign", "--out", "x.json", "--jobs", "2"])).unwrap();
+        assert_eq!(cli.jobs, Some(2));
+    }
+}

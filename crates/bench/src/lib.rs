@@ -12,8 +12,13 @@
 //! | `figure5` | Figure 5 — Heron/Wren comparison bars |
 //!
 //! Set `FAULTLOAD_QUICK=1` for a fast, truncated pass (CI smoke runs).
+//! Every binary also accepts the shared flags of [`cli::CliArgs`]
+//! (`--jobs`, `--seed`, `--store`, `--resume`).
+
+pub mod cli;
 
 use depbench::{profile_servers, ProfilePhaseConfig};
+use faultstore::FaultStore;
 use simos::{Edition, Os};
 use swfit_core::{Faultload, ProfileSet, Scanner};
 use webserver::ServerKind;
@@ -23,26 +28,6 @@ pub fn quick() -> bool {
     std::env::var("FAULTLOAD_QUICK")
         .map(|v| v == "1")
         .unwrap_or(false)
-}
-
-/// Parses `--jobs N` from the process arguments — the campaign worker-thread
-/// count every regenerator binary accepts. Defaults to 1 (sequential);
-/// results are bit-identical at any value.
-///
-/// # Panics
-///
-/// Panics with a usage message when the flag value is missing or not a
-/// positive integer.
-pub fn jobs_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--jobs") {
-        Some(i) => args
-            .get(i + 1)
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| panic!("--jobs needs a positive integer")),
-        None => 1,
-    }
 }
 
 /// The profiling phase for an edition (all four servers, §2.4 defaults).
@@ -59,9 +44,23 @@ pub fn selected_functions(edition: Edition) -> Vec<String> {
 /// The fine-tuned faultload for an edition: scan the OS image restricted to
 /// the profiled FIT subset — the complete §2 pipeline.
 pub fn tuned_faultload(edition: Edition) -> Faultload {
+    tuned_faultload_cached(edition, None)
+}
+
+/// [`tuned_faultload`], serving the scan from a persistent store's
+/// content-addressed cache when one is given (`--store`): a second run
+/// against an unchanged edition reads the map from disk instead of
+/// re-walking the image.
+pub fn tuned_faultload_cached(edition: Edition, store: Option<&FaultStore>) -> Faultload {
     let os = Os::boot(edition).expect("OS boots");
     let selected = selected_functions(edition);
-    let mut faultload = Scanner::standard().scan_functions(os.program().image(), &selected);
+    let scanner = Scanner::standard();
+    let mut faultload = match store {
+        Some(store) => store
+            .scan_functions(&scanner, os.program().image(), &selected)
+            .expect("fault-map cache is readable"),
+        None => scanner.scan_functions(os.program().image(), &selected),
+    };
     if quick() {
         // Sample across the whole faultload (every k-th fault) so the quick
         // pass still sees every fault type and function.

@@ -71,8 +71,22 @@ impl Faultload {
     /// True when this faultload was generated from exactly this image (or
     /// carries no fingerprint to check). Injecting a faultload into a
     /// *different* build patches arbitrary words — always verify first.
+    ///
+    /// A `None` fingerprint passes this check for backward compatibility
+    /// with hand-built artifacts, but it is a degraded state: the scanner
+    /// always stamps one, campaigns log a loud warning when it is missing
+    /// (see `depbench::Campaign::run_injection`), and the persistent store
+    /// refuses to cache unfingerprinted faultloads. Use
+    /// [`Faultload::is_fingerprinted`] to detect it.
     pub fn matches_image(&self, image: &mvm::CodeImage) -> bool {
         self.fingerprint.is_none_or(|fp| fp == image.fingerprint())
+    }
+
+    /// True when the faultload records which build it was scanned from.
+    /// Scanner output always does; only hand-built or legacy JSON artifacts
+    /// can lack the stamp.
+    pub fn is_fingerprinted(&self) -> bool {
+        self.fingerprint.is_some()
     }
 
     /// Number of faults.
@@ -219,6 +233,14 @@ mod tests {
         assert_eq!(per["f"], 1);
         assert_eq!(per["g"], 2);
         assert_eq!(per.values().sum::<usize>(), fl.len());
+    }
+
+    #[test]
+    fn unfingerprinted_artifacts_are_detectable() {
+        let mut fl = sample();
+        assert!(!fl.is_fingerprinted());
+        fl.fingerprint = Some(7);
+        assert!(fl.is_fingerprinted());
     }
 
     #[test]

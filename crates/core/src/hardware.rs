@@ -46,6 +46,12 @@ impl BitFlip {
 pub struct HardwareFaultload {
     /// Name of the target image.
     pub target: String,
+    /// Fingerprint of the target image at generation time (`None` only in
+    /// legacy JSON artifacts) — carried into [`Self::as_faultload`] so the
+    /// campaign's pre-injection build check and the persistent store both
+    /// work for hardware faultloads too.
+    #[serde(default)]
+    pub fingerprint: Option<u64>,
     /// The flips, in scan order.
     pub faults: Vec<BitFlip>,
 }
@@ -102,6 +108,7 @@ impl HardwareFaultload {
         }
         HardwareFaultload {
             target: image.name().to_string(),
+            fingerprint: Some(image.fingerprint()),
             faults,
         }
     }
@@ -132,7 +139,7 @@ impl HardwareFaultload {
     pub fn as_faultload(&self) -> crate::Faultload {
         crate::Faultload {
             target: self.target.clone(),
-            fingerprint: None, // generated per-run; addresses match by construction
+            fingerprint: self.fingerprint,
             faults: self
                 .faults
                 .iter()

@@ -37,6 +37,20 @@ impl Scanner {
         self.operators.len()
     }
 
+    /// Stable hash of the operator library — one third of the persistent
+    /// fault-map cache key `(image fingerprint, operator-set hash, function
+    /// filter hash)`. Two scanners produce the same hash exactly when they
+    /// hold the same operators in the same order, so dropping or reordering
+    /// an operator invalidates cached faultloads.
+    pub fn operator_set_hash(&self) -> u64 {
+        let acronyms: Vec<&str> = self
+            .operators
+            .iter()
+            .map(|op| op.fault_type().acronym())
+            .collect();
+        simkit::hash::fnv1a_strs(&acronyms)
+    }
+
     /// Scans every function of `image`.
     pub fn scan_image(&self, image: &CodeImage) -> Faultload {
         self.scan(image, None)
@@ -141,6 +155,31 @@ mod tests {
         assert_eq!(s.operator_count(), 1);
         let fl = s.scan_image(p.image());
         assert!(fl.faults.iter().all(|f| f.fault_type == FaultType::Mifs));
+    }
+
+    #[test]
+    fn every_scan_stamps_the_fingerprint() {
+        let p = compile("os", SRC).unwrap();
+        let full = Scanner::standard().scan_image(p.image());
+        assert_eq!(full.fingerprint, Some(p.image().fingerprint()));
+        let restricted = Scanner::standard().scan_functions(p.image(), &["beta".to_string()]);
+        assert_eq!(restricted.fingerprint, Some(p.image().fingerprint()));
+    }
+
+    #[test]
+    fn operator_set_hash_tracks_library_content_and_order() {
+        use crate::operators::{MfcOp, MviOp};
+        let standard = Scanner::standard().operator_set_hash();
+        assert_eq!(
+            standard,
+            Scanner::standard().operator_set_hash(),
+            "hash is deterministic"
+        );
+        let single = Scanner::with_operators(vec![Box::new(MifsOp)]).operator_set_hash();
+        assert_ne!(standard, single);
+        let ab = Scanner::with_operators(vec![Box::new(MviOp), Box::new(MfcOp)]);
+        let ba = Scanner::with_operators(vec![Box::new(MfcOp), Box::new(MviOp)]);
+        assert_ne!(ab.operator_set_hash(), ba.operator_set_hash());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use specweb::{FileSet, FileSetConfig, IntervalMeasures, RequestGenerator};
 use swfit_core::{Faultload, InjectError, Injector};
 use webserver::{ServerKind, ServerState, WebServer};
 
-use crate::executor::run_slots;
+use crate::executor::{run_slots, run_slots_observed};
 use crate::interval::{run_interval, IntervalConfig, WatchdogCounts};
 
 /// Why a campaign run could not produce a result.
@@ -112,6 +112,22 @@ impl CampaignConfig {
         CampaignConfigBuilder {
             config: CampaignConfig::default(),
         }
+    }
+
+    /// Stable hash of every result-affecting parameter — the campaign
+    /// journal's invalidation key: a journal written under one config must
+    /// not be replayed into a campaign running another.
+    ///
+    /// `parallelism` is zeroed before hashing because results are
+    /// bit-identical at any worker count; a campaign interrupted at `-j 4`
+    /// may resume at `-j 1` (or vice versa) without invalidating the
+    /// journal.
+    pub fn stable_hash(&self) -> u64 {
+        let mut canonical = *self;
+        canonical.parallelism = 0;
+        let json = serde_json::to_string(&canonical)
+            .expect("CampaignConfig serializes (plain data, no maps)");
+        simkit::hash::fnv1a(json.as_bytes())
     }
 
     /// The paper-faithful time mapping: each fault is applied for a full
@@ -300,6 +316,16 @@ impl Campaign {
         &self.config
     }
 
+    /// The OS edition this campaign benchmarks.
+    pub fn edition(&self) -> Edition {
+        self.edition
+    }
+
+    /// The server this campaign benchmarks.
+    pub fn server(&self) -> ServerKind {
+        self.server
+    }
+
     fn boot(&self) -> Result<(Os, RequestGenerator), CampaignError> {
         let mut os = Os::boot_with_budget(self.edition, self.config.os_budget)
             .map_err(CampaignError::BootFailed)?;
@@ -431,6 +457,56 @@ impl Campaign {
         faultload: &Faultload,
         iteration: u64,
     ) -> Result<CampaignResult, CampaignError> {
+        self.run_injection_observed(faultload, iteration, Vec::new(), &|_, _| {})
+    }
+
+    /// [`Campaign::run_injection`] with resume support and an ordered
+    /// slot-completion observer — the persistent store's entry point.
+    ///
+    /// `completed` holds the results of the first `completed.len()` slots,
+    /// replayed from a campaign journal after an interruption; only the
+    /// remaining slots execute, each with the same `(iteration, slot)`
+    /// derived seed it would have used in an uninterrupted run, so the
+    /// returned [`CampaignResult`] is byte-identical either way.
+    ///
+    /// `observe(slot, &result)` fires once per *newly executed* successful
+    /// slot, in increasing slot order even under parallel work-stealing
+    /// (see [`crate::executor::run_slots_observed`]) — which is exactly the
+    /// gap-free record sequence an append-only journal needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `completed` holds more slots than the faultload has
+    /// faults — that means the journal belongs to a different faultload and
+    /// the caller's validation failed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::run_injection`].
+    pub fn run_injection_observed(
+        &self,
+        faultload: &Faultload,
+        iteration: u64,
+        completed: Vec<SlotResult>,
+        observe: &(dyn Fn(usize, &SlotResult) + Sync),
+    ) -> Result<CampaignResult, CampaignError> {
+        assert!(
+            completed.len() <= faultload.len(),
+            "journal holds {} completed slots but the faultload has only {} faults — \
+             stale journal passed validation?",
+            completed.len(),
+            faultload.len()
+        );
+        if !faultload.is_fingerprinted() {
+            // Loud by design: an unfingerprinted faultload cannot be checked
+            // against the booted build, so a mismatch would silently patch
+            // arbitrary words instead of erroring.
+            eprintln!(
+                "warning: faultload `{}` carries no fingerprint; cannot verify it was \
+                 generated from this {} build (re-generate it with `faultbench scan`)",
+                faultload.target, self.edition
+            );
+        }
         let (probe, _) = self.boot()?;
         if !faultload.matches_image(probe.program().image()) {
             return Err(CampaignError::FingerprintMismatch {
@@ -440,14 +516,21 @@ impl Campaign {
         }
         drop(probe);
 
-        let per_slot: Vec<Result<SlotResult, CampaignError>> = run_slots(
+        let per_slot: Vec<Result<SlotResult, CampaignError>> = run_slots_observed(
             self.config.parallelism,
+            completed.len(),
             faultload.len(),
             || self.worker_stack(Injector::new()),
             |stack, slot| self.run_one_fault_slot(stack, &faultload.faults[slot], iteration, slot),
+            |slot, result| {
+                if let Ok(r) = result {
+                    observe(slot, r);
+                }
+            },
         );
 
-        let mut slots = Vec::with_capacity(per_slot.len());
+        let mut slots = completed;
+        slots.reserve(per_slot.len());
         for result in per_slot {
             slots.push(result?);
         }
@@ -633,6 +716,63 @@ mod tests {
         let sequential = serde_json::to_string(&run(1)).unwrap();
         let parallel = serde_json::to_string(&run(4)).unwrap();
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn observed_run_with_completed_prefix_is_byte_identical() {
+        // Simulates resume: run the full campaign once, then re-run with the
+        // first k slots replayed as "completed" — the assembled result must
+        // serialize identically, at sequential and parallel settings.
+        let fl = small_faultload(Edition::Nimbus2000, 9);
+        let c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        let full = c.run_injection(&fl, 0).unwrap();
+        let full_json = serde_json::to_string(&full).unwrap();
+        for k in [0, 4, 9] {
+            let completed: Vec<SlotResult> = full.slots[..k].to_vec();
+            let resumed = c
+                .run_injection_observed(&fl, 0, completed, &|_, _| {})
+                .unwrap();
+            assert_eq!(
+                serde_json::to_string(&resumed).unwrap(),
+                full_json,
+                "resume from slot {k} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn observer_fires_in_slot_order_for_executed_slots_only() {
+        use std::sync::Mutex;
+        let fl = small_faultload(Edition::Nimbus2000, 6);
+        let cfg = CampaignConfig {
+            parallelism: 3,
+            ..quick_config()
+        };
+        let c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, cfg);
+        let full = c.run_injection(&fl, 0).unwrap();
+        let seen = Mutex::new(Vec::new());
+        let completed: Vec<SlotResult> = full.slots[..2].to_vec();
+        c.run_injection_observed(&fl, 0, completed, &|slot, r| {
+            seen.lock().unwrap().push((slot, r.fault_id.clone()));
+        })
+        .unwrap();
+        let seen = seen.into_inner().unwrap();
+        let expected: Vec<(usize, String)> = (2..6).map(|i| (i, fl.faults[i].id.clone())).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn stable_hash_ignores_parallelism_but_tracks_everything_else() {
+        let base = quick_config();
+        let mut jobs4 = base;
+        jobs4.parallelism = 4;
+        assert_eq!(base.stable_hash(), jobs4.stable_hash());
+        let mut other_seed = base;
+        other_seed.seed = base.seed + 1;
+        assert_ne!(base.stable_hash(), other_seed.stable_hash());
+        let mut other_interval = base;
+        other_interval.interval.duration = SimDuration::from_millis(301);
+        assert_ne!(base.stable_hash(), other_interval.stable_hash());
     }
 
     #[test]

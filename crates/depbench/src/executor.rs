@@ -12,8 +12,8 @@
 //!    instead of threading one mutable generator through the slot loop, so a
 //!    slot's random stream does not depend on which slots ran before it or
 //!    on which worker picked it up.
-//! 2. **Order-independent merging** — workers return `(slot index, result)`
-//!    pairs; the executor sorts by index and the caller folds aggregates in
+//! 2. **Order-independent merging** — workers deposit results into a
+//!    reorder buffer keyed by slot index; the caller folds aggregates in
 //!    slot order, so floating-point accumulation order is fixed.
 //!
 //! Scheduling is a work-stealing counter: workers race on a shared atomic
@@ -22,8 +22,15 @@
 //! assigned shard. Each worker owns a full stack instance — booted OS,
 //! server process, request generator — built once per worker; OS boots are
 //! cheap because `simos` caches the compiled image per edition.
+//!
+//! [`run_slots_observed`] additionally streams results to an observer **in
+//! slot order** as the completed prefix grows — the hook the persistent
+//! campaign journal (`faultstore`) uses to record progress crash-safely —
+//! and can start mid-range, which is how a resumed campaign executes only
+//! the slots its journal does not already hold.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `slots` independent slots on up to `parallelism` worker threads and
 /// returns the per-slot outputs in slot order.
@@ -49,42 +56,114 @@ where
     RS: Fn(&mut T, usize) -> R + Sync,
     R: Send,
 {
-    let workers = parallelism.max(1).min(slots.max(1));
+    run_slots_observed(parallelism, 0, slots, make_worker, run_slot, |_, _| {})
+}
+
+/// Reorder buffer shared by the workers: results parked by slot index, plus
+/// the index of the first slot whose result has not yet been observed.
+struct Reorder<R> {
+    /// `out[i - start]` holds slot `i`'s result once it finishes.
+    out: Vec<Option<R>>,
+    /// Next slot index to hand to the observer (contiguous prefix bound).
+    next: usize,
+}
+
+/// [`run_slots`] with a start offset and an ordered completion observer.
+///
+/// Executes slots `start..slots` (`start` of them are assumed already done
+/// by an earlier, interrupted run) and returns their outputs in slot order.
+/// `observe(i, &result)` is called exactly once per executed slot, **in
+/// increasing slot order** — the executor parks out-of-order completions in
+/// a reorder buffer and drains the contiguous prefix as it grows. The
+/// observer therefore sees exactly the records an append-only journal can
+/// replay after a crash: a gap-free prefix.
+///
+/// The observer runs under the reorder lock: keep it short (serialize +
+/// append + fsync is the intended use). It cannot see results out of order
+/// even when work-stealing completes slot 7 before slot 3.
+///
+/// # Panics
+///
+/// Propagates panics from `make_worker` / `run_slot` / `observe` after all
+/// workers have been joined.
+pub fn run_slots_observed<T, R, MW, RS, OB>(
+    parallelism: usize,
+    start: usize,
+    slots: usize,
+    make_worker: MW,
+    run_slot: RS,
+    observe: OB,
+) -> Vec<R>
+where
+    MW: Fn() -> T + Sync,
+    RS: Fn(&mut T, usize) -> R + Sync,
+    OB: Fn(usize, &R) + Sync,
+    R: Send,
+{
+    if start >= slots {
+        return Vec::new();
+    }
+    let remaining = slots - start;
+    let workers = parallelism.max(1).min(remaining);
     if workers == 1 {
         let mut state = make_worker();
-        return (0..slots).map(|i| run_slot(&mut state, i)).collect();
+        return (start..slots)
+            .map(|i| {
+                let r = run_slot(&mut state, i);
+                observe(i, &r);
+                r
+            })
+            .collect();
     }
 
-    let cursor = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+    let cursor = AtomicUsize::new(start);
+    let reorder = Mutex::new(Reorder {
+        out: (0..remaining).map(|_| None).collect(),
+        next: start,
+    });
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut state = make_worker();
-                    let mut done = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= slots {
                             break;
                         }
-                        done.push((i, run_slot(&mut state, i)));
+                        let r = run_slot(&mut state, i);
+                        let mut buf = reorder.lock().expect("reorder lock");
+                        buf.out[i - start] = Some(r);
+                        // Drain the contiguous completed prefix in order.
+                        while buf.next < slots {
+                            match buf.out[buf.next - start].as_ref() {
+                                Some(done) => {
+                                    observe(buf.next, done);
+                                    buf.next += 1;
+                                }
+                                None => break,
+                            }
+                        }
                     }
-                    done
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("campaign worker panicked"))
-            .collect()
+        for h in handles {
+            h.join().expect("campaign worker panicked");
+        }
     });
-    tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
+    let buf = reorder.into_inner().expect("reorder lock");
+    debug_assert_eq!(buf.next, slots, "observer saw every slot");
+    buf.out
+        .into_iter()
+        .map(|r| r.expect("every slot produced a result"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn outputs_come_back_in_slot_order() {
@@ -104,7 +183,6 @@ mod tests {
     fn worker_state_is_not_shared_between_workers() {
         // Each worker counts its own slots; totals must cover every slot
         // exactly once regardless of how the stealing interleaves.
-        use std::sync::Mutex;
         let totals = Mutex::new(Vec::new());
         let out = run_slots(
             3,
@@ -135,5 +213,57 @@ mod tests {
             )
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn observer_sees_every_slot_in_order() {
+        for parallelism in [1, 2, 4, 7] {
+            let seen = Mutex::new(Vec::new());
+            let out = run_slots_observed(
+                parallelism,
+                0,
+                31,
+                || (),
+                |(), i| i * 2,
+                |i, r| seen.lock().unwrap().push((i, *r)),
+            );
+            assert_eq!(out, (0..31).map(|i| i * 2).collect::<Vec<_>>());
+            // In order, exactly once — never out of order, even when
+            // work-stealing finishes later slots first.
+            assert_eq!(
+                seen.into_inner().unwrap(),
+                (0..31).map(|i| (i, i * 2)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn start_offset_skips_completed_prefix() {
+        for parallelism in [1, 3] {
+            let seen = Mutex::new(Vec::new());
+            let out = run_slots_observed(
+                parallelism,
+                5,
+                12,
+                || (),
+                |(), i| i + 100,
+                |i, r| seen.lock().unwrap().push((i, *r)),
+            );
+            assert_eq!(out, (5..12).map(|i| i + 100).collect::<Vec<_>>());
+            assert_eq!(
+                seen.into_inner().unwrap(),
+                (5..12).map(|i| (i, i + 100)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn start_at_or_past_the_end_runs_nothing() {
+        let out: Vec<usize> =
+            run_slots_observed(4, 9, 9, || (), |(), i| i, |_, _| panic!("no slots"));
+        assert!(out.is_empty());
+        let out: Vec<usize> =
+            run_slots_observed(4, 12, 9, || (), |(), i| i, |_, _| panic!("no slots"));
+        assert!(out.is_empty());
     }
 }

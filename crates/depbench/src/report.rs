@@ -72,11 +72,16 @@ pub fn f(value: f64, digits: usize) -> String {
 }
 
 /// Renders a horizontal ASCII bar scaled to `max` over `width` chars.
+///
+/// Degenerate inputs render an empty or clamped bar instead of an
+/// over-width or garbage one: non-finite or non-positive `value`/`max`
+/// yield `""`, and `value > max` saturates at `width` characters.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    if max <= 0.0 || value < 0.0 {
+    if !value.is_finite() || !max.is_finite() || max <= 0.0 || value <= 0.0 {
         return String::new();
     }
-    let n = ((value / max) * width as f64).round() as usize;
+    let frac = (value / max).clamp(0.0, 1.0);
+    let n = (frac * width as f64).round() as usize;
     "#".repeat(n.min(width))
 }
 
@@ -123,5 +128,21 @@ mod tests {
         assert_eq!(bar(20.0, 10.0, 10), "##########");
         assert_eq!(bar(0.0, 10.0, 10), "");
         assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn degenerate_bar_inputs_never_overflow_or_panic() {
+        // Over-max saturates at width.
+        assert_eq!(bar(1e18, 1.0, 8), "########");
+        // Negative or zero scale renders nothing.
+        assert_eq!(bar(5.0, -3.0, 10), "");
+        assert_eq!(bar(-5.0, 10.0, 10), "");
+        // Non-finite inputs render nothing instead of garbage widths.
+        assert_eq!(bar(f64::NAN, 10.0, 10), "");
+        assert_eq!(bar(5.0, f64::NAN, 10), "");
+        assert_eq!(bar(f64::INFINITY, 10.0, 10), "");
+        assert_eq!(bar(5.0, f64::INFINITY, 10), "");
+        // Zero width is a valid (empty) bar.
+        assert_eq!(bar(5.0, 10.0, 0), "");
     }
 }

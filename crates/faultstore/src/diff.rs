@@ -1,0 +1,156 @@
+//! Cross-run comparison: two stored [`CampaignResult`]s rendered as a delta
+//! table over the paper's §3.2 metric set.
+//!
+//! This is the benchmarking loop the store exists for: run a campaign
+//! against a baseline edition, store it; patch the OS (or swap the server),
+//! run again, store that; then diff the two runs to see what the change
+//! bought — without re-running either campaign.
+
+use depbench::report::{f, TextTable};
+use depbench::CampaignResult;
+
+/// Renders a metric-by-metric comparison of two campaign results.
+///
+/// Columns are `metric | <name_a> | <name_b> | delta` where delta is
+/// `B − A` (positive = B larger). Rows cover the paper's faultload
+/// measures (SPCf, THRf, RTMf, ER%f), the watchdog intervention counts
+/// (MIS, KNS, KCP, ADMf), and the slot summary.
+pub fn diff_table(name_a: &str, a: &CampaignResult, name_b: &str, b: &CampaignResult) -> TextTable {
+    let mut table = TextTable::new(["metric", name_a, name_b, "delta (B-A)"]);
+    table.row([
+        "target".to_string(),
+        format!("{}/{}", a.edition.name(), a.server.name()),
+        format!("{}/{}", b.edition.name(), b.server.name()),
+        String::new(),
+    ]);
+
+    let mut float = |metric: &str, va: f64, vb: f64, digits: usize| {
+        table.row([
+            metric.to_string(),
+            f(va, digits),
+            f(vb, digits),
+            format!("{:+.digits$}", vb - va),
+        ]);
+    };
+    float("SPCf", f64::from(a.spc_f()), f64::from(b.spc_f()), 0);
+    float("THRf (ops/s)", a.measures.thr(), b.measures.thr(), 2);
+    float("RTMf (ms)", a.measures.rtm(), b.measures.rtm(), 2);
+    float("ER%f", a.measures.er_pct(), b.measures.er_pct(), 2);
+
+    let mut count = |metric: &str, va: u64, vb: u64| {
+        table.row([
+            metric.to_string(),
+            va.to_string(),
+            vb.to_string(),
+            format!("{:+}", vb as i64 - va as i64),
+        ]);
+    };
+    count("MIS", a.watchdog.mis, b.watchdog.mis);
+    count("KNS", a.watchdog.kns, b.watchdog.kns);
+    count("KCP", a.watchdog.kcp, b.watchdog.kcp);
+    count("ADMf", a.watchdog.admf(), b.watchdog.admf());
+    count("slots", a.slots.len() as u64, b.slots.len() as u64);
+    count(
+        "affected slots",
+        a.affected_slots() as u64,
+        b.affected_slots() as u64,
+    );
+    table
+}
+
+/// [`diff_table`] rendered to a printable string, with a one-line title.
+pub fn diff_runs(name_a: &str, a: &CampaignResult, name_b: &str, b: &CampaignResult) -> String {
+    format!(
+        "campaign diff: {name_a} vs {name_b}\n{}",
+        diff_table(name_a, a, name_b, b).render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depbench::{SlotResult, WatchdogCounts};
+    use simos::Edition;
+    use specweb::IntervalMeasures;
+    use webserver::ServerKind;
+
+    fn run(ok: u64, err: u64, mis: u64) -> CampaignResult {
+        let mut measures = IntervalMeasures::new(4);
+        for i in 0..ok {
+            measures.record_op(
+                (i % 4) as usize,
+                2048,
+                false,
+                simkit::SimDuration::from_millis(350),
+            );
+        }
+        for i in 0..err {
+            measures.record_op(
+                (i % 4) as usize,
+                0,
+                true,
+                simkit::SimDuration::from_millis(900),
+            );
+        }
+        measures.set_duration(simkit::SimDuration::from_secs(10));
+        CampaignResult {
+            edition: Edition::Nimbus2000,
+            server: ServerKind::Wren,
+            measures: measures.clone(),
+            watchdog: WatchdogCounts {
+                mis,
+                kns: 2,
+                kcp: 1,
+            },
+            slots: vec![SlotResult {
+                fault_id: "f0".to_string(),
+                measures,
+                watchdog: WatchdogCounts {
+                    mis,
+                    kns: 2,
+                    kcp: 1,
+                },
+                ended_dead: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn diff_covers_every_paper_metric() {
+        let a = run(100, 0, 0);
+        let b = run(80, 20, 5);
+        let text = diff_runs("baseline", &a, "patched", &b);
+        for metric in [
+            "SPCf", "THRf", "RTMf", "ER%f", "MIS", "KNS", "KCP", "ADMf", "slots",
+        ] {
+            assert!(
+                text.contains(metric),
+                "diff table missing {metric}:\n{text}"
+            );
+        }
+        assert!(text.contains("baseline"));
+        assert!(text.contains("patched"));
+    }
+
+    #[test]
+    fn deltas_are_signed() {
+        let a = run(100, 0, 0);
+        let b = run(80, 20, 5);
+        let text = diff_table("a", &a, "b", &b).render();
+        // MIS went 0 -> 5: the delta column shows +5.
+        assert!(text.contains("+5"), "expected signed +5 delta:\n{text}");
+        let back = diff_table("b", &b, "a", &a).render();
+        assert!(back.contains("-5"), "expected signed -5 delta:\n{back}");
+    }
+
+    #[test]
+    fn identical_runs_diff_to_zero() {
+        let a = run(100, 0, 3);
+        let text = diff_table("x", &a, "y", &a).render();
+        assert!(
+            text.contains("+0"),
+            "identical runs show zero deltas:\n{text}"
+        );
+        assert!(!text.contains("+3"), "no nonzero count delta:\n{text}");
+    }
+}

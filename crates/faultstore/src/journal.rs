@@ -1,0 +1,279 @@
+//! The crash-safe campaign journal: append-only JSONL, one record per
+//! completed slot, fsynced before the campaign moves on.
+//!
+//! # Format
+//!
+//! Line 1 is the [`JournalHeader`] — everything needed to recognize "the
+//! same campaign": schema version, edition, server, iteration, a stable
+//! hash of the result-affecting config
+//! ([`depbench::CampaignConfig::stable_hash`]), the faultload's image
+//! fingerprint and its fault count. Every following line is one
+//! [`SlotRecord`] `{"slot": i, "result": {…}}`, written strictly in slot
+//! order (the executor's ordered observer guarantees a gap-free prefix even
+//! under parallel work-stealing).
+//!
+//! # Crash safety
+//!
+//! Each record is written and `fsync`ed (`File::sync_data`) before
+//! [`Journal::record`] returns, so a record is either durably complete or
+//! absent. A SIGKILL mid-write leaves at most one torn trailing line;
+//! [`Journal::open_resume`] stops at the first unparsable or non-contiguous
+//! record, truncates the file back to the last durable record, and resumes
+//! from there — the torn tail is re-executed, never trusted.
+//!
+//! # Staleness
+//!
+//! Resume validates every header field against the campaign about to run.
+//! Any disagreement is a [`StoreError::StaleJournal`] naming the field:
+//! silently splicing slot results measured under a different config or OS
+//! build into a campaign would fabricate benchmark numbers.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use depbench::{Campaign, SlotResult};
+use serde::{Deserialize, Serialize};
+use swfit_core::Faultload;
+
+use crate::{io_err, StoreError};
+
+/// Journal schema version; bumped on any incompatible format change.
+pub const JOURNAL_SCHEMA: u32 = 1;
+
+/// First line of a journal: identifies the campaign the slot records belong
+/// to.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Format version ([`JOURNAL_SCHEMA`]).
+    pub schema: u32,
+    /// OS edition name (string form, stable across enum refactors).
+    pub edition: String,
+    /// Server name.
+    pub server: String,
+    /// Campaign iteration the journal covers.
+    pub iteration: u64,
+    /// [`depbench::CampaignConfig::stable_hash`] of the campaign config.
+    pub config_hash: u64,
+    /// The faultload's image fingerprint (`None` only for legacy artifacts,
+    /// which the store refuses to journal).
+    pub faultload_fingerprint: Option<u64>,
+    /// Hash of the fault ids, in slot order — distinguishes different
+    /// same-size subsets of the same image (e.g. two ablation faultloads).
+    pub faultload_hash: u64,
+    /// Number of faults (= slots) in the campaign.
+    pub fault_count: usize,
+}
+
+impl JournalHeader {
+    /// The header describing `campaign` running `faultload` at `iteration`.
+    pub fn describe(campaign: &Campaign, faultload: &Faultload, iteration: u64) -> JournalHeader {
+        JournalHeader {
+            schema: JOURNAL_SCHEMA,
+            edition: campaign.edition().name().to_string(),
+            server: campaign.server().name().to_string(),
+            iteration,
+            config_hash: campaign.config().stable_hash(),
+            faultload_fingerprint: faultload.fingerprint,
+            faultload_hash: {
+                let ids: Vec<&str> = faultload.faults.iter().map(|f| f.id.as_str()).collect();
+                simkit::hash::fnv1a_strs(&ids)
+            },
+            fault_count: faultload.len(),
+        }
+    }
+
+    /// Field-by-field comparison with a precise mismatch description.
+    fn validate_against(&self, expected: &JournalHeader) -> Result<(), StoreError> {
+        let mismatch = |field: &str, found: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
+            Err(StoreError::StaleJournal {
+                reason: format!("{field} is {found:?}, campaign expects {want:?}"),
+            })
+        };
+        if self.schema != expected.schema {
+            return mismatch("schema", &self.schema, &expected.schema);
+        }
+        if self.edition != expected.edition {
+            return mismatch("edition", &self.edition, &expected.edition);
+        }
+        if self.server != expected.server {
+            return mismatch("server", &self.server, &expected.server);
+        }
+        if self.iteration != expected.iteration {
+            return mismatch("iteration", &self.iteration, &expected.iteration);
+        }
+        if self.config_hash != expected.config_hash {
+            return mismatch("config hash", &self.config_hash, &expected.config_hash);
+        }
+        if self.faultload_fingerprint != expected.faultload_fingerprint {
+            return mismatch(
+                "faultload fingerprint",
+                &self.faultload_fingerprint,
+                &expected.faultload_fingerprint,
+            );
+        }
+        if self.faultload_hash != expected.faultload_hash {
+            return mismatch(
+                "faultload content",
+                &self.faultload_hash,
+                &expected.faultload_hash,
+            );
+        }
+        if self.fault_count != expected.fault_count {
+            return mismatch("fault count", &self.fault_count, &expected.fault_count);
+        }
+        Ok(())
+    }
+}
+
+/// One journal line after the header.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct SlotRecord {
+    /// Slot index (= fault index in the faultload).
+    slot: usize,
+    /// The completed slot's result.
+    result: SlotResult,
+}
+
+struct JournalInner {
+    file: File,
+    /// The next slot index eligible for recording; out-of-order records are
+    /// dropped (they can only follow a failed slot, and the campaign aborts
+    /// on failure anyway — a journal must stay a gap-free prefix).
+    next_slot: usize,
+}
+
+/// An open campaign journal, safe to record into from the executor's
+/// observer (which serializes calls, but the journal takes its own lock so
+/// misuse cannot corrupt the file).
+pub struct Journal {
+    path: PathBuf,
+    inner: Mutex<JournalInner>,
+}
+
+impl Journal {
+    /// Creates (truncating any previous file) a journal for a fresh
+    /// campaign and durably writes its header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::Json`] on write failure.
+    pub fn create(path: impl Into<PathBuf>, header: &JournalHeader) -> Result<Journal, StoreError> {
+        let path = path.into();
+        let mut file = File::create(&path).map_err(|e| io_err(&path, e))?;
+        let line = serde_json::to_string(header).map_err(|e| StoreError::Json(e.to_string()))?;
+        writeln!(file, "{line}").map_err(|e| io_err(&path, e))?;
+        file.sync_data().map_err(|e| io_err(&path, e))?;
+        Ok(Journal {
+            path,
+            inner: Mutex::new(JournalInner { file, next_slot: 0 }),
+        })
+    }
+
+    /// Opens an existing journal for resumption: validates its header
+    /// against `expected`, replays the durable gap-free prefix of slot
+    /// records, truncates any torn tail, and returns the journal positioned
+    /// to append slot `results.len()`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::StaleJournal`] — header disagrees with `expected`;
+    /// * [`StoreError::Json`] — the header line itself does not parse (a
+    ///   journal torn *at the header* cannot identify its campaign);
+    /// * [`StoreError::Io`] — filesystem failure.
+    pub fn open_resume(
+        path: impl Into<PathBuf>,
+        expected: &JournalHeader,
+    ) -> Result<(Journal, Vec<SlotResult>), StoreError> {
+        let path = path.into();
+        let raw = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+        let header_end = raw.find('\n').ok_or_else(|| {
+            StoreError::Json(format!(
+                "{}: journal has no complete header line",
+                path.display()
+            ))
+        })?;
+        let header: JournalHeader = serde_json::from_str(&raw[..header_end])
+            .map_err(|e| StoreError::Json(format!("{}: bad header: {e}", path.display())))?;
+        header.validate_against(expected)?;
+
+        let mut results = Vec::new();
+        // Byte offset of the end of the last durable, in-order record.
+        let mut durable_end = header_end + 1;
+        let mut cursor = durable_end;
+        while cursor < raw.len() {
+            let line_end = match raw[cursor..].find('\n') {
+                Some(n) => cursor + n,
+                None => break, // torn trailing line: no newline made it to disk
+            };
+            let Ok(record) = serde_json::from_str::<SlotRecord>(&raw[cursor..line_end]) else {
+                break; // torn or corrupt: everything after is untrusted
+            };
+            if record.slot != results.len() {
+                break; // gap: the remainder cannot be a replayable prefix
+            }
+            results.push(record.result);
+            durable_end = line_end + 1;
+            cursor = durable_end;
+        }
+
+        let file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        file.set_len(durable_end as u64)
+            .map_err(|e| io_err(&path, e))?;
+        let mut inner = JournalInner {
+            file,
+            next_slot: results.len(),
+        };
+        use std::io::Seek as _;
+        inner
+            .file
+            .seek(std::io::SeekFrom::End(0))
+            .map_err(|e| io_err(&path, e))?;
+        Ok((
+            Journal {
+                path,
+                inner: Mutex::new(inner),
+            },
+            results,
+        ))
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durably appends one completed slot (write + fsync before returning).
+    /// A slot that is not the journal's next expected index is ignored —
+    /// see [`JournalInner::next_slot`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::Json`] on write failure. A
+    /// failed append leaves the journal usable: the record simply is not
+    /// durable and the slot re-runs on resume.
+    pub fn record(&self, slot: usize, result: &SlotResult) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("journal lock");
+        if slot != inner.next_slot {
+            return Ok(());
+        }
+        let line = serde_json::to_string(&SlotRecord {
+            slot,
+            result: result.clone(),
+        })
+        .map_err(|e| StoreError::Json(e.to_string()))?;
+        writeln!(inner.file, "{line}").map_err(|e| io_err(&self.path, e))?;
+        inner.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        inner.next_slot += 1;
+        Ok(())
+    }
+
+    /// Number of slots durably recorded so far.
+    pub fn recorded(&self) -> usize {
+        self.inner.lock().expect("journal lock").next_slot
+    }
+}

@@ -1,0 +1,389 @@
+//! The on-disk store: one root directory holding the fault-map cache, the
+//! campaign journals, and named campaign results.
+//!
+//! Layout under the root:
+//!
+//! ```text
+//! <root>/
+//!   faultmaps/   content-addressed scanner output   (cache module)
+//!   journals/    per-campaign crash-safe journals   (journal module)
+//!   runs/        named CampaignResult JSON files    (save_run / load_run)
+//! ```
+//!
+//! Everything in the store is plain JSON(L) so artifacts can be inspected,
+//! diffed and shipped between machines — the paper's faultload files were
+//! exactly this kind of portable artifact.
+
+use std::path::{Path, PathBuf};
+
+use depbench::{Campaign, CampaignResult};
+use mvm::CodeImage;
+use swfit_core::{Faultload, Scanner};
+
+use crate::cache::FaultMapCache;
+use crate::journal::{Journal, JournalHeader};
+use crate::{io_err, StoreError};
+
+/// A store rooted at one directory. Cheap to clone; all state is on disk.
+#[derive(Clone, Debug)]
+pub struct FaultStore {
+    root: PathBuf,
+    cache: FaultMapCache,
+}
+
+impl FaultStore {
+    /// Opens (creating if needed) a store at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory tree cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<FaultStore, StoreError> {
+        let root = root.into();
+        for sub in ["journals", "runs"] {
+            let dir = root.join(sub);
+            std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        }
+        let cache = FaultMapCache::open(root.join("faultmaps"))?;
+        Ok(FaultStore { root, cache })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The fault-map cache (for direct use).
+    pub fn cache(&self) -> &FaultMapCache {
+        &self.cache
+    }
+
+    /// Whole-image scan through the fault-map cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultMapCache::scan_image`].
+    pub fn scan_image(
+        &self,
+        scanner: &Scanner,
+        image: &CodeImage,
+    ) -> Result<Faultload, StoreError> {
+        self.cache.scan_image(scanner, image)
+    }
+
+    /// Function-filtered scan through the fault-map cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultMapCache::scan_functions`].
+    pub fn scan_functions(
+        &self,
+        scanner: &Scanner,
+        image: &CodeImage,
+        funcs: &[String],
+    ) -> Result<Faultload, StoreError> {
+        self.cache.scan_functions(scanner, image, funcs)
+    }
+
+    /// Runs `campaign` over `faultload` with a crash-safe journal.
+    ///
+    /// With `resume = false` any previous journal for this campaign is
+    /// discarded and the campaign starts from slot 0. With `resume = true`
+    /// an existing journal is validated and its completed slots are
+    /// replayed: only the remaining slots execute, and because every slot's
+    /// randomness derives from `(seed, iteration, slot)`, the assembled
+    /// [`CampaignResult`] is byte-identical to an uninterrupted run. A
+    /// journal left by a *completed* campaign resumes to an immediate
+    /// replay of the full result, executing nothing.
+    ///
+    /// Every completed slot is fsynced to the journal before the campaign
+    /// proceeds, so a crash (including SIGKILL) at any point loses at most
+    /// the in-flight slots. A journal *write* failure mid-campaign does not
+    /// abort the run; the slot is simply not durable and re-executes on
+    /// resume (a warning is printed).
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::MissingFingerprint`] — the faultload is
+    ///   unfingerprinted, so a journal could never be validated against it;
+    /// * [`StoreError::StaleJournal`] — `resume = true` but the existing
+    ///   journal belongs to a different campaign/config/faultload;
+    /// * [`StoreError::Campaign`] — the campaign itself failed;
+    /// * [`StoreError::Io`] / [`StoreError::Json`] — journal I/O failure.
+    pub fn run_resumable(
+        &self,
+        campaign: &Campaign,
+        faultload: &Faultload,
+        iteration: u64,
+        resume: bool,
+    ) -> Result<CampaignResult, StoreError> {
+        if !faultload.is_fingerprinted() {
+            return Err(StoreError::MissingFingerprint {
+                target: faultload.target.clone(),
+            });
+        }
+        let header = JournalHeader::describe(campaign, faultload, iteration);
+        let path = self.journal_path(campaign, iteration);
+        let (journal, completed) = if resume && path.exists() {
+            Journal::open_resume(&path, &header)?
+        } else {
+            (Journal::create(&path, &header)?, Vec::new())
+        };
+        let result = campaign.run_injection_observed(
+            faultload,
+            iteration,
+            completed,
+            &|slot, slot_result| {
+                if let Err(e) = journal.record(slot, slot_result) {
+                    eprintln!("warning: journal append for slot {slot} failed ({e}); the slot will re-run on resume");
+                }
+            },
+        )?;
+        Ok(result)
+    }
+
+    /// The journal path for one `(edition, server, iteration)` campaign.
+    pub fn journal_path(&self, campaign: &Campaign, iteration: u64) -> PathBuf {
+        self.root.join("journals").join(format!(
+            "{}-{}-it{}.jsonl",
+            campaign.edition().name(),
+            campaign.server().name(),
+            iteration
+        ))
+    }
+
+    /// Saves a campaign result under `name` (atomically: temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadRunName`] for unstorable names, otherwise
+    /// [`StoreError::Io`] / [`StoreError::Json`].
+    pub fn save_run(&self, name: &str, result: &CampaignResult) -> Result<PathBuf, StoreError> {
+        let path = self.run_path(name)?;
+        let json =
+            serde_json::to_string_pretty(result).map_err(|e| StoreError::Json(e.to_string()))?;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        Ok(path)
+    }
+
+    /// Loads a previously saved campaign result.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingRun`] when no run with this name exists,
+    /// [`StoreError::Json`] when the stored file does not parse.
+    pub fn load_run(&self, name: &str) -> Result<CampaignResult, StoreError> {
+        let path = self.run_path(name)?;
+        let json = std::fs::read_to_string(&path).map_err(|_| StoreError::MissingRun {
+            name: name.to_string(),
+        })?;
+        serde_json::from_str(&json)
+            .map_err(|e| StoreError::Json(format!("{}: {e}", path.display())))
+    }
+
+    /// Names of all stored runs, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the runs directory is unreadable.
+    pub fn list_runs(&self) -> Result<Vec<String>, StoreError> {
+        let dir = self.root.join("runs");
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))? {
+            let entry = entry.map_err(|e| io_err(&dir, e))?;
+            let file = entry.file_name();
+            if let Some(name) = file.to_str().and_then(|f| f.strip_suffix(".json")) {
+                names.push(name.to_string());
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// The file path a run name maps to, after validating the name.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadRunName`] unless the name is non-empty and uses
+    /// only `[A-Za-z0-9._-]` (no path separators, no traversal).
+    pub fn run_path(&self, name: &str) -> Result<PathBuf, StoreError> {
+        let ok = !name.is_empty()
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+        if !ok {
+            return Err(StoreError::BadRunName {
+                name: name.to_string(),
+            });
+        }
+        Ok(self.root.join("runs").join(format!("{name}.json")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depbench::{CampaignConfig, IntervalConfig};
+    use simkit::SimDuration;
+    use simos::{Edition, Os};
+    use webserver::ServerKind;
+
+    fn quick_config() -> CampaignConfig {
+        CampaignConfig::builder()
+            .interval(IntervalConfig {
+                duration: SimDuration::from_millis(300),
+                ..IntervalConfig::default()
+            })
+            .os_budget(150_000)
+            .build()
+    }
+
+    fn small_faultload(n: usize) -> Faultload {
+        let os = Os::boot(Edition::Nimbus2000).unwrap();
+        let api: Vec<String> = simos::OsApi::ALL
+            .iter()
+            .map(|f| f.symbol().to_string())
+            .collect();
+        let mut fl = Scanner::standard().scan_functions(os.program().image(), &api);
+        let stride = (fl.len() / n).max(1);
+        fl.faults = fl.faults.into_iter().step_by(stride).take(n).collect();
+        fl
+    }
+
+    fn tmp_store(tag: &str) -> (PathBuf, FaultStore) {
+        let dir =
+            std::env::temp_dir().join(format!("faultstore-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FaultStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_listing() {
+        let (dir, store) = tmp_store("roundtrip");
+        let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        let fl = small_faultload(3);
+        let result = store.run_resumable(&campaign, &fl, 0, false).unwrap();
+        store.save_run("baseline", &result).unwrap();
+        let loaded = store.load_run("baseline").unwrap();
+        assert_eq!(
+            serde_json::to_string(&result).unwrap(),
+            serde_json::to_string(&loaded).unwrap()
+        );
+        assert_eq!(store.list_runs().unwrap(), vec!["baseline".to_string()]);
+        assert!(matches!(
+            store.load_run("never-stored"),
+            Err(StoreError::MissingRun { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hostile_run_names_are_rejected() {
+        let (dir, store) = tmp_store("names");
+        for bad in ["", "../escape", "a/b", ".hidden", "nul\0byte", "sp ace"] {
+            assert!(
+                matches!(store.run_path(bad), Err(StoreError::BadRunName { .. })),
+                "name {bad:?} must be rejected"
+            );
+        }
+        assert!(store.run_path("ok-1.2_x").is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_from_truncated_journal_is_byte_identical() {
+        let (dir, store) = tmp_store("resume");
+        let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        let fl = small_faultload(6);
+        let full = store.run_resumable(&campaign, &fl, 0, false).unwrap();
+        let full_json = serde_json::to_string(&full).unwrap();
+
+        let path = store.journal_path(&campaign, 0);
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = raw.lines().collect();
+        assert_eq!(lines.len(), 1 + 6, "header plus one record per slot");
+
+        // Simulate a crash after 2 slots, with a torn third record.
+        let torn = format!(
+            "{}\n{}\n{}\n{{\"slot\":2,\"resu",
+            lines[0], lines[1], lines[2]
+        );
+        std::fs::write(&path, torn).unwrap();
+        let resumed = store.run_resumable(&campaign, &fl, 0, true).unwrap();
+        assert_eq!(full_json, serde_json::to_string(&resumed).unwrap());
+
+        // A journal of a completed campaign replays without executing.
+        let replayed = store.run_resumable(&campaign, &fl, 0, true).unwrap();
+        assert_eq!(full_json, serde_json::to_string(&replayed).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_journals_are_refused() {
+        let (dir, store) = tmp_store("stale");
+        let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        let fl = small_faultload(3);
+        store.run_resumable(&campaign, &fl, 0, false).unwrap();
+
+        // Same campaign identity, different seed: the journal's slot results
+        // were measured under other randomness and must not be spliced in.
+        let reseeded = Campaign::new(
+            Edition::Nimbus2000,
+            ServerKind::Wren,
+            CampaignConfig::builder()
+                .interval(IntervalConfig {
+                    duration: SimDuration::from_millis(300),
+                    ..IntervalConfig::default()
+                })
+                .os_budget(150_000)
+                .seed(999)
+                .build(),
+        );
+        let err = store.run_resumable(&reseeded, &fl, 0, true).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::StaleJournal { reason } if reason.contains("config hash")),
+            "got {err}"
+        );
+
+        // A different faultload (other fault count) is also stale.
+        let other_fl = small_faultload(2);
+        let err = store
+            .run_resumable(&campaign, &other_fl, 0, true)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::StaleJournal { .. }), "got {err}");
+
+        // But parallelism is excluded from the config hash: a campaign
+        // journaled at -j1 resumes fine at -j4.
+        let wide = Campaign::new(
+            Edition::Nimbus2000,
+            ServerKind::Wren,
+            CampaignConfig::builder()
+                .interval(IntervalConfig {
+                    duration: SimDuration::from_millis(300),
+                    ..IntervalConfig::default()
+                })
+                .os_budget(150_000)
+                .parallelism(4)
+                .build(),
+        );
+        assert!(store.run_resumable(&wide, &fl, 0, true).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unfingerprinted_faultloads_cannot_be_journaled() {
+        let (dir, store) = tmp_store("nofp");
+        let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        let mut fl = small_faultload(2);
+        fl.fingerprint = None;
+        let err = store.run_resumable(&campaign, &fl, 0, false).unwrap_err();
+        assert!(
+            matches!(err, StoreError::MissingFingerprint { .. }),
+            "got {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

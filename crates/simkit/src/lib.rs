@@ -10,7 +10,8 @@
 //! * [`SimRng`] — a seeded random-number source, the *only* entropy input,
 //! * [`stats`] — online statistics (mean/percentiles/rates) used by the
 //!   SPECWeb-like client and the benchmark reports,
-//! * [`rate`] — a byte-rate model used to decide connection conformance.
+//! * [`rate`] — a byte-rate model used to decide connection conformance,
+//! * [`hash`] — stable FNV-1a hashing for persistent-store cache keys.
 //!
 //! # Example
 //!
@@ -26,6 +27,7 @@
 //! ```
 
 pub mod event;
+pub mod hash;
 pub mod rate;
 pub mod rng;
 pub mod stats;

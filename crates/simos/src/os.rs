@@ -132,6 +132,20 @@ pub fn compile_count() -> u64 {
     OS_COMPILES.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// The code-image fingerprint of an edition's pristine build — the key the
+/// persistent fault-map cache and the campaign journal use to recognize "the
+/// same OS build" across processes. Served from the per-edition compiled
+/// image cache, so calling this is much cheaper than a full boot (no kernel
+/// structure initialization runs).
+///
+/// # Errors
+///
+/// Returns a description when the edition's OS source does not compile
+/// (which would be a bug, covered by tests).
+pub fn image_fingerprint(edition: Edition) -> Result<u64, String> {
+    Ok(compiled_program(edition)?.image().fingerprint())
+}
+
 /// A booted SimOS instance.
 #[derive(Debug)]
 pub struct Os {
@@ -387,6 +401,20 @@ mod tests {
         }
         assert_eq!(compile_count(), after_warm, "a cached boot recompiled");
         assert!(after_warm as usize <= Edition::ALL.len());
+    }
+
+    #[test]
+    fn image_fingerprint_matches_booted_image_without_booting() {
+        for edition in Edition::ALL {
+            let fp = image_fingerprint(edition).expect("compiles");
+            let os = Os::boot(edition).expect("boots");
+            assert_eq!(fp, os.program().image().fingerprint());
+        }
+        assert_ne!(
+            image_fingerprint(Edition::Nimbus2000).unwrap(),
+            image_fingerprint(Edition::NimbusXp).unwrap(),
+            "editions are different builds"
+        );
     }
 
     #[test]
