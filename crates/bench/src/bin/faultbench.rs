@@ -6,9 +6,16 @@
 //! faultbench campaign <edition> <server> [--faultload FILE] [--iterations N]
 //!            [--jobs N] [--seed N] [--limit N] [--out FILE]
 //!            [--store DIR] [--resume] [--save NAME]
+//! faultbench recovery <edition> <server> [--limit N] [--jobs N] [--seed N]
+//!                                                  compare recovery policies
 //! faultbench diff <runA> <runB> --store DIR        compare two stored runs
 //! faultbench accuracy <edition>                    score the scanner
 //! ```
+//!
+//! `recovery` runs the same injection campaign once per watchdog recovery
+//! policy (`fixed`, `backoff`, `reboot`, `failover`) and tabulates the
+//! dependability trade-off: administrative interventions (ADMf),
+//! availability %, mean time to repair, and the SPECWeb measures.
 //!
 //! Editions: `nimbus-2000`, `nimbus-xp`. Servers: `heron`, `wren`.
 //!
@@ -21,9 +28,9 @@
 use std::process::ExitCode;
 
 use bench::cli::CliArgs;
-use depbench::report::{f, TextTable};
-use depbench::{Campaign, DependabilityMetrics};
-use faultstore::diff_runs;
+use depbench::report::{f, pct, TextTable};
+use depbench::{Campaign, CampaignConfig, DependabilityMetrics, RecoveryPolicy};
+use faultstore::{diff_runs, StoreError};
 use simos::{Edition, Os};
 use swfit_core::{accuracy, Faultload, Scanner};
 use webserver::ServerKind;
@@ -34,11 +41,12 @@ fn main() -> ExitCode {
         Some("scan") => cmd_scan(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("recovery") => cmd_recovery(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("accuracy") => cmd_accuracy(&args[1..]),
         _ => {
             eprintln!(
-                "usage: faultbench <scan|profile|campaign|diff|accuracy> …\n\
+                "usage: faultbench <scan|profile|campaign|recovery|diff|accuracy> …\n\
                  see the module docs (`faultbench.rs`) for details"
             );
             return ExitCode::FAILURE;
@@ -95,6 +103,16 @@ fn sample(mut fl: Faultload, n: usize) -> Faultload {
     let stride = (fl.len() / n).max(1);
     fl.faults = fl.faults.into_iter().step_by(stride).take(n).collect();
     fl
+}
+
+/// MTTR rendered in milliseconds, or `-` when no repair ever completed
+/// (an MTTR of 0 would wrongly read as "instant recovery").
+fn mttr_ms(a: &depbench::AvailabilityMetrics) -> String {
+    if a.repairs == 0 {
+        "-".to_string()
+    } else {
+        f(a.mttr().as_millis_f64(), 1)
+    }
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {
@@ -217,7 +235,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let baseline = campaign.run_profile_mode(0).map_err(|e| e.to_string())?;
     let mut metrics_out: Vec<DependabilityMetrics> = Vec::new();
     let mut table = TextTable::new([
-        "run", "SPC", "THR", "RTM", "ER%", "MIS", "KNS", "KCP", "ADMf",
+        "run", "SPC", "THR", "RTM", "ER%", "MIS", "KNS", "KCP", "ADMf", "Avail%", "MTTR",
     ]);
     table.row([
         "baseline".to_string(),
@@ -229,6 +247,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         "0".into(),
         "0".into(),
         "0".to_string(),
+        pct(1.0),
+        "-".to_string(),
     ]);
     for it in 0..iterations {
         let res = match &store {
@@ -251,6 +271,19 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             let path = s.save_run(&run_name, &res).map_err(|e| e.to_string())?;
             eprintln!("saved run `{run_name}` -> {}", path.display());
         }
+        if !res.quarantined.is_empty() {
+            let slots: Vec<String> = res
+                .quarantined
+                .iter()
+                .map(|q| format!("#{} ({})", q.slot, q.fault_id))
+                .collect();
+            eprintln!(
+                "warning: {} slot(s) quarantined after a panic: {}; \
+                 re-run with --store DIR --resume to re-attempt only those slots",
+                res.quarantined.len(),
+                slots.join(", ")
+            );
+        }
         let m = DependabilityMetrics::from_runs(&baseline, &res);
         table.row([
             format!("iteration {}", it + 1),
@@ -262,6 +295,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             m.watchdog.kns.to_string(),
             m.watchdog.kcp.to_string(),
             m.admf().to_string(),
+            pct(m.availability.availability()),
+            mttr_ms(&m.availability),
         ]);
         metrics_out.push(m);
     }
@@ -274,6 +309,64 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the same faultload once per recovery policy and tabulates the
+/// dependability trade-off each policy buys.
+fn cmd_recovery(args: &[String]) -> Result<(), String> {
+    let edition = parse_edition(args.first())?;
+    let server = parse_server(args.get(1))?;
+    let cli = CliArgs::from_slice(args)?;
+    let store = cli.open_store()?;
+    let os = Os::boot(edition)?;
+    let scanner = Scanner::standard();
+    let api: Vec<String> = simos::OsApi::ALL
+        .iter()
+        .map(|f| f.symbol().to_string())
+        .collect();
+    let faultload = match &store {
+        Some(s) => s
+            .scan_functions(&scanner, os.program().image(), &api)
+            .map_err(|e| e.to_string())?,
+        None => scanner.scan_functions(os.program().image(), &api),
+    };
+    let faultload = match parse_limit(args)? {
+        Some(n) => sample(faultload, n),
+        None => faultload,
+    };
+    eprintln!(
+        "recovery comparison: {edition} / {server}, {} faults per policy, {} job(s)",
+        faultload.len(),
+        cli.jobs.unwrap_or(1)
+    );
+    let mut table = TextTable::new([
+        "policy", "ADMf", "Avail%", "MTTR", "outages", "repairs", "SPCf", "THRf", "ER%f",
+    ]);
+    for name in RecoveryPolicy::NAMES {
+        let policy = RecoveryPolicy::by_name(name).expect("NAMES entries all resolve");
+        let cfg = cli
+            .configure(CampaignConfig::builder())
+            .recovery(policy)
+            .build();
+        let campaign = Campaign::new(edition, server, cfg);
+        let res = campaign
+            .run_injection(&faultload, 0)
+            .map_err(|e| e.to_string())?;
+        let a = &res.availability;
+        table.row([
+            name.to_string(),
+            res.watchdog.admf().to_string(),
+            pct(a.availability()),
+            mttr_ms(a),
+            a.outages.to_string(),
+            a.repairs.to_string(),
+            res.spc_f().to_string(),
+            f(res.measures.thr(), 1),
+            f(res.measures.er_pct(), 1),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
 fn cmd_diff(args: &[String]) -> Result<(), String> {
     let (Some(name_a), Some(name_b)) = (args.first(), args.get(1)) else {
         return Err("usage: faultbench diff <runA> <runB> --store DIR".into());
@@ -282,8 +375,21 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
     let store = cli
         .open_store()?
         .ok_or("diff needs --store DIR (the runs live in the store)")?;
-    let a = store.load_run(name_a).map_err(|e| e.to_string())?;
-    let b = store.load_run(name_b).map_err(|e| e.to_string())?;
+    let load = |name: &String| -> Result<depbench::CampaignResult, String> {
+        store.load_run(name).map_err(|e| match e {
+            StoreError::MissingRun { name } => {
+                let available = match store.list_runs() {
+                    Ok(runs) if runs.is_empty() => "none stored yet".to_string(),
+                    Ok(runs) => runs.join(", "),
+                    Err(_) => "could not list runs".to_string(),
+                };
+                format!("no stored run named `{name}` (available: {available})")
+            }
+            other => other.to_string(),
+        })
+    };
+    let a = load(name_a)?;
+    let b = load(name_b)?;
     print!("{}", diff_runs(name_a, &a, name_b, &b));
     Ok(())
 }

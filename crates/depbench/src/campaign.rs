@@ -23,8 +23,9 @@ use specweb::{FileSet, FileSetConfig, IntervalMeasures, RequestGenerator};
 use swfit_core::{Faultload, InjectError, Injector};
 use webserver::{ServerKind, ServerState, WebServer};
 
-use crate::executor::{run_slots, run_slots_observed};
+use crate::executor::{run_slots, run_slots_quarantined, SlotRun};
 use crate::interval::{run_interval, IntervalConfig, WatchdogCounts};
+use crate::recovery::{AvailabilityMetrics, RecoveryPolicy};
 
 /// Why a campaign run could not produce a result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -209,6 +210,14 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Sets the watchdog's recovery policy (a shorthand for editing
+    /// [`IntervalConfig::recovery`] through [`CampaignConfigBuilder::interval`]).
+    #[must_use]
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.config.interval.recovery = recovery;
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> CampaignConfig {
         self.config
@@ -226,6 +235,51 @@ pub struct SlotResult {
     pub watchdog: WatchdogCounts,
     /// Whether the server ended the slot dead or hung.
     pub ended_dead: bool,
+    /// Downtime/repair timeline observed during the slot.
+    #[serde(default)]
+    pub availability: AvailabilityMetrics,
+}
+
+/// Why a slot was quarantined instead of producing a [`SlotResult`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotError {
+    /// The slot's benchmark stack panicked. The panic was caught, the
+    /// worker rebuilt its stack, and the campaign carried on without this
+    /// slot's measures.
+    Panicked {
+        /// The panic payload's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotError::Panicked { message } => write!(f, "slot panicked: {message}"),
+        }
+    }
+}
+
+/// A slot that could not produce a result, quarantined so the rest of the
+/// campaign's work survives. A `--resume` of the campaign re-attempts
+/// exactly these slots.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuarantinedSlot {
+    /// Slot index in the faultload.
+    pub slot: usize,
+    /// The fault the slot was running.
+    pub fault_id: String,
+    /// What went wrong.
+    pub error: SlotError,
+}
+
+/// How one campaign slot ended — the unit the campaign journal records.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SlotOutcome {
+    /// The slot produced a result.
+    Done(SlotResult),
+    /// The slot was quarantined.
+    Quarantined(SlotError),
 }
 
 /// Aggregated result of a full campaign run (one iteration).
@@ -239,8 +293,16 @@ pub struct CampaignResult {
     pub measures: IntervalMeasures,
     /// Total watchdog interventions.
     pub watchdog: WatchdogCounts,
-    /// Per-slot results.
+    /// Aggregated downtime/repair timeline over all completed slots.
+    #[serde(default)]
+    pub availability: AvailabilityMetrics,
+    /// Per-slot results (completed slots only, in slot order).
     pub slots: Vec<SlotResult>,
+    /// Slots that panicked and were quarantined instead of aborting the
+    /// campaign. Empty on a healthy run (and then omitted from JSON, so
+    /// stored runs from before quarantine existed compare byte-identical).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub quarantined: Vec<QuarantinedSlot>,
 }
 
 impl CampaignResult {
@@ -299,6 +361,9 @@ pub struct Campaign {
     edition: Edition,
     server: ServerKind,
     config: CampaignConfig,
+    /// Test hook: the fault id whose slot panics instead of running, to
+    /// exercise quarantine without a genuinely buggy stack.
+    panic_on: Option<String>,
 }
 
 impl Campaign {
@@ -308,7 +373,16 @@ impl Campaign {
             edition,
             server,
             config,
+            panic_on: None,
         }
+    }
+
+    /// Makes the slot running fault `fault_id` panic instead of executing —
+    /// a fault-injection hook *for the benchmark harness itself*, used by
+    /// quarantine tests. Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn panic_on_fault(&mut self, fault_id: &str) {
+        self.panic_on = Some(fault_id.to_string());
     }
 
     /// The configuration in use.
@@ -463,16 +537,24 @@ impl Campaign {
     /// [`Campaign::run_injection`] with resume support and an ordered
     /// slot-completion observer — the persistent store's entry point.
     ///
-    /// `completed` holds the results of the first `completed.len()` slots,
-    /// replayed from a campaign journal after an interruption; only the
-    /// remaining slots execute, each with the same `(iteration, slot)`
-    /// derived seed it would have used in an uninterrupted run, so the
-    /// returned [`CampaignResult`] is byte-identical either way.
+    /// `completed` holds the outcomes of the first `completed.len()` slots,
+    /// replayed from a campaign journal after an interruption. Slots whose
+    /// replayed outcome is [`SlotOutcome::Done`] are not re-executed;
+    /// [`SlotOutcome::Quarantined`] slots are *re-attempted* (a resume is
+    /// exactly the second chance a quarantined slot gets). Every executed
+    /// slot uses the same `(iteration, slot)` derived seed it would have
+    /// used in an uninterrupted run, so the returned [`CampaignResult`] is
+    /// byte-identical either way.
     ///
-    /// `observe(slot, &result)` fires once per *newly executed* successful
-    /// slot, in increasing slot order even under parallel work-stealing
-    /// (see [`crate::executor::run_slots_observed`]) — which is exactly the
-    /// gap-free record sequence an append-only journal needs.
+    /// `observe(slot, &outcome)` fires once per *newly executed* slot —
+    /// completed or quarantined — in increasing slot order even under
+    /// parallel work-stealing (see
+    /// [`crate::executor::run_slots_quarantined`]), which is exactly the
+    /// record sequence an append-only journal needs.
+    ///
+    /// A panicking slot does not abort the campaign: the panic is caught,
+    /// the worker's stack is rebuilt, and the slot lands in
+    /// [`CampaignResult::quarantined`].
     ///
     /// # Panics
     ///
@@ -487,8 +569,8 @@ impl Campaign {
         &self,
         faultload: &Faultload,
         iteration: u64,
-        completed: Vec<SlotResult>,
-        observe: &(dyn Fn(usize, &SlotResult) + Sync),
+        completed: Vec<SlotOutcome>,
+        observe: &(dyn Fn(usize, &SlotOutcome) + Sync),
     ) -> Result<CampaignResult, CampaignError> {
         assert!(
             completed.len() <= faultload.len(),
@@ -516,28 +598,61 @@ impl Campaign {
         }
         drop(probe);
 
-        let per_slot: Vec<Result<SlotResult, CampaignError>> = run_slots_observed(
+        // Replayed Done outcomes keep their results; everything else —
+        // never-run slots and replayed quarantined slots — goes on the
+        // worklist for (re-)execution.
+        let mut outcomes: Vec<Option<SlotOutcome>> = completed.into_iter().map(Some).collect();
+        outcomes.resize(faultload.len(), None);
+        let worklist: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !matches!(o, Some(SlotOutcome::Done(_))))
+            .map(|(slot, _)| slot)
+            .collect();
+
+        let ran: Vec<SlotRun<Result<SlotResult, CampaignError>>> = run_slots_quarantined(
             self.config.parallelism,
-            completed.len(),
-            faultload.len(),
+            &worklist,
             || self.worker_stack(Injector::new()),
             |stack, slot| self.run_one_fault_slot(stack, &faultload.faults[slot], iteration, slot),
-            |slot, result| {
-                if let Ok(r) = result {
-                    observe(slot, r);
-                }
+            |slot, run| match run {
+                SlotRun::Done(Ok(r)) => observe(slot, &SlotOutcome::Done(r.clone())),
+                SlotRun::Done(Err(_)) => {}
+                SlotRun::Panicked(message) => observe(
+                    slot,
+                    &SlotOutcome::Quarantined(SlotError::Panicked {
+                        message: message.clone(),
+                    }),
+                ),
             },
         );
+        for (&slot, run) in worklist.iter().zip(ran) {
+            outcomes[slot] = Some(match run {
+                SlotRun::Done(result) => SlotOutcome::Done(result?),
+                SlotRun::Panicked(message) => {
+                    SlotOutcome::Quarantined(SlotError::Panicked { message })
+                }
+            });
+        }
 
-        let mut slots = completed;
-        slots.reserve(per_slot.len());
-        for result in per_slot {
-            slots.push(result?);
+        let mut slots = Vec::with_capacity(outcomes.len());
+        let mut quarantined = Vec::new();
+        for (slot, outcome) in outcomes.into_iter().enumerate() {
+            match outcome.expect("every slot has an outcome") {
+                SlotOutcome::Done(r) => slots.push(r),
+                SlotOutcome::Quarantined(error) => quarantined.push(QuarantinedSlot {
+                    slot,
+                    fault_id: faultload.faults[slot].id.clone(),
+                    error,
+                }),
+            }
         }
         let mut total: Option<IntervalMeasures> = None;
         let mut watchdog = WatchdogCounts::default();
+        let mut availability = AvailabilityMetrics::default();
         for slot in &slots {
             watchdog.merge(slot.watchdog);
+            availability.merge(slot.availability);
             match &mut total {
                 Some(t) => t.merge(&slot.measures),
                 None => total = Some(slot.measures.clone()),
@@ -549,7 +664,9 @@ impl Campaign {
             server: self.server,
             measures: total.unwrap_or_else(|| IntervalMeasures::new(self.config.interval.conns)),
             watchdog,
+            availability,
             slots,
+            quarantined,
         })
     }
 
@@ -563,6 +680,9 @@ impl Campaign {
         iteration: u64,
         slot: usize,
     ) -> Result<SlotResult, CampaignError> {
+        if self.panic_on.as_deref() == Some(fault.id.as_str()) {
+            panic!("harness fault injected for fault `{}`", fault.id);
+        }
         // Rest interval: recover the system and bring the server up on the
         // pristine OS — the fault arrives while the server is already
         // running, as in the paper's continuously-operating setup.
@@ -597,6 +717,7 @@ impl Campaign {
             fault_id: fault.id.clone(),
             watchdog: out.watchdog,
             ended_dead: out.end_state != ServerState::Running,
+            availability: out.availability,
             measures: out.measures,
         })
     }
@@ -728,7 +849,10 @@ mod tests {
         let full = c.run_injection(&fl, 0).unwrap();
         let full_json = serde_json::to_string(&full).unwrap();
         for k in [0, 4, 9] {
-            let completed: Vec<SlotResult> = full.slots[..k].to_vec();
+            let completed: Vec<SlotOutcome> = full.slots[..k]
+                .iter()
+                .map(|s| SlotOutcome::Done(s.clone()))
+                .collect();
             let resumed = c
                 .run_injection_observed(&fl, 0, completed, &|_, _| {})
                 .unwrap();
@@ -751,8 +875,14 @@ mod tests {
         let c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, cfg);
         let full = c.run_injection(&fl, 0).unwrap();
         let seen = Mutex::new(Vec::new());
-        let completed: Vec<SlotResult> = full.slots[..2].to_vec();
-        c.run_injection_observed(&fl, 0, completed, &|slot, r| {
+        let completed: Vec<SlotOutcome> = full.slots[..2]
+            .iter()
+            .map(|s| SlotOutcome::Done(s.clone()))
+            .collect();
+        c.run_injection_observed(&fl, 0, completed, &|slot, outcome| {
+            let SlotOutcome::Done(r) = outcome else {
+                panic!("healthy campaign quarantined slot {slot}");
+            };
             seen.lock().unwrap().push((slot, r.fault_id.clone()));
         })
         .unwrap();
@@ -773,6 +903,99 @@ mod tests {
         let mut other_interval = base;
         other_interval.interval.duration = SimDuration::from_millis(301);
         assert_ne!(base.stable_hash(), other_interval.stable_hash());
+    }
+
+    #[test]
+    fn panicking_slot_is_quarantined_not_fatal() {
+        let fl = small_faultload(Edition::Nimbus2000, 6);
+        for parallelism in [1, 3] {
+            let cfg = CampaignConfig {
+                parallelism,
+                ..quick_config()
+            };
+            let mut c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, cfg);
+            c.panic_on_fault(&fl.faults[2].id);
+            let res = c.run_injection(&fl, 0).unwrap();
+            assert_eq!(res.slots.len(), 5, "five healthy slots completed");
+            assert_eq!(res.quarantined.len(), 1);
+            assert_eq!(res.quarantined[0].slot, 2);
+            assert_eq!(res.quarantined[0].fault_id, fl.faults[2].id);
+            let SlotError::Panicked { message } = &res.quarantined[0].error;
+            assert!(message.contains("harness fault"), "message: {message}");
+            // Slots after the panic still derived their own seeds: they
+            // match an unpoisoned run exactly.
+            let clean = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config())
+                .run_injection(&fl, 0)
+                .unwrap();
+            for (got, want) in res.slots.iter().zip(
+                clean
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != 2)
+                    .map(|(_, s)| s),
+            ) {
+                assert_eq!(
+                    serde_json::to_string(got).unwrap(),
+                    serde_json::to_string(want).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resume_reattempts_only_quarantined_slots() {
+        use std::sync::Mutex;
+        let fl = small_faultload(Edition::Nimbus2000, 6);
+        let c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        let clean = c.run_injection(&fl, 0).unwrap();
+        let clean_json = serde_json::to_string(&clean).unwrap();
+
+        let mut poisoned = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        poisoned.panic_on_fault(&fl.faults[2].id);
+        // First attempt: journal every outcome, including the quarantine.
+        let journal = Mutex::new(Vec::new());
+        let first = poisoned
+            .run_injection_observed(&fl, 0, Vec::new(), &|slot, outcome| {
+                journal.lock().unwrap().push((slot, outcome.clone()));
+            })
+            .unwrap();
+        assert_eq!(first.quarantined.len(), 1);
+        let mut journal = journal.into_inner().unwrap();
+        journal.sort_by_key(|(slot, _)| *slot);
+        let completed: Vec<SlotOutcome> = journal.into_iter().map(|(_, o)| o).collect();
+        assert_eq!(completed.len(), 6, "every slot was journaled");
+
+        // Resume with a healthy harness: only slot 2 re-executes, and the
+        // assembled result is byte-identical to the never-interrupted run.
+        let reexecuted = Mutex::new(Vec::new());
+        let resumed = c
+            .run_injection_observed(&fl, 0, completed, &|slot, _| {
+                reexecuted.lock().unwrap().push(slot);
+            })
+            .unwrap();
+        assert_eq!(*reexecuted.lock().unwrap(), vec![2]);
+        assert_eq!(serde_json::to_string(&resumed).unwrap(), clean_json);
+    }
+
+    #[test]
+    fn default_config_json_is_policy_free_and_hash_stable() {
+        // The FixedDelay default must serialize exactly as the pre-policy
+        // config did: no `recovery` key, so stable hashes (and therefore
+        // stored journals) from before the recovery subsystem stay valid.
+        let base = quick_config();
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(!json.contains("recovery"), "default config JSON: {json}");
+        let mut explicit = base;
+        explicit.interval.recovery = crate::recovery::RecoveryPolicy::FixedDelay;
+        assert_eq!(base.stable_hash(), explicit.stable_hash());
+        let mut backoff = base;
+        backoff.interval.recovery = crate::recovery::RecoveryPolicy::backoff();
+        assert_ne!(
+            base.stable_hash(),
+            backoff.stable_hash(),
+            "non-default policies must invalidate journals"
+        );
     }
 
     #[test]

@@ -160,6 +160,130 @@ where
         .collect()
 }
 
+/// How one slot of a panic-isolated run ([`run_slots_quarantined`]) ended.
+#[derive(Clone, Debug)]
+pub enum SlotRun<R> {
+    /// The slot ran to completion.
+    Done(R),
+    /// The slot's code panicked; the panic was caught, the worker's state
+    /// was discarded (rebuilt before its next slot), and the campaign went
+    /// on. Carries the panic payload's message.
+    Panicked(String),
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_slots_observed`] hardened for pathological slots, over an explicit
+/// worklist: each `run_slot` call runs under `catch_unwind`, so one
+/// panicking slot is recorded as [`SlotRun::Panicked`] instead of killing
+/// the whole campaign and throwing every other slot's work away.
+///
+/// `worklist` names the slot indices to execute (ascending for a resumed
+/// campaign: quarantined slots to re-attempt plus the un-run tail). Results
+/// come back in worklist order, and `observe` fires once per worklist entry
+/// in that same order (the reorder buffer of [`run_slots_observed`], keyed
+/// by worklist position).
+///
+/// A panic poisons the worker's private state along with the slot: the
+/// state is dropped and `make_worker` builds a fresh one before the
+/// worker's next slot, so one quarantined slot cannot contaminate later
+/// ones. Panics from `make_worker` itself (or the observer) still
+/// propagate — a stack that cannot even be built is a campaign-level bug,
+/// not a per-slot outcome.
+pub fn run_slots_quarantined<T, R, MW, RS, OB>(
+    parallelism: usize,
+    worklist: &[usize],
+    make_worker: MW,
+    run_slot: RS,
+    observe: OB,
+) -> Vec<SlotRun<R>>
+where
+    MW: Fn() -> T + Sync,
+    RS: Fn(&mut T, usize) -> R + Sync,
+    OB: Fn(usize, &SlotRun<R>) + Sync,
+    R: Send,
+{
+    let run_guarded = |state: &mut Option<T>, slot: usize| -> SlotRun<R> {
+        let st = state.get_or_insert_with(&make_worker);
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_slot(st, slot))) {
+            Ok(r) => SlotRun::Done(r),
+            Err(payload) => {
+                // The slot died mid-flight: its worker state is suspect.
+                *state = None;
+                SlotRun::Panicked(panic_message(payload))
+            }
+        }
+    };
+
+    if worklist.is_empty() {
+        return Vec::new();
+    }
+    let workers = parallelism.max(1).min(worklist.len());
+    if workers == 1 {
+        let mut state: Option<T> = None;
+        return worklist
+            .iter()
+            .map(|&slot| {
+                let r = run_guarded(&mut state, slot);
+                observe(slot, &r);
+                r
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let reorder = Mutex::new(Reorder {
+        out: (0..worklist.len()).map(|_| None).collect(),
+        next: 0,
+    });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state: Option<T> = None;
+                    loop {
+                        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                        if pos >= worklist.len() {
+                            break;
+                        }
+                        let r = run_guarded(&mut state, worklist[pos]);
+                        let mut buf = reorder.lock().expect("reorder lock");
+                        buf.out[pos] = Some(r);
+                        // Drain the contiguous completed prefix in order.
+                        while buf.next < worklist.len() {
+                            match buf.out[buf.next].as_ref() {
+                                Some(done) => {
+                                    observe(worklist[buf.next], done);
+                                    buf.next += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("campaign worker panicked");
+        }
+    });
+    let buf = reorder.into_inner().expect("reorder lock");
+    debug_assert_eq!(buf.next, worklist.len(), "observer saw every slot");
+    buf.out
+        .into_iter()
+        .map(|r| r.expect("every slot produced a result"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

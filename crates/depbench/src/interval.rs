@@ -15,6 +15,10 @@ use simos::Os;
 use specweb::{IntervalMeasures, RequestGenerator};
 use webserver::{ServerState, WebServer};
 
+use crate::recovery::{
+    AvailabilityMetrics, FailureClass, RecoveryPolicy, RepairAction, RepairPlan,
+};
+
 /// Interval parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct IntervalConfig {
@@ -42,6 +46,12 @@ pub struct IntervalConfig {
     /// Extra busy time charged at interval start (injector bookkeeping in
     /// profile mode; zero otherwise).
     pub injector_busy: SimDuration,
+    /// Watchdog recovery policy. The default, [`RecoveryPolicy::FixedDelay`],
+    /// reproduces the class-delay restart cadence bit-for-bit and is omitted
+    /// from the serialized config, so default configs hash and journal
+    /// exactly as they did before policies existed.
+    #[serde(default, skip_serializing_if = "RecoveryPolicy::is_fixed_delay")]
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for IntervalConfig {
@@ -58,6 +68,7 @@ impl Default for IntervalConfig {
             hang_kill_delay: SimDuration::from_millis(400),
             kcp_restart_storm: 10,
             injector_busy: SimDuration::ZERO,
+            recovery: RecoveryPolicy::FixedDelay,
         }
     }
 }
@@ -94,6 +105,8 @@ pub struct IntervalOutcome {
     pub measures: IntervalMeasures,
     /// Watchdog interventions.
     pub watchdog: WatchdogCounts,
+    /// Downtime accounting over the interval.
+    pub availability: AvailabilityMetrics,
     /// Server state when the interval ended.
     pub end_state: ServerState,
 }
@@ -102,6 +115,14 @@ pub struct IntervalOutcome {
 enum Event {
     /// Connection `i` issues its next operation.
     Issue(usize),
+}
+
+/// One open outage: the repair plan, when the outage was detected, and when
+/// the next repair attempt is due.
+struct RepairJob {
+    plan: RepairPlan,
+    outage_start: SimTime,
+    due: SimTime,
 }
 
 /// Runs one measurement interval.
@@ -117,6 +138,7 @@ pub fn run_interval(
 ) -> IntervalOutcome {
     let mut measures = IntervalMeasures::new(cfg.conns);
     let mut watchdog = WatchdogCounts::default();
+    let mut avail = AvailabilityMetrics::default();
     let mut queue: EventQueue<Event> = EventQueue::new();
     let end = SimTime::ZERO + cfg.duration;
 
@@ -125,8 +147,17 @@ pub fn run_interval(
     let mut server_free = SimTime::ZERO + cfg.injector_busy;
 
     // Watchdog state.
-    let mut repair_at: Option<SimTime> = None;
+    let mut repair: Option<RepairJob> = None;
     let mut storm_base = server.stats().self_restarts;
+    // The class-based fixed delay every policy can fall back to.
+    let class_delay = |class: FailureClass| match class {
+        FailureClass::Crash => cfg.crash_repair_delay,
+        FailureClass::Hang => cfg.hang_kill_delay,
+    };
+    if matches!(cfg.recovery, RecoveryPolicy::StandbyFailover { .. }) {
+        // The watchdog keeps a warm spare ready from the start.
+        server.prestart_spare(os);
+    }
 
     // Stagger connection starts across the first few milliseconds.
     for conn in 0..cfg.conns {
@@ -144,28 +175,51 @@ pub fn run_interval(
 
         // Watchdog repair path.
         if server.state() != ServerState::Running {
-            let due = *repair_at.get_or_insert_with(|| {
-                // Classify the failure once, at detection time.
-                match server.state() {
+            let job = repair.get_or_insert_with(|| {
+                // Classify the failure once, at detection time; the outage
+                // window opens here — the watchdog cannot see downtime
+                // before it looks.
+                let class = match server.state() {
                     ServerState::Crashed => {
                         watchdog.mis += 1;
-                        now + cfg.crash_repair_delay
+                        FailureClass::Crash
                     }
                     ServerState::Hung => {
                         watchdog.kns += 1;
-                        now + cfg.hang_kill_delay
+                        FailureClass::Hang
                     }
                     ServerState::Running => unreachable!(),
+                };
+                let plan = RepairPlan::new(cfg.recovery, class);
+                RepairJob {
+                    outage_start: now,
+                    due: now + plan.next_delay(class_delay(class), rng),
+                    plan,
                 }
             });
-            if now >= due {
-                // Kill (if hung) and restart.
-                if server.start(os) {
-                    repair_at = None;
+            if now >= job.due {
+                // Kill (if hung) and bring a process back, the way the
+                // policy prescribes for this attempt.
+                let revived = match job.plan.next_action() {
+                    RepairAction::Restart => server.start(os),
+                    RepairAction::RebootThenRestart => {
+                        // Reboot the OS mid-interval: kernel-state corruption
+                        // is cleared (the injected code patch survives), then
+                        // restart on the fresh state. A reboot failure just
+                        // means the restart below fails too.
+                        let _ = os.reboot();
+                        server.start(os)
+                    }
+                    RepairAction::Failover => server.failover(os),
+                };
+                if revived {
+                    avail.record_repair(now.since(job.outage_start));
+                    repair = None;
                     storm_base = server.stats().self_restarts;
                 } else {
-                    // Startup failed (OS still poisoned); retry later.
-                    repair_at = Some(now + cfg.crash_repair_delay);
+                    // Recovery failed (OS still poisoned); retry later.
+                    job.plan.record_failure();
+                    job.due = now + job.plan.next_delay(class_delay(job.plan.class()), rng);
                 }
             }
             // Either way this operation fails at the client.
@@ -210,15 +264,33 @@ pub fn run_interval(
             watchdog.kcp += 1;
             storm_base = server.stats().self_restarts;
             if !server.start(os) {
-                repair_at = Some(complete + cfg.crash_repair_delay);
+                // The kill's own restart failed: the outage opens when the
+                // in-flight response drains, and the policy schedules the
+                // next attempt from there.
+                let plan = RepairPlan::new(cfg.recovery, FailureClass::Crash);
+                repair = Some(RepairJob {
+                    outage_start: complete,
+                    due: complete + plan.next_delay(class_delay(FailureClass::Crash), rng),
+                    plan,
+                });
             }
         }
     }
 
+    // A window still open at interval end is unrepaired downtime (clipped to
+    // the interval; a KCP outage opening after the last event may start past
+    // `end` and then contributes nothing).
+    if let Some(job) = repair {
+        if job.outage_start < end {
+            avail.record_unrepaired(end.since(job.outage_start));
+        }
+    }
+    avail.set_observed(cfg.duration);
     measures.set_duration(cfg.duration);
     IntervalOutcome {
         measures,
         watchdog,
+        availability: avail,
         end_state: server.state(),
     }
 }
@@ -332,6 +404,165 @@ mod tests {
         assert!(profiled <= clean);
         let degradation = (clean - profiled) / clean;
         assert!(degradation < 0.05, "degradation {degradation}");
+    }
+
+    /// A server that self-restarts uselessly (no service) on every request,
+    /// up to a configured number of restarts — the KCP "restart storm"
+    /// pattern, with an exact restart budget so tests can sit right on the
+    /// storm threshold.
+    struct StormServer {
+        state: ServerState,
+        stats: webserver::ServerStats,
+        restart_budget: u64,
+    }
+
+    impl StormServer {
+        fn new(restart_budget: u64) -> StormServer {
+            StormServer {
+                state: ServerState::Crashed,
+                stats: webserver::ServerStats::default(),
+                restart_budget,
+            }
+        }
+    }
+
+    impl WebServer for StormServer {
+        fn name(&self) -> &'static str {
+            "storm"
+        }
+        fn state(&self) -> ServerState {
+            self.state
+        }
+        fn start(&mut self, _os: &mut Os) -> bool {
+            self.stats.process_starts += 1;
+            self.state = ServerState::Running;
+            true
+        }
+        fn serve(&mut self, _os: &mut Os, _req: &webserver::Request) -> webserver::ServeResult {
+            self.stats.requests += 1;
+            self.stats.errors += 1;
+            if self.stats.self_restarts < self.restart_budget {
+                // Fork a worker, watch it die, fork again: busy, useless.
+                self.stats.self_restarts += 1;
+            }
+            webserver::ServeResult {
+                outcome: webserver::Outcome::Error,
+                cost: 50,
+            }
+        }
+        fn stats(&self) -> webserver::ServerStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    fn restart_storm_kill_fires_exactly_at_the_threshold() {
+        let run = |restart_budget: u64| {
+            let (mut os, mut generator) = setup(Edition::Nimbus2000);
+            let mut server = StormServer::new(restart_budget);
+            assert!(server.start(&mut os));
+            let mut rng = SimRng::seed_from_u64(13);
+            let cfg = quick_cfg();
+            assert_eq!(cfg.kcp_restart_storm, 10, "test assumes default storm");
+            run_interval(&mut os, &mut server, &mut generator, &mut rng, &cfg)
+        };
+        // One restart short of the storm threshold: no kill, ever.
+        let below = run(9);
+        assert_eq!(below.watchdog.kcp, 0, "{:?}", below.watchdog);
+        // Exactly at the threshold: the kill fires (once — the budget is
+        // spent, so the storm cannot re-accumulate after the restart).
+        let at = run(10);
+        assert_eq!(at.watchdog.kcp, 1, "{:?}", at.watchdog);
+    }
+
+    #[test]
+    fn availability_invariants_hold_under_every_policy() {
+        let policies = [
+            RecoveryPolicy::FixedDelay,
+            RecoveryPolicy::backoff(),
+            RecoveryPolicy::reboot_escalation(),
+            RecoveryPolicy::standby_failover(),
+        ];
+        for policy in policies {
+            let (mut os, mut generator) = setup(Edition::Nimbus2000);
+            let mut server = Wren::new();
+            assert!(server.start(&mut os));
+            // Persistent heap poison: every fresh start keeps failing, so
+            // the interval accumulates real downtime under each policy.
+            os.poke(
+                os.program().global_addr("heap_free_head").unwrap(),
+                -123_456,
+            )
+            .unwrap();
+            let mut rng = SimRng::seed_from_u64(3);
+            let cfg = IntervalConfig {
+                recovery: policy,
+                ..quick_cfg()
+            };
+            let out = run_interval(&mut os, &mut server, &mut generator, &mut rng, &cfg);
+            let a = &out.availability;
+            let name = policy.name();
+            assert_eq!(a.observed, cfg.duration, "{name}: observed window");
+            assert!(
+                a.downtime <= cfg.duration,
+                "{name}: downtime {} > interval {}",
+                a.downtime,
+                cfg.duration
+            );
+            let frac = a.availability();
+            assert!((0.0..=1.0).contains(&frac), "{name}: availability {frac}");
+            assert!(
+                a.longest_outage <= a.downtime,
+                "{name}: longest outage exceeds total downtime"
+            );
+            assert!(
+                a.repaired_downtime <= a.downtime,
+                "{name}: repaired downtime exceeds total"
+            );
+            assert!(a.repairs <= a.outages, "{name}: more repairs than outages");
+            assert!(
+                a.outages >= 1,
+                "{name}: poisoned interval must record an outage"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_spare_failover_beats_fixed_delay_on_a_poisoned_heap() {
+        let run = |policy: RecoveryPolicy| {
+            let (mut os, mut generator) = setup(Edition::Nimbus2000);
+            let mut server = Wren::new();
+            assert!(server.start(&mut os));
+            if matches!(policy, RecoveryPolicy::StandbyFailover { .. }) {
+                // In a campaign the warmup interval arms the spare while the
+                // OS is still healthy; stand in for it here.
+                assert!(server.prestart_spare(&mut os));
+            }
+            os.poke(
+                os.program().global_addr("heap_free_head").unwrap(),
+                -123_456,
+            )
+            .unwrap();
+            let mut rng = SimRng::seed_from_u64(3);
+            let cfg = IntervalConfig {
+                recovery: policy,
+                ..quick_cfg()
+            };
+            run_interval(&mut os, &mut server, &mut generator, &mut rng, &cfg).availability
+        };
+        let fixed = run(RecoveryPolicy::FixedDelay);
+        let failover = run(RecoveryPolicy::standby_failover());
+        // A fresh start() needs heap allocations, which the poisoned heap
+        // denies — fixed-delay restarts keep failing. The warm spare was
+        // allocated while the OS was healthy, so failing over succeeds.
+        assert_eq!(fixed.repairs, 0, "fixed-delay cannot repair: {fixed:?}");
+        assert!(failover.repairs >= 1, "failover repaired: {failover:?}");
+        assert!(
+            failover.availability() > fixed.availability(),
+            "failover {} <= fixed {}",
+            failover.availability(),
+            fixed.availability()
+        );
     }
 
     #[test]

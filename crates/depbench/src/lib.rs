@@ -18,6 +18,10 @@
 //! * [`profilephase`] — the faultload fine-tuning of §2.4: drive all four
 //!   servers with the workload, trace their OS-API usage, intersect
 //!   (Table 2);
+//! * [`recovery`] — pluggable watchdog repair policies (fixed delay,
+//!   exponential backoff, reboot escalation, warm-spare failover) and the
+//!   availability timeline they produce (availability %, MTTR,
+//!   time-to-first-repair, longest outage);
 //! * [`metrics`] — the dependability metrics of §3.2: SPCf, THRf, RTMf,
 //!   ER%f and ADMf (= MIS + KNS + KCP);
 //! * [`opfaults`] — the paper's suggested *operator faults* extension:
@@ -31,10 +35,12 @@ pub mod interval;
 pub mod metrics;
 pub mod opfaults;
 pub mod profilephase;
+pub mod recovery;
 pub mod report;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError, CampaignResult, SlotResult,
+    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError, CampaignResult,
+    QuarantinedSlot, SlotError, SlotOutcome, SlotResult,
 };
 pub use interval::{IntervalConfig, WatchdogCounts};
 pub use metrics::DependabilityMetrics;
@@ -42,3 +48,4 @@ pub use opfaults::{
     apply_operator_fault, generate_operator_faults, undo_operator_fault, OperatorFault,
 };
 pub use profilephase::{profile_servers, ProfilePhaseConfig};
+pub use recovery::{AvailabilityMetrics, FailureClass, RecoveryPolicy, RepairAction, RepairPlan};

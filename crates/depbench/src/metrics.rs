@@ -10,6 +10,7 @@ use specweb::IntervalMeasures;
 
 use crate::campaign::CampaignResult;
 use crate::interval::WatchdogCounts;
+use crate::recovery::AvailabilityMetrics;
 
 /// The paper's metric set for one campaign run, alongside its baseline.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -30,6 +31,10 @@ pub struct DependabilityMetrics {
     pub er_pct_f: f64,
     /// Watchdog interventions (MIS / KNS / KCP).
     pub watchdog: WatchdogCounts,
+    /// Downtime/repair timeline aggregated over the campaign's slots
+    /// (availability %, MTTR, time-to-first-repair, longest outage).
+    #[serde(default)]
+    pub availability: AvailabilityMetrics,
 }
 
 impl DependabilityMetrics {
@@ -44,6 +49,7 @@ impl DependabilityMetrics {
             rtm_f: campaign.measures.rtm(),
             er_pct_f: campaign.measures.er_pct(),
             watchdog: campaign.watchdog,
+            availability: campaign.availability,
         }
     }
 
@@ -98,6 +104,16 @@ pub fn average_metrics(runs: &[DependabilityMetrics]) -> DependabilityMetrics {
             kns: avg_w(|w| w.kns),
             kcp: avg_w(|w| w.kcp),
         },
+        // Availability is a ratio of integer time totals, so "averaging"
+        // is summing the timelines: the merged metrics weight every
+        // iteration by its observed time, exactly as one long run would.
+        availability: {
+            let mut merged = AvailabilityMetrics::default();
+            for r in runs {
+                merged.merge(r.availability);
+            }
+            merged
+        },
     }
 }
 
@@ -119,6 +135,7 @@ mod tests {
                 kns: 10,
                 kcp: 1,
             },
+            availability: AvailabilityMetrics::default(),
         }
     }
 

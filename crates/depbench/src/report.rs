@@ -71,6 +71,12 @@ pub fn f(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
 }
 
+/// Formats a `[0, 1]` fraction as a percentage cell, e.g. `0.9987` →
+/// `"99.87%"`. Availability columns use this.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
 /// Renders a horizontal ASCII bar scaled to `max` over `width` chars.
 ///
 /// Degenerate inputs render an empty or clamped bar instead of an
@@ -119,6 +125,13 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(10.0, 1), "10.0");
+    }
+
+    #[test]
+    fn percentage_formatting() {
+        assert_eq!(pct(0.9987), "99.87%");
+        assert_eq!(pct(1.0), "100.00%");
+        assert_eq!(pct(0.0), "0.00%");
     }
 
     #[test]

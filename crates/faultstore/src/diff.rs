@@ -6,7 +6,7 @@
 //! run again, store that; then diff the two runs to see what the change
 //! bought — without re-running either campaign.
 
-use depbench::report::{f, TextTable};
+use depbench::report::{f, pct, TextTable};
 use depbench::CampaignResult;
 
 /// Renders a metric-by-metric comparison of two campaign results.
@@ -14,7 +14,8 @@ use depbench::CampaignResult;
 /// Columns are `metric | <name_a> | <name_b> | delta` where delta is
 /// `B − A` (positive = B larger). Rows cover the paper's faultload
 /// measures (SPCf, THRf, RTMf, ER%f), the watchdog intervention counts
-/// (MIS, KNS, KCP, ADMf), and the slot summary.
+/// (MIS, KNS, KCP, ADMf), the availability timeline (availability %, MTTR,
+/// longest outage) and the slot summary (including quarantined slots).
 pub fn diff_table(name_a: &str, a: &CampaignResult, name_b: &str, b: &CampaignResult) -> TextTable {
     let mut table = TextTable::new(["metric", name_a, name_b, "delta (B-A)"]);
     table.row([
@@ -24,7 +25,7 @@ pub fn diff_table(name_a: &str, a: &CampaignResult, name_b: &str, b: &CampaignRe
         String::new(),
     ]);
 
-    let mut float = |metric: &str, va: f64, vb: f64, digits: usize| {
+    let float = |table: &mut TextTable, metric: &str, va: f64, vb: f64, digits: usize| {
         table.row([
             metric.to_string(),
             f(va, digits),
@@ -32,12 +33,36 @@ pub fn diff_table(name_a: &str, a: &CampaignResult, name_b: &str, b: &CampaignRe
             format!("{:+.digits$}", vb - va),
         ]);
     };
-    float("SPCf", f64::from(a.spc_f()), f64::from(b.spc_f()), 0);
-    float("THRf (ops/s)", a.measures.thr(), b.measures.thr(), 2);
-    float("RTMf (ms)", a.measures.rtm(), b.measures.rtm(), 2);
-    float("ER%f", a.measures.er_pct(), b.measures.er_pct(), 2);
+    float(
+        &mut table,
+        "SPCf",
+        f64::from(a.spc_f()),
+        f64::from(b.spc_f()),
+        0,
+    );
+    float(
+        &mut table,
+        "THRf (ops/s)",
+        a.measures.thr(),
+        b.measures.thr(),
+        2,
+    );
+    float(
+        &mut table,
+        "RTMf (ms)",
+        a.measures.rtm(),
+        b.measures.rtm(),
+        2,
+    );
+    float(
+        &mut table,
+        "ER%f",
+        a.measures.er_pct(),
+        b.measures.er_pct(),
+        2,
+    );
 
-    let mut count = |metric: &str, va: u64, vb: u64| {
+    let count = |table: &mut TextTable, metric: &str, va: u64, vb: u64| {
         table.row([
             metric.to_string(),
             va.to_string(),
@@ -45,15 +70,47 @@ pub fn diff_table(name_a: &str, a: &CampaignResult, name_b: &str, b: &CampaignRe
             format!("{:+}", vb as i64 - va as i64),
         ]);
     };
-    count("MIS", a.watchdog.mis, b.watchdog.mis);
-    count("KNS", a.watchdog.kns, b.watchdog.kns);
-    count("KCP", a.watchdog.kcp, b.watchdog.kcp);
-    count("ADMf", a.watchdog.admf(), b.watchdog.admf());
-    count("slots", a.slots.len() as u64, b.slots.len() as u64);
+    count(&mut table, "MIS", a.watchdog.mis, b.watchdog.mis);
+    count(&mut table, "KNS", a.watchdog.kns, b.watchdog.kns);
+    count(&mut table, "KCP", a.watchdog.kcp, b.watchdog.kcp);
+    count(&mut table, "ADMf", a.watchdog.admf(), b.watchdog.admf());
+
+    let (aa, ab) = (&a.availability, &b.availability);
+    table.row([
+        "availability".to_string(),
+        pct(aa.availability()),
+        pct(ab.availability()),
+        format!("{:+.2}pp", ab.availability_pct() - aa.availability_pct()),
+    ]);
+    let ms = |d: simkit::SimDuration| d.as_millis_f64();
+    float(&mut table, "MTTR (ms)", ms(aa.mttr()), ms(ab.mttr()), 1);
+    float(
+        &mut table,
+        "longest outage (ms)",
+        ms(aa.longest_outage),
+        ms(ab.longest_outage),
+        1,
+    );
+    count(&mut table, "outages", aa.outages, ab.outages);
+    count(&mut table, "repairs", aa.repairs, ab.repairs);
+
     count(
+        &mut table,
+        "slots",
+        a.slots.len() as u64,
+        b.slots.len() as u64,
+    );
+    count(
+        &mut table,
         "affected slots",
         a.affected_slots() as u64,
         b.affected_slots() as u64,
+    );
+    count(
+        &mut table,
+        "quarantined slots",
+        a.quarantined.len() as u64,
+        b.quarantined.len() as u64,
     );
     table
 }
@@ -93,6 +150,9 @@ mod tests {
             );
         }
         measures.set_duration(simkit::SimDuration::from_secs(10));
+        let mut availability = depbench::AvailabilityMetrics::default();
+        availability.record_repair(simkit::SimDuration::from_millis(100 * mis));
+        availability.set_observed(simkit::SimDuration::from_secs(10));
         CampaignResult {
             edition: Edition::Nimbus2000,
             server: ServerKind::Wren,
@@ -102,6 +162,7 @@ mod tests {
                 kns: 2,
                 kcp: 1,
             },
+            availability,
             slots: vec![SlotResult {
                 fault_id: "f0".to_string(),
                 measures,
@@ -111,7 +172,9 @@ mod tests {
                     kcp: 1,
                 },
                 ended_dead: false,
+                availability: depbench::AvailabilityMetrics::default(),
             }],
+            quarantined: Vec::new(),
         }
     }
 
@@ -121,7 +184,19 @@ mod tests {
         let b = run(80, 20, 5);
         let text = diff_runs("baseline", &a, "patched", &b);
         for metric in [
-            "SPCf", "THRf", "RTMf", "ER%f", "MIS", "KNS", "KCP", "ADMf", "slots",
+            "SPCf",
+            "THRf",
+            "RTMf",
+            "ER%f",
+            "MIS",
+            "KNS",
+            "KCP",
+            "ADMf",
+            "availability",
+            "MTTR",
+            "longest outage",
+            "slots",
+            "quarantined",
         ] {
             assert!(
                 text.contains(metric),

@@ -8,9 +8,13 @@
 //! hash of the result-affecting config
 //! ([`depbench::CampaignConfig::stable_hash`]), the faultload's image
 //! fingerprint and its fault count. Every following line is one
-//! [`SlotRecord`] `{"slot": i, "result": {…}}`, written strictly in slot
-//! order (the executor's ordered observer guarantees a gap-free prefix even
-//! under parallel work-stealing).
+//! `SlotRecord` — `{"slot": i, "result": {…}}` for a completed slot, or
+//! `{"slot": i, "quarantined": {…}}` for one whose harness panicked — written
+//! strictly in slot order (the executor's ordered observer guarantees a
+//! gap-free prefix even under parallel work-stealing). One exception to
+//! append-only ordering: a *resumed* campaign re-attempts quarantined slots,
+//! and the re-attempt's record is appended out of order, superseding the
+//! quarantine line it replaces (last record for a slot wins on replay).
 //!
 //! # Crash safety
 //!
@@ -33,7 +37,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use depbench::{Campaign, SlotResult};
+use depbench::{Campaign, SlotError, SlotOutcome, SlotResult};
 use serde::{Deserialize, Serialize};
 use swfit_core::Faultload;
 
@@ -127,21 +131,67 @@ impl JournalHeader {
     }
 }
 
-/// One journal line after the header.
+/// One journal line after the header. Exactly one of `result` and
+/// `quarantined` is set; completed-slot records serialize byte-identically
+/// to the pre-quarantine format (`{"slot": i, "result": {…}}`), so journals
+/// written before quarantine existed replay unchanged.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct SlotRecord {
     /// Slot index (= fault index in the faultload).
     slot: usize,
     /// The completed slot's result.
-    result: SlotResult,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    result: Option<SlotResult>,
+    /// Why the slot was quarantined instead.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    quarantined: Option<SlotError>,
+}
+
+impl SlotRecord {
+    fn describe(slot: usize, outcome: &SlotOutcome) -> SlotRecord {
+        match outcome {
+            SlotOutcome::Done(r) => SlotRecord {
+                slot,
+                result: Some(r.clone()),
+                quarantined: None,
+            },
+            SlotOutcome::Quarantined(e) => SlotRecord {
+                slot,
+                result: None,
+                quarantined: Some(e.clone()),
+            },
+        }
+    }
+
+    fn outcome(self) -> Option<SlotOutcome> {
+        match (self.result, self.quarantined) {
+            (Some(r), None) => Some(SlotOutcome::Done(r)),
+            (None, Some(e)) => Some(SlotOutcome::Quarantined(e)),
+            // Neither or both: a record this journal never writes.
+            _ => None,
+        }
+    }
+}
+
+/// What the journal durably knows about one slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// No record yet.
+    Missing,
+    /// A completed result is on disk — final, never overwritten.
+    Done,
+    /// A quarantine record is on disk; a re-attempt may supersede it.
+    Quarantined,
 }
 
 struct JournalInner {
     file: File,
-    /// The next slot index eligible for recording; out-of-order records are
-    /// dropped (they can only follow a failed slot, and the campaign aborts
-    /// on failure anyway — a journal must stay a gap-free prefix).
-    next_slot: usize,
+    /// Per-slot record state, sized to the campaign's fault count. A record
+    /// is accepted only for the first [`SlotState::Missing`] slot (the
+    /// gap-free prefix rule) or to supersede a [`SlotState::Quarantined`]
+    /// slot on resume; anything else is dropped — it could only follow a
+    /// failed slot, and the campaign aborts on failure anyway.
+    state: Vec<SlotState>,
 }
 
 /// An open campaign journal, safe to record into from the executor's
@@ -167,14 +217,18 @@ impl Journal {
         file.sync_data().map_err(|e| io_err(&path, e))?;
         Ok(Journal {
             path,
-            inner: Mutex::new(JournalInner { file, next_slot: 0 }),
+            inner: Mutex::new(JournalInner {
+                file,
+                state: vec![SlotState::Missing; header.fault_count],
+            }),
         })
     }
 
     /// Opens an existing journal for resumption: validates its header
-    /// against `expected`, replays the durable gap-free prefix of slot
-    /// records, truncates any torn tail, and returns the journal positioned
-    /// to append slot `results.len()`.
+    /// against `expected`, replays the durable prefix of slot records
+    /// (later records supersede the quarantine lines they re-attempt),
+    /// truncates any torn tail, and returns the journal positioned to
+    /// append after the last durable record.
     ///
     /// # Errors
     ///
@@ -185,7 +239,7 @@ impl Journal {
     pub fn open_resume(
         path: impl Into<PathBuf>,
         expected: &JournalHeader,
-    ) -> Result<(Journal, Vec<SlotResult>), StoreError> {
+    ) -> Result<(Journal, Vec<SlotOutcome>), StoreError> {
         let path = path.into();
         let raw = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
         let header_end = raw.find('\n').ok_or_else(|| {
@@ -198,8 +252,8 @@ impl Journal {
             .map_err(|e| StoreError::Json(format!("{}: bad header: {e}", path.display())))?;
         header.validate_against(expected)?;
 
-        let mut results = Vec::new();
-        // Byte offset of the end of the last durable, in-order record.
+        let mut outcomes: Vec<SlotOutcome> = Vec::new();
+        // Byte offset of the end of the last durable, acceptable record.
         let mut durable_end = header_end + 1;
         let mut cursor = durable_end;
         while cursor < raw.len() {
@@ -210,10 +264,22 @@ impl Journal {
             let Ok(record) = serde_json::from_str::<SlotRecord>(&raw[cursor..line_end]) else {
                 break; // torn or corrupt: everything after is untrusted
             };
-            if record.slot != results.len() {
+            if record.slot >= header.fault_count {
+                break; // out of range: cannot belong to this campaign
+            }
+            let slot = record.slot;
+            let Some(outcome) = record.outcome() else {
+                break; // malformed record (neither result nor quarantine)
+            };
+            if slot == outcomes.len() {
+                outcomes.push(outcome);
+            } else if slot < outcomes.len() && matches!(outcomes[slot], SlotOutcome::Quarantined(_))
+            {
+                // A resumed run's re-attempt of a quarantined slot.
+                outcomes[slot] = outcome;
+            } else {
                 break; // gap: the remainder cannot be a replayable prefix
             }
-            results.push(record.result);
             durable_end = line_end + 1;
             cursor = durable_end;
         }
@@ -224,10 +290,14 @@ impl Journal {
             .map_err(|e| io_err(&path, e))?;
         file.set_len(durable_end as u64)
             .map_err(|e| io_err(&path, e))?;
-        let mut inner = JournalInner {
-            file,
-            next_slot: results.len(),
-        };
+        let mut state = vec![SlotState::Missing; header.fault_count];
+        for (slot, outcome) in outcomes.iter().enumerate() {
+            state[slot] = match outcome {
+                SlotOutcome::Done(_) => SlotState::Done,
+                SlotOutcome::Quarantined(_) => SlotState::Quarantined,
+            };
+        }
+        let mut inner = JournalInner { file, state };
         use std::io::Seek as _;
         inner
             .file
@@ -238,7 +308,7 @@ impl Journal {
                 path,
                 inner: Mutex::new(inner),
             },
-            results,
+            outcomes,
         ))
     }
 
@@ -247,33 +317,47 @@ impl Journal {
         &self.path
     }
 
-    /// Durably appends one completed slot (write + fsync before returning).
-    /// A slot that is not the journal's next expected index is ignored —
-    /// see [`JournalInner::next_slot`].
+    /// Durably appends one slot outcome (write + fsync before returning).
+    /// A record is accepted for the first unrecorded slot (the gap-free
+    /// prefix rule) or as the re-attempt of a quarantined slot; anything
+    /// else is ignored — see the per-slot state kept by the journal.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] / [`StoreError::Json`] on write failure. A
     /// failed append leaves the journal usable: the record simply is not
     /// durable and the slot re-runs on resume.
-    pub fn record(&self, slot: usize, result: &SlotResult) -> Result<(), StoreError> {
+    pub fn record(&self, slot: usize, outcome: &SlotOutcome) -> Result<(), StoreError> {
         let mut inner = self.inner.lock().expect("journal lock");
-        if slot != inner.next_slot {
+        let next_missing = inner
+            .state
+            .iter()
+            .position(|s| *s == SlotState::Missing)
+            .unwrap_or(inner.state.len());
+        let accept = slot < inner.state.len()
+            && (slot == next_missing || inner.state[slot] == SlotState::Quarantined);
+        if !accept {
             return Ok(());
         }
-        let line = serde_json::to_string(&SlotRecord {
-            slot,
-            result: result.clone(),
-        })
-        .map_err(|e| StoreError::Json(e.to_string()))?;
+        let line = serde_json::to_string(&SlotRecord::describe(slot, outcome))
+            .map_err(|e| StoreError::Json(e.to_string()))?;
         writeln!(inner.file, "{line}").map_err(|e| io_err(&self.path, e))?;
         inner.file.sync_data().map_err(|e| io_err(&self.path, e))?;
-        inner.next_slot += 1;
+        inner.state[slot] = match outcome {
+            SlotOutcome::Done(_) => SlotState::Done,
+            SlotOutcome::Quarantined(_) => SlotState::Quarantined,
+        };
         Ok(())
     }
 
-    /// Number of slots durably recorded so far.
+    /// Number of slots with a durable record (completed or quarantined).
     pub fn recorded(&self) -> usize {
-        self.inner.lock().expect("journal lock").next_slot
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .state
+            .iter()
+            .filter(|s| **s != SlotState::Missing)
+            .count()
     }
 }

@@ -322,6 +322,40 @@ mod tests {
     }
 
     #[test]
+    fn quarantined_slot_is_journaled_and_resume_reruns_only_it() {
+        let (dir, store) = tmp_store("quarantine");
+        let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        let fl = small_faultload(5);
+        let clean = store.run_resumable(&campaign, &fl, 0, false).unwrap();
+        let clean_json = serde_json::to_string(&clean).unwrap();
+
+        // Re-run with a harness that panics on slot 2's fault: the campaign
+        // must complete, with the slot quarantined (in the result and in the
+        // journal).
+        let mut poisoned = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        poisoned.panic_on_fault(&fl.faults[2].id);
+        let partial = store.run_resumable(&poisoned, &fl, 0, false).unwrap();
+        assert_eq!(partial.slots.len(), 4);
+        assert_eq!(partial.quarantined.len(), 1);
+        assert_eq!(partial.quarantined[0].slot, 2);
+        let journal_raw = std::fs::read_to_string(store.journal_path(&campaign, 0)).unwrap();
+        assert!(
+            journal_raw.contains("\"quarantined\""),
+            "journal records the quarantine:\n{journal_raw}"
+        );
+
+        // Resume with a healthy harness: only the quarantined slot re-runs,
+        // and the assembled result is byte-identical to the clean run.
+        let resumed = store.run_resumable(&campaign, &fl, 0, true).unwrap();
+        assert_eq!(clean_json, serde_json::to_string(&resumed).unwrap());
+        // The journal now replays completely: a further resume executes
+        // nothing and still matches.
+        let replayed = store.run_resumable(&campaign, &fl, 0, true).unwrap();
+        assert_eq!(clean_json, serde_json::to_string(&replayed).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn stale_journals_are_refused() {
         let (dir, store) = tmp_store("stale");
         let campaign = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());

@@ -14,7 +14,9 @@
 //! FAULTSTORE_BLESS=1 cargo test -p faultstore --test golden_serde
 //! ```
 
-use depbench::{CampaignResult, SlotResult, WatchdogCounts};
+use depbench::{
+    AvailabilityMetrics, CampaignResult, QuarantinedSlot, SlotError, SlotResult, WatchdogCounts,
+};
 use serde::{Deserialize, Serialize};
 use simkit::SimDuration;
 use simos::Edition;
@@ -59,18 +61,34 @@ fn golden() -> Golden {
         kns: 2,
         kcp: 0,
     };
+    let availability = {
+        let mut a = AvailabilityMetrics::default();
+        a.record_repair(SimDuration::from_millis(120));
+        a.record_unrepaired(SimDuration::from_millis(80));
+        a.set_observed(SimDuration::from_secs(2));
+        a
+    };
     let slot_result = SlotResult {
         fault_id: "MIFS@rtl_alloc_heap+17".to_string(),
         measures: measures(),
         watchdog,
         ended_dead: false,
+        availability,
     };
     let campaign_result = CampaignResult {
         edition: Edition::Nimbus2000,
         server: ServerKind::Wren,
         measures: measures(),
         watchdog,
+        availability,
         slots: vec![slot_result.clone()],
+        quarantined: vec![QuarantinedSlot {
+            slot: 1,
+            fault_id: "WVAV@nt_open_file+4".to_string(),
+            error: SlotError::Panicked {
+                message: "index out of bounds".to_string(),
+            },
+        }],
     };
     Golden {
         faultload,
@@ -108,6 +126,31 @@ fn serialized_schema_matches_the_golden_fixture() {
         "persisted JSON schema changed; if intentional, bump \
          faultstore::JOURNAL_SCHEMA and re-bless with FAULTSTORE_BLESS=1"
     );
+}
+
+#[test]
+fn pre_policy_artifacts_still_deserialize() {
+    // A journal record / stored run written before the recovery subsystem
+    // existed: no `availability` on slots, no `availability`/`quarantined`
+    // on the campaign. Both must parse, defaulting the new fields — that is
+    // what lets an old journal resume under a new binary.
+    let measures_json = serde_json::to_string(&measures()).unwrap();
+    let watchdog_json = r#"{"mis": 1, "kns": 0, "kcp": 0}"#;
+    let old_slot = format!(
+        r#"{{"fault_id": "MIFS@rtl_alloc_heap+17", "measures": {measures_json},
+             "watchdog": {watchdog_json}, "ended_dead": false}}"#
+    );
+    let slot: SlotResult = serde_json::from_str(&old_slot).expect("pre-policy slot record parses");
+    assert_eq!(slot.availability, AvailabilityMetrics::default());
+
+    let old_campaign = format!(
+        r#"{{"edition": "Nimbus2000", "server": "Wren", "measures": {measures_json},
+             "watchdog": {watchdog_json}, "slots": [{old_slot}]}}"#
+    );
+    let run: CampaignResult =
+        serde_json::from_str(&old_campaign).expect("pre-policy stored run parses");
+    assert_eq!(run.availability, AvailabilityMetrics::default());
+    assert!(run.quarantined.is_empty());
 }
 
 #[test]

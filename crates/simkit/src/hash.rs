@@ -5,7 +5,7 @@
 //! filter hash, campaign-config hash. Those keys must be stable across
 //! processes and compiler versions, so they cannot use
 //! `std::hash::DefaultHasher` (whose output is explicitly unspecified).
-//! FNV-1a is the same function [`mvm::CodeImage::fingerprint`] uses for code
+//! FNV-1a is the same function `mvm::CodeImage::fingerprint` uses for code
 //! words, kept here in one place for byte slices and string sequences.
 
 /// FNV-1a offset basis (64 bit).

@@ -44,4 +44,6 @@ pub mod source;
 
 pub use api::{Module, OsApi};
 pub use device::DeviceStore;
-pub use os::{compile_count, image_fingerprint, CallResult, Edition, Os, OsCallError};
+pub use os::{
+    compile_count, image_fingerprint, reboot_count, CallResult, Edition, Os, OsCallError,
+};

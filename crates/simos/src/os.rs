@@ -132,6 +132,15 @@ pub fn compile_count() -> u64 {
     OS_COMPILES.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Number of mid-run [`Os::reboot`]s performed in this process — lets tests
+/// verify that a reboot-escalation recovery policy actually rebooted.
+static OS_REBOOTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many times [`Os::reboot`] has run in this process.
+pub fn reboot_count() -> u64 {
+    OS_REBOOTS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The code-image fingerprint of an edition's pristine build — the key the
 /// persistent fault-map cache and the campaign journal use to recognize "the
 /// same OS build" across processes. Served from the per-edition compiled
@@ -220,6 +229,22 @@ impl Os {
             )
             .map_err(|e| format!("os_boot failed: {e}"))?;
         Ok(())
+    }
+
+    /// Reboots the machine mid-run: kernel structures are re-initialized
+    /// exactly as in [`Os::reset_state`] (the code image — including any
+    /// injected fault — and the device store survive, like disks across a
+    /// real reboot), and the reboot is counted for [`reboot_count`]. This is
+    /// the watchdog's escalation step when plain process restarts keep
+    /// failing on poisoned kernel state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a trap during the boot path as text (possible when the
+    /// injected fault sits in code the boot path shares).
+    pub fn reboot(&mut self) -> Result<(), String> {
+        OS_REBOOTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.reset_state()
     }
 
     /// The booted edition.

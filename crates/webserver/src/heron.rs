@@ -47,6 +47,10 @@ const STYLE: Style = Style {
 pub struct Heron {
     state: ServerState,
     bufs: Option<Buffers>,
+    /// Warm-spare buffers armed by [`WebServer::prestart_spare`]: allocated
+    /// while the OS was healthy, so a failover can skip the allocation path
+    /// a poisoned heap would refuse.
+    spare: Option<Buffers>,
     healthy_workers: u32,
     worker_crashes: u64,
     seq: u64,
@@ -63,6 +67,7 @@ impl Heron {
         Heron {
             state: ServerState::Crashed,
             bufs: None,
+            spare: None,
             healthy_workers: 0,
             worker_crashes: 0,
             seq: 0,
@@ -120,6 +125,42 @@ impl WebServer for Heron {
             }
             Ok(Err(_)) | Err(_) => false,
         }
+    }
+
+    fn prestart_spare(&mut self, os: &mut Os) -> bool {
+        if self.spare.is_some() {
+            return true;
+        }
+        // A *pre-started* spare: buffers allocated and config loaded now,
+        // while the OS is presumed healthy, so the later failover touches
+        // nothing a poisoned kernel could refuse.
+        match driver::allocate_buffers(os, simos::source::CS_REGION) {
+            Ok(Ok((bufs, _cost))) => {
+                if driver::startup_config(os, &bufs).is_err() {
+                    return false; // half-started spare is no spare
+                }
+                self.spare = Some(bufs);
+                true
+            }
+            Ok(Err(_)) | Err(_) => false,
+        }
+    }
+
+    fn failover(&mut self, os: &mut Os) -> bool {
+        let Some(bufs) = self.spare.take() else {
+            return self.start(os);
+        };
+        // The pre-started process takes over: its buffers and config were
+        // paid for at prestart time, so this is a pure swap.
+        self.stats.process_starts += 1;
+        self.cache.clear();
+        self.bufs = Some(bufs);
+        self.healthy_workers = WORKERS;
+        self.worker_crashes = 0;
+        self.state = ServerState::Running;
+        // Re-arm while the OS is answering again (best effort).
+        self.prestart_spare(os);
+        true
     }
 
     fn serve(&mut self, os: &mut Os, req: &Request) -> ServeResult {

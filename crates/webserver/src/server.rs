@@ -49,6 +49,26 @@ pub trait WebServer {
     /// [`state`](WebServer::state) is [`ServerState::Running`].
     fn serve(&mut self, os: &mut Os, req: &Request) -> ServeResult;
 
+    /// Pre-starts a warm spare process so a later
+    /// [`failover`](WebServer::failover) can swap it in instead of running a
+    /// full startup. The spare's resources are allocated *now*, while the OS
+    /// is still healthy — which is exactly why failing over can succeed when
+    /// a fresh [`start`](WebServer::start) on poisoned state cannot.
+    ///
+    /// Returns whether a spare is armed. The default implementation supports
+    /// no spare and returns `false`.
+    fn prestart_spare(&mut self, os: &mut Os) -> bool {
+        let _ = os;
+        false
+    }
+
+    /// Swaps the warm spare in after a failure, falling back to a full
+    /// [`start`](WebServer::start) when no spare is armed (the default).
+    /// Returns whether the server is running afterwards.
+    fn failover(&mut self, os: &mut Os) -> bool {
+        self.start(os)
+    }
+
     /// Cumulative counters.
     fn stats(&self) -> ServerStats;
 }

@@ -30,6 +30,10 @@ const STYLE: Style = Style {
 pub struct Wren {
     state: ServerState,
     bufs: Option<Buffers>,
+    /// Warm-spare buffers armed by [`WebServer::prestart_spare`]. Wren has
+    /// no self-healing of its own, but the benchmark *watchdog* may keep a
+    /// spare process ready and swap it in.
+    spare: Option<Buffers>,
     seq: u64,
     stats: ServerStats,
 }
@@ -40,6 +44,7 @@ impl Wren {
         Wren {
             state: ServerState::Crashed,
             bufs: None,
+            spare: None,
             seq: 0,
             stats: ServerStats::default(),
         }
@@ -76,6 +81,36 @@ impl WebServer for Wren {
             }
             Ok(Err(_)) | Err(_) => false,
         }
+    }
+
+    fn prestart_spare(&mut self, os: &mut Os) -> bool {
+        if self.spare.is_some() {
+            return true;
+        }
+        // A *pre-started* spare: buffers allocated and config loaded now,
+        // while the OS is presumed healthy, so the later failover touches
+        // nothing a poisoned kernel could refuse.
+        match driver::allocate_buffers(os, simos::source::CS_REGION + 16) {
+            Ok(Ok((bufs, _))) => {
+                if driver::startup_config(os, &bufs).is_err() {
+                    return false; // half-started spare is no spare
+                }
+                self.spare = Some(bufs);
+                true
+            }
+            Ok(Err(_)) | Err(_) => false,
+        }
+    }
+
+    fn failover(&mut self, os: &mut Os) -> bool {
+        let Some(bufs) = self.spare.take() else {
+            return self.start(os);
+        };
+        self.stats.process_starts += 1;
+        self.bufs = Some(bufs);
+        self.state = ServerState::Running;
+        self.prestart_spare(os);
+        true
     }
 
     fn serve(&mut self, os: &mut Os, req: &Request) -> ServeResult {

@@ -1,6 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
-//! Implements the slice of proptest this workspace uses: the [`Strategy`]
+//! Implements the slice of proptest this workspace uses: the
+//! [`Strategy`](strategy::Strategy)
 //! trait with `prop_map`/`prop_recursive`/`boxed`, range and `any::<T>()`
 //! strategies, `collection::vec`, `sample::select`, a char-class string
 //! strategy, and the `proptest!`/`prop_oneof!`/`prop_assert*!`/`prop_assume!`

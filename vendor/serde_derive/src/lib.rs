@@ -4,7 +4,9 @@
 //! has no `syn`/`quote`), so the supported shapes are exactly the ones this
 //! workspace uses:
 //!
-//! * structs with named fields (honouring `#[serde(default)]`),
+//! * structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`; a skipped field implies
+//!   `default` on the read side, since its key may be absent),
 //! * tuple structs (newtype and multi-field),
 //! * enums with unit, newtype, tuple and struct variants (externally
 //!   tagged, as real serde_json would emit them).
@@ -33,6 +35,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     default: bool,
+    /// Path from `#[serde(skip_serializing_if = "path")]`: a `fn(&T) -> bool`
+    /// deciding whether the field's key is omitted from the object.
+    skip_if: Option<String>,
 }
 
 enum Variant {
@@ -86,15 +91,26 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
+/// Field-level `#[serde(...)]` options recognized by the stand-in.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    skip_if: Option<String>,
+}
+
 /// Advances `i` past leading `#[...]` attributes and a `pub`/`pub(...)`
-/// visibility, returning whether a `#[serde(default)]` attribute was seen.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut has_default = false;
+/// visibility, returning the `#[serde(...)]` options seen.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
-                    has_default |= attr_is_serde_default(g.stream());
+                    let found = parse_serde_attr(g.stream());
+                    attrs.default |= found.default;
+                    if found.skip_if.is_some() {
+                        attrs.skip_if = found.skip_if;
+                    }
                     *i += 2;
                 } else {
                     panic!("dangling `#`");
@@ -108,24 +124,50 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
                     *i += 1;
                 }
             }
-            _ => return has_default,
+            _ => return attrs,
         }
     }
 }
 
-fn attr_is_serde_default(attr: TokenStream) -> bool {
+fn parse_serde_attr(attr: TokenStream) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
     let mut toks = attr.into_iter();
     match toks.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return attrs,
     }
-    match toks.next() {
-        Some(TokenTree::Group(g)) => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
-        _ => false,
+    let Some(TokenTree::Group(g)) = toks.next() else {
+        return attrs;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) if id.to_string() == "default" => attrs.default = true,
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                // Expect `= "path::to::predicate"`.
+                match (inner.get(j + 1), inner.get(j + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let quoted = lit.to_string();
+                        let path = quoted
+                            .strip_prefix('"')
+                            .and_then(|s| s.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!("skip_serializing_if needs a string literal, got {quoted}")
+                            });
+                        attrs.skip_if = Some(path.to_string());
+                        j += 2;
+                    }
+                    _ => panic!("malformed skip_serializing_if attribute"),
+                }
+            }
+            _ => {}
+        }
+        j += 1;
     }
+    attrs
 }
 
 /// Splits a field/variant list on top-level commas. Angle brackets are plain
@@ -159,12 +201,18 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         .filter(|chunk| !chunk.is_empty())
         .map(|chunk| {
             let mut i = 0;
-            let default = skip_attrs_and_vis(&chunk, &mut i);
+            let attrs = skip_attrs_and_vis(&chunk, &mut i);
             let name = match &chunk[i] {
                 TokenTree::Ident(id) => id.to_string(),
                 other => panic!("expected field name, got {other}"),
             };
-            Field { name, default }
+            Field {
+                name,
+                // A skipped field's key may be absent on read, so skipping
+                // implies a default on deserialization.
+                default: attrs.default || attrs.skip_if.is_some(),
+                skip_if: attrs.skip_if,
+            }
         })
         .collect()
 }
@@ -202,10 +250,29 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         .collect()
 }
 
-fn field_to_entry(f: &Field, access: &str) -> String {
-    format!(
-        "(\"{n}\".to_string(), ::serde::Serialize::to_value({access})),",
+/// One push statement per field; a `skip_serializing_if` predicate gates the
+/// push, omitting the key entirely when it returns true.
+fn field_to_push(f: &Field, access: &str) -> String {
+    let push = format!(
+        "__fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value({access})));",
         n = f.name
+    );
+    match &f.skip_if {
+        Some(path) => format!("if !{path}({access}) {{ {push} }}"),
+        None => push,
+    }
+}
+
+/// An object expression built from field pushes (the form every named-field
+/// shape uses, so skippable and plain fields share one code path).
+fn fields_to_object(fields: &[Field], access: &dyn Fn(&Field) -> String) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| field_to_push(f, &access(f)))
+        .collect();
+    format!(
+        "{{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new(); \
+           {pushes} ::serde::Value::Object(__fields) }}"
     )
 }
 
@@ -232,13 +299,10 @@ fn field_from_obj(f: &Field, obj: &str, ty_name: &str) -> String {
 
 fn gen_serialize(item: &Item) -> String {
     let (name, body) = match item {
-        Item::NamedStruct(name, fields) => {
-            let entries: String = fields
-                .iter()
-                .map(|f| field_to_entry(f, &format!("&self.{}", f.name)))
-                .collect();
-            (name, format!("::serde::Value::Object(vec![{entries}])"))
-        }
+        Item::NamedStruct(name, fields) => (
+            name,
+            fields_to_object(fields, &|f| format!("&self.{}", f.name)),
+        ),
         Item::TupleStruct(name, 1) => (name, "::serde::Serialize::to_value(&self.0)".to_string()),
         Item::TupleStruct(name, n) => {
             let entries: String = (0..*n)
@@ -273,12 +337,10 @@ fn gen_serialize(item: &Item) -> String {
                     }
                     Variant::Struct(vn, fields) => {
                         let pat: String = fields.iter().map(|f| format!("{}, ", f.name)).collect();
-                        let entries: String =
-                            fields.iter().map(|f| field_to_entry(f, &f.name)).collect();
+                        let inner = fields_to_object(fields, &|f| f.name.clone());
                         format!(
                             "{name}::{vn} {{ {pat} }} => ::serde::Value::Object(vec![(\
-                               \"{vn}\".to_string(), \
-                               ::serde::Value::Object(vec![{entries}]))]),"
+                               \"{vn}\".to_string(), {inner})]),"
                         )
                     }
                 })
