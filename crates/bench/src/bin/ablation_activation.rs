@@ -16,10 +16,17 @@
 //! made measurable. (On a real OS the complement is mostly cold, making the
 //! tuned-vs-untuned contrast much starker than here, where the OS is small
 //! and its helpers are hot.)
+//!
+//! Activation is measured by the campaign's flight recorder (simtrace): a
+//! watchpoint on each slot's mutated instruction counts whether the site
+//! actually executed — the same implementation `faultbench campaign
+//! --trace` uses, not a bespoke one. The *affected* columns (slots with
+//! visible errors or interventions) are reported alongside: a fault can
+//! activate without visible effect, never the reverse.
 
 use bench::cli::CliArgs;
 use depbench::report::{f, TextTable};
-use depbench::Campaign;
+use depbench::{Campaign, TraceConfig};
 use simos::{Edition, Os, OsApi};
 use swfit_core::{Faultload, Scanner};
 use webserver::ServerKind;
@@ -70,9 +77,24 @@ fn main() {
     let cold_fl = sample(whole.restrict_to_functions(&cold), n);
 
     let cfg = cli.config();
-    let campaign = Campaign::new(edition, ServerKind::Wren, cfg);
-    let mut table = TextTable::new(["Faultload", "Faults", "Activated", "Rate %", "ER%f", "ADMf"]);
-    let mut rates = Vec::new();
+    // This binary *is* the activation study: the flight recorder is always
+    // on (a `--trace-dir` still routes quarantine dumps if given).
+    let campaign = Campaign::new(edition, ServerKind::Wren, cfg).with_trace(TraceConfig {
+        dump_dir: cli.trace_dir.clone(),
+        ..TraceConfig::default()
+    });
+    let mut table = TextTable::new([
+        "Faultload",
+        "Faults",
+        "Activated",
+        "Act %",
+        "Affected",
+        "Aff %",
+        "ER%f",
+        "ADMf",
+    ]);
+    let mut affected_rates = Vec::new();
+    let mut activation_rates = Vec::new();
     for (name, fl) in [
         ("profiled (selected FIT)", &profiled),
         ("complement (rest of OS)", &complement),
@@ -81,32 +103,43 @@ fn main() {
         let res = cli
             .run_injection(store.as_ref(), &campaign, fl, 0)
             .expect("injection campaign runs");
-        let activated = res.affected_slots();
-        let rate = activated as f64 * 100.0 / fl.len().max(1) as f64;
-        rates.push(rate);
+        // A resumed journal from a pre-trace run can carry untraced slots;
+        // their activation is simply untracked then, not an error.
+        let act = res.activation_summary().unwrap_or_default();
+        let affected = res.affected_slots();
+        let affected_rate = affected as f64 * 100.0 / fl.len().max(1) as f64;
+        affected_rates.push(affected_rate);
+        activation_rates.push(act.rate_pct());
         table.row([
             name.to_string(),
             fl.len().to_string(),
-            activated.to_string(),
-            f(rate, 1),
+            act.activated.to_string(),
+            f(act.rate_pct(), 1),
+            affected.to_string(),
+            f(affected_rate, 1),
             f(res.measures.er_pct(), 1),
             res.watchdog.admf().to_string(),
         ]);
     }
     println!("Ablation — activation assurance of the §2.4 fine-tuning ({edition}, wren)\n");
     print!("{}", table.render());
-    if rates[2] > 0.0 {
+    if activation_rates[2] > 0.0 {
         println!(
-            "\nactivation gradient: profiled {} %  >  cold {} %  ({}x)",
-            f(rates[0], 1),
-            f(rates[2], 1),
-            f(rates[0] / rates[2], 1)
+            "\nactivation gradient (site hit): profiled {} %  >  cold {} %  ({}x)",
+            f(activation_rates[0], 1),
+            f(activation_rates[2], 1),
+            f(activation_rates[0] / activation_rates[2], 1)
         );
     } else {
         println!(
-            "\nactivation gradient: profiled {} %  vs cold 0 % — faults outside \
-             workload-reached code never activate, which is the §2.4 point",
-            f(rates[0], 1)
+            "\nactivation gradient (site hit): profiled {} %  vs cold 0 % — faults \
+             outside workload-reached code never activate, which is the §2.4 point",
+            f(activation_rates[0], 1)
         );
     }
+    println!(
+        "visible effects: profiled {} %  vs cold {} % affected slots",
+        f(affected_rates[0], 1),
+        f(affected_rates[2], 1)
+    );
 }

@@ -5,12 +5,24 @@
 //! faultbench profile <edition>                     run the profiling phase
 //! faultbench campaign <edition> <server> [--faultload FILE] [--iterations N]
 //!            [--jobs N] [--seed N] [--limit N] [--out FILE]
-//!            [--store DIR] [--resume] [--save NAME]
+//!            [--store DIR] [--resume] [--save NAME] [--trace] [--trace-dir D]
 //! faultbench recovery <edition> <server> [--limit N] [--jobs N] [--seed N]
 //!                                                  compare recovery policies
+//! faultbench trace <edition> <server> --slot K [--faultload FILE] [--limit N]
+//!            [--iteration N] [--seed N] [--out DIR] replay one slot with the
+//!                                                  flight recorder on
 //! faultbench diff <runA> <runB> --store DIR        compare two stored runs
 //! faultbench accuracy <edition>                    score the scanner
 //! ```
+//!
+//! `campaign --trace` runs every slot with the per-slot flight recorder on:
+//! results additionally report fault-activation rates (did the mutated
+//! instruction actually execute?), overall and per fault type. `--trace-dir`
+//! also dumps quarantined slots' last recorded events as JSONL. `trace`
+//! replays a single slot deterministically (same `(seed, iteration, slot)`
+//! stream as the campaign) and exports the full event stream twice: as
+//! JSONL and as a Chrome `trace_event` file loadable in `about:tracing` /
+//! Perfetto.
 //!
 //! `recovery` runs the same injection campaign once per watchdog recovery
 //! policy (`fixed`, `backoff`, `reboot`, `failover`) and tabulates the
@@ -42,11 +54,12 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("recovery") => cmd_recovery(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("accuracy") => cmd_accuracy(&args[1..]),
         _ => {
             eprintln!(
-                "usage: faultbench <scan|profile|campaign|recovery|diff|accuracy> …\n\
+                "usage: faultbench <scan|profile|campaign|recovery|trace|diff|accuracy> …\n\
                  see the module docs (`faultbench.rs`) for details"
             );
             return ExitCode::FAILURE;
@@ -113,6 +126,61 @@ fn mttr_ms(a: &depbench::AvailabilityMetrics) -> String {
     } else {
         f(a.mttr().as_millis_f64(), 1)
     }
+}
+
+/// Loads the campaign faultload: from `--faultload FILE` when given,
+/// otherwise by scanning the booted edition's API functions (served from
+/// the store's fault-map cache when one is open). Honours `--limit`.
+fn load_faultload(
+    args: &[String],
+    edition: Edition,
+    store: Option<&faultstore::FaultStore>,
+) -> Result<Faultload, String> {
+    let faultload = match flag_value(args, "--faultload") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            Faultload::from_json(&json).map_err(|e| e.to_string())?
+        }
+        None => {
+            let os = Os::boot(edition)?;
+            let scanner = Scanner::standard();
+            let api: Vec<String> = simos::OsApi::ALL
+                .iter()
+                .map(|f| f.symbol().to_string())
+                .collect();
+            match store {
+                Some(s) => s
+                    .scan_functions(&scanner, os.program().image(), &api)
+                    .map_err(|e| e.to_string())?,
+                None => scanner.scan_functions(os.program().image(), &api),
+            }
+        }
+    };
+    Ok(match parse_limit(args)? {
+        Some(n) => sample(faultload, n),
+        None => faultload,
+    })
+}
+
+/// Renders one iteration's activation summary: an overall line plus the
+/// per-fault-type rate table.
+fn print_activation(label: &str, act: &depbench::ActivationSummary) {
+    println!(
+        "fault activation ({label}): {}/{} slots hit their mutation site ({} %)",
+        act.activated,
+        act.tracked,
+        f(act.rate_pct(), 1)
+    );
+    let mut table = TextTable::new(["type", "tracked", "activated", "rate %"]);
+    for row in &act.per_type {
+        table.row([
+            row.fault_type.clone(),
+            row.tracked.to_string(),
+            row.activated.to_string(),
+            f(row.rate_pct(), 1),
+        ]);
+    }
+    print!("{}", table.render());
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {
@@ -202,36 +270,18 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| format!("bad iteration count `{v}`")))
         .transpose()?
         .unwrap_or(1);
-    let faultload = match flag_value(args, "--faultload") {
-        Some(path) => {
-            let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-            Faultload::from_json(&json).map_err(|e| e.to_string())?
-        }
-        None => {
-            let os = Os::boot(edition)?;
-            let scanner = Scanner::standard();
-            let api: Vec<String> = simos::OsApi::ALL
-                .iter()
-                .map(|f| f.symbol().to_string())
-                .collect();
-            match &store {
-                Some(s) => s
-                    .scan_functions(&scanner, os.program().image(), &api)
-                    .map_err(|e| e.to_string())?,
-                None => scanner.scan_functions(os.program().image(), &api),
-            }
-        }
-    };
-    let faultload = match parse_limit(args)? {
-        Some(n) => sample(faultload, n),
-        None => faultload,
-    };
+    let faultload = load_faultload(args, edition, store.as_ref())?;
     eprintln!(
-        "campaign: {edition} / {server}, {} faults, {iterations} iteration(s), {} job(s)",
+        "campaign: {edition} / {server}, {} faults, {iterations} iteration(s), {} job(s){}",
         faultload.len(),
-        cli.jobs.unwrap_or(1)
+        cli.jobs.unwrap_or(1),
+        if cli.trace {
+            ", flight recorder on"
+        } else {
+            ""
+        }
     );
-    let campaign = Campaign::new(edition, server, cli.config());
+    let campaign = cli.instrument(Campaign::new(edition, server, cli.config()));
     let baseline = campaign.run_profile_mode(0).map_err(|e| e.to_string())?;
     let mut metrics_out: Vec<DependabilityMetrics> = Vec::new();
     let mut table = TextTable::new([
@@ -301,6 +351,11 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         metrics_out.push(m);
     }
     print!("{}", table.render());
+    for (it, m) in metrics_out.iter().enumerate() {
+        if let Some(act) = &m.activation {
+            print_activation(&format!("iteration {}", it + 1), act);
+        }
+    }
     if let Some(path) = flag_value(args, "--out") {
         let json = serde_json::to_string_pretty(&metrics_out).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| e.to_string())?;
@@ -316,22 +371,7 @@ fn cmd_recovery(args: &[String]) -> Result<(), String> {
     let server = parse_server(args.get(1))?;
     let cli = CliArgs::from_slice(args)?;
     let store = cli.open_store()?;
-    let os = Os::boot(edition)?;
-    let scanner = Scanner::standard();
-    let api: Vec<String> = simos::OsApi::ALL
-        .iter()
-        .map(|f| f.symbol().to_string())
-        .collect();
-    let faultload = match &store {
-        Some(s) => s
-            .scan_functions(&scanner, os.program().image(), &api)
-            .map_err(|e| e.to_string())?,
-        None => scanner.scan_functions(os.program().image(), &api),
-    };
-    let faultload = match parse_limit(args)? {
-        Some(n) => sample(faultload, n),
-        None => faultload,
-    };
+    let faultload = load_faultload(args, edition, store.as_ref())?;
     eprintln!(
         "recovery comparison: {edition} / {server}, {} faults per policy, {} job(s)",
         faultload.len(),
@@ -346,7 +386,7 @@ fn cmd_recovery(args: &[String]) -> Result<(), String> {
             .configure(CampaignConfig::builder())
             .recovery(policy)
             .build();
-        let campaign = Campaign::new(edition, server, cfg);
+        let campaign = cli.instrument(Campaign::new(edition, server, cfg));
         let res = campaign
             .run_injection(&faultload, 0)
             .map_err(|e| e.to_string())?;
@@ -364,6 +404,65 @@ fn cmd_recovery(args: &[String]) -> Result<(), String> {
         ]);
     }
     print!("{}", table.render());
+    Ok(())
+}
+
+/// Replays one campaign slot with the flight recorder on and exports the
+/// full event stream as JSONL and as a Chrome `trace_event` file.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let edition = parse_edition(args.first())?;
+    let server = parse_server(args.get(1))?;
+    let cli = CliArgs::from_slice(args)?;
+    let store = cli.open_store()?;
+    let slot: usize = flag_value(args, "--slot")
+        .ok_or("trace needs --slot K (which faultload slot to replay)")?
+        .parse()
+        .map_err(|_| "--slot needs an unsigned integer".to_string())?;
+    let iteration: u64 = flag_value(args, "--iteration")
+        .map(|v| v.parse().map_err(|_| format!("bad iteration `{v}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let faultload = load_faultload(args, edition, store.as_ref())?;
+    if slot >= faultload.len() {
+        return Err(format!(
+            "--slot {slot} is out of range: the faultload has {} faults",
+            faultload.len()
+        ));
+    }
+    let campaign = cli.instrument(Campaign::new(edition, server, cli.config()));
+    let (result, trace) = campaign
+        .trace_slot(&faultload, iteration, slot)
+        .map_err(|e| e.to_string())?;
+
+    let dir = flag_value(args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let stem = format!("{}-{}-slot{:04}", edition.name(), server.name(), slot);
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&jsonl_path, trace.to_jsonl()).map_err(|e| e.to_string())?;
+    let chrome_path = dir.join(format!("{stem}.trace.json"));
+    std::fs::write(&chrome_path, trace.to_chrome(slot as u64)).map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "slot {slot}: fault {} — {} events retained ({} dropped by the ring)",
+        result.fault_id,
+        trace.len(),
+        trace.dropped
+    );
+    match &result.activation {
+        Some(act) if act.activated() => eprintln!(
+            "activation: site executed {} time(s), first at {} µs (virtual)",
+            act.hits,
+            act.first_hit.map_or(0, simkit::SimTime::as_micros)
+        ),
+        _ => eprintln!("activation: mutation site never executed during the measured interval"),
+    }
+    eprintln!(
+        "wrote {} and {} (load the latter in about:tracing / Perfetto)",
+        jsonl_path.display(),
+        chrome_path.display()
+    );
     Ok(())
 }
 

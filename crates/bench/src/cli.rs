@@ -11,12 +11,16 @@
 //!                content-addressed cache, campaigns are journaled
 //! --resume       resume interrupted campaigns from the store's journal
 //!                (requires --store)
+//! --trace        enable the per-slot flight recorder: slots record
+//!                fault activation and campaigns report activation rates
+//! --trace-dir D  like --trace, and also dump quarantined slots' recorder
+//!                tails as JSONL under D
 //! ```
 //!
 //! Unrecognized arguments are left alone — binaries keep their own extra
 //! flags (`--out`, `--faultload`, …).
 
-use depbench::{Campaign, CampaignConfig, CampaignConfigBuilder, CampaignResult};
+use depbench::{Campaign, CampaignConfig, CampaignConfigBuilder, CampaignResult, TraceConfig};
 use faultstore::FaultStore;
 use swfit_core::Faultload;
 
@@ -31,6 +35,11 @@ pub struct CliArgs {
     pub store: Option<std::path::PathBuf>,
     /// `--resume`: replay the journaled prefix of an interrupted campaign.
     pub resume: bool,
+    /// `--trace`: run slots with the flight recorder on.
+    pub trace: bool,
+    /// `--trace-dir DIR`: where quarantined slots dump their recorder
+    /// tails. Implies `--trace`.
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl CliArgs {
@@ -83,11 +92,15 @@ impl CliArgs {
         if resume && store.is_none() {
             return Err("--resume needs --store DIR (the journal lives in the store)".into());
         }
+        let trace_dir = value_of("--trace-dir")?.map(std::path::PathBuf::from);
+        let trace = trace_dir.is_some() || args.iter().any(|a| a == "--trace");
         Ok(CliArgs {
             jobs,
             seed,
             store,
             resume,
+            trace,
+            trace_dir,
         })
     }
 
@@ -104,6 +117,19 @@ impl CliArgs {
     /// A ready [`CampaignConfig`] reflecting `--jobs`/`--seed`.
     pub fn config(&self) -> CampaignConfig {
         self.configure(CampaignConfig::builder()).build()
+    }
+
+    /// Applies `--trace`/`--trace-dir` to a campaign: with neither flag the
+    /// campaign is returned untouched (recording fully off, the default).
+    #[must_use]
+    pub fn instrument(&self, campaign: Campaign) -> Campaign {
+        if !self.trace {
+            return campaign;
+        }
+        campaign.with_trace(TraceConfig {
+            dump_dir: self.trace_dir.clone(),
+            ..TraceConfig::default()
+        })
     }
 
     /// Opens the `--store` directory, if one was given.
@@ -195,5 +221,38 @@ mod tests {
         let cli =
             CliArgs::from_slice(&args(&["campaign", "--out", "x.json", "--jobs", "2"])).unwrap();
         assert_eq!(cli.jobs, Some(2));
+    }
+
+    #[test]
+    fn trace_flags_parse_and_instrument() {
+        use depbench::{Campaign, CampaignConfig};
+        use simos::Edition;
+        use webserver::ServerKind;
+
+        let off = CliArgs::from_slice(&[]).unwrap();
+        assert!(!off.trace);
+        let untouched = off.instrument(Campaign::new(
+            Edition::Nimbus2000,
+            ServerKind::Heron,
+            CampaignConfig::default(),
+        ));
+        assert!(untouched.trace_config().is_none());
+
+        let on = CliArgs::from_slice(&args(&["--trace"])).unwrap();
+        assert!(on.trace);
+        assert_eq!(on.trace_dir, None);
+
+        // --trace-dir implies --trace and carries the dump directory.
+        let with_dir = CliArgs::from_slice(&args(&["--trace-dir", "dumps"])).unwrap();
+        assert!(with_dir.trace);
+        let traced = with_dir.instrument(Campaign::new(
+            Edition::Nimbus2000,
+            ServerKind::Heron,
+            CampaignConfig::default(),
+        ));
+        let tc = traced.trace_config().expect("tracing enabled");
+        assert_eq!(tc.dump_dir.as_deref(), Some(std::path::Path::new("dumps")));
+
+        assert!(CliArgs::from_slice(&args(&["--trace-dir"])).is_err());
     }
 }

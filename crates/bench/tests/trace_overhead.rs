@@ -1,0 +1,94 @@
+//! Overhead budget of the flight recorder, enforced:
+//!
+//! * **enabled** — a fully traced campaign stays within 5 % of the
+//!   untraced wall clock (min-of-N to shed scheduler noise);
+//! * **disabled** — the disabled tracer is one predictable branch per
+//!   would-be event: tens of millions of emits in well under a second,
+//!   and nothing recorded.
+
+use std::time::{Duration, Instant};
+
+use depbench::{Campaign, CampaignConfig, IntervalConfig, TraceConfig};
+use simkit::SimDuration;
+use simos::{Edition, Os, OsApi};
+use simtrace::{EventKind, Tracer};
+use swfit_core::{Faultload, Scanner};
+use webserver::ServerKind;
+
+fn faultload(n: usize) -> Faultload {
+    let os = Os::boot(Edition::Nimbus2000).expect("edition boots");
+    let api: Vec<String> = OsApi::ALL.iter().map(|f| f.symbol().to_string()).collect();
+    let mut fl = Scanner::standard().scan_functions(os.program().image(), &api);
+    let stride = (fl.len() / n).max(1);
+    fl.faults = fl.faults.into_iter().step_by(stride).take(n).collect();
+    fl
+}
+
+fn campaign() -> Campaign {
+    let cfg = CampaignConfig::builder()
+        .interval(IntervalConfig {
+            duration: SimDuration::from_millis(300),
+            ..IntervalConfig::default()
+        })
+        .os_budget(150_000)
+        .build();
+    Campaign::new(Edition::Nimbus2000, ServerKind::Wren, cfg)
+}
+
+/// Smallest of `n` timings — the standard way to measure cost under
+/// scheduler noise: noise only ever adds time, so the minimum is the
+/// closest observable to the true cost.
+fn min_of<F: FnMut()>(n: usize, mut work: F) -> Duration {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            work();
+            start.elapsed()
+        })
+        .min()
+        .expect("n > 0")
+}
+
+#[test]
+fn enabled_tracing_stays_within_the_5_percent_budget() {
+    let fl = faultload(4);
+    let untraced = campaign();
+    let traced = campaign().with_trace(TraceConfig::default());
+    // Warm both paths once (image compilation caches, allocator warm-up).
+    untraced.run_injection(&fl, 0).expect("runs");
+    traced.run_injection(&fl, 0).expect("runs");
+
+    let rounds = 7;
+    let base = min_of(rounds, || {
+        untraced.run_injection(&fl, 0).expect("runs");
+    });
+    let with_trace = min_of(rounds, || {
+        traced.run_injection(&fl, 0).expect("runs");
+    });
+    let ratio = with_trace.as_secs_f64() / base.as_secs_f64();
+    assert!(
+        ratio <= 1.05,
+        "traced campaign exceeded the 5 % overhead budget: \
+         {base:?} untraced vs {with_trace:?} traced ({ratio:.3}x)"
+    );
+}
+
+#[test]
+fn disabled_tracer_is_a_branch_and_records_nothing() {
+    let tracer = Tracer::disabled();
+    let emits: u64 = 20_000_000;
+    let elapsed = min_of(3, || {
+        for seq in 0..emits {
+            tracer.emit(EventKind::RequestStart { seq });
+        }
+    });
+    // 20 M no-op emits in under a second is a budget of 50 ns each — a
+    // single branch costs well under 1 ns, so only a real regression (a
+    // lock, an allocation) can trip this.
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "disabled emit path is no longer trivial: {elapsed:?} for {emits} emits"
+    );
+    assert_eq!(tracer.emitted(), 0);
+    assert!(tracer.snapshot().is_empty());
+}

@@ -14,11 +14,15 @@
 //! threads ([`CampaignConfig::parallelism`]) with results bit-identical to
 //! the sequential run (see [`crate::executor`]).
 
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
 
 use serde::{Deserialize, Serialize};
-use simkit::{SimDuration, SimRng};
+use simkit::{SimDuration, SimRng, SimTime};
 use simos::{Edition, Os};
+use simtrace::{EventKind, Trace, Tracer, DEFAULT_CAPACITY};
 use specweb::{FileSet, FileSetConfig, IntervalMeasures, RequestGenerator};
 use swfit_core::{Faultload, InjectError, Injector};
 use webserver::{ServerKind, ServerState, WebServer};
@@ -238,6 +242,35 @@ pub struct SlotResult {
     /// Downtime/repair timeline observed during the slot.
     #[serde(default)]
     pub availability: AvailabilityMetrics,
+    /// Fault-activation observation. `Some` only on traced campaigns
+    /// ([`Campaign::with_trace`]); omitted from JSON when absent, so
+    /// untraced journals stay byte-identical to pre-trace ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub activation: Option<SlotActivation>,
+}
+
+/// Whether (and when, in virtual time) a slot's mutation site executed
+/// during the measured interval — the paper's *fault activation* question,
+/// promoted to a first-class per-slot metric.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SlotActivation {
+    /// The fault's type acronym (e.g. `"MIFS"`), denormalized here so
+    /// per-type activation rates survive journal round-trips without the
+    /// faultload at hand.
+    pub fault_type: String,
+    /// Executions of the mutation site during the measured interval.
+    pub hits: u64,
+    /// Virtual time of the first execution, on the slot's clock (warm-up
+    /// starts at zero, the measured interval continues after it). `None`
+    /// when the site never ran.
+    pub first_hit: Option<SimTime>,
+}
+
+impl SlotActivation {
+    /// Whether the mutation site executed at all.
+    pub fn activated(&self) -> bool {
+        self.hits > 0
+    }
 }
 
 /// Why a slot was quarantined instead of producing a [`SlotResult`].
@@ -274,6 +307,11 @@ pub struct QuarantinedSlot {
 }
 
 /// How one campaign slot ended — the unit the campaign journal records.
+///
+/// `Done` outweighs `Quarantined`, but outcomes only ever exist one at a
+/// time on their way to an observer/journal — they are never stored in
+/// bulk, so the size skew costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum SlotOutcome {
     /// The slot produced a result.
@@ -324,6 +362,105 @@ impl CampaignResult {
             .filter(|s| s.measures.errors() > 0 || s.watchdog.admf() > 0)
             .count()
     }
+
+    /// Fault-activation rates over the slots that carry an activation
+    /// observation. `None` for untraced campaigns (no slot was watched).
+    pub fn activation_summary(&self) -> Option<ActivationSummary> {
+        let mut by_type: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        let mut tracked = 0u64;
+        let mut activated = 0u64;
+        for act in self.slots.iter().filter_map(|s| s.activation.as_ref()) {
+            tracked += 1;
+            let row = by_type.entry(act.fault_type.as_str()).or_insert((0, 0));
+            row.0 += 1;
+            if act.activated() {
+                activated += 1;
+                row.1 += 1;
+            }
+        }
+        if tracked == 0 {
+            return None;
+        }
+        Some(ActivationSummary {
+            tracked,
+            activated,
+            per_type: by_type
+                .into_iter()
+                .map(|(fault_type, (t, a))| TypeActivation {
+                    fault_type: fault_type.to_string(),
+                    tracked: t,
+                    activated: a,
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Aggregated fault-activation rates: overall and per fault type.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivationSummary {
+    /// Slots carrying an activation observation.
+    pub tracked: u64,
+    /// Tracked slots whose mutation site executed at least once.
+    pub activated: u64,
+    /// Per-fault-type rows, sorted by acronym.
+    pub per_type: Vec<TypeActivation>,
+}
+
+/// One fault type's activation counts within an [`ActivationSummary`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TypeActivation {
+    /// Fault-type acronym (e.g. `"MIFS"`).
+    pub fault_type: String,
+    /// Tracked slots of this type.
+    pub tracked: u64,
+    /// Tracked slots of this type whose site executed.
+    pub activated: u64,
+}
+
+impl TypeActivation {
+    /// Activated share of tracked slots, as a percentage.
+    pub fn rate_pct(&self) -> f64 {
+        rate_pct(self.activated, self.tracked)
+    }
+}
+
+impl ActivationSummary {
+    /// Overall activated share of tracked slots, as a percentage.
+    pub fn rate_pct(&self) -> f64 {
+        rate_pct(self.activated, self.tracked)
+    }
+
+    /// Whether any slot was tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tracked == 0
+    }
+
+    /// Folds another summary into this one (per-type rows stay sorted).
+    pub fn merge(&mut self, other: &ActivationSummary) {
+        self.tracked += other.tracked;
+        self.activated += other.activated;
+        for row in &other.per_type {
+            match self
+                .per_type
+                .binary_search_by(|r| r.fault_type.as_str().cmp(row.fault_type.as_str()))
+            {
+                Ok(i) => {
+                    self.per_type[i].tracked += row.tracked;
+                    self.per_type[i].activated += row.activated;
+                }
+                Err(i) => self.per_type.insert(i, row.clone()),
+            }
+        }
+    }
+}
+
+fn rate_pct(activated: u64, tracked: u64) -> f64 {
+    if tracked == 0 {
+        0.0
+    } else {
+        activated as f64 * 100.0 / tracked as f64
+    }
 }
 
 /// One worker's private benchmark stack: a booted OS with the populated
@@ -355,12 +492,43 @@ impl WorkerStack {
     }
 }
 
+/// Flight-recorder settings for a campaign (off by default).
+///
+/// Tracing is observation-only — traced and untraced campaigns produce
+/// bit-identical measures, watchdog counts and config hashes — so this
+/// deliberately lives outside [`CampaignConfig`] and never enters
+/// [`CampaignConfig::stable_hash`]: a journal written untraced resumes
+/// traced, and vice versa.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Per-slot ring capacity: how many events a slot's recorder retains.
+    pub capacity: usize,
+    /// Where quarantined slots dump their recorder tail (JSONL, one file
+    /// per slot). `None` disables dumps.
+    pub dump_dir: Option<PathBuf>,
+    /// How many tail events a quarantine dump keeps.
+    pub dump_last: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            capacity: DEFAULT_CAPACITY,
+            dump_dir: None,
+            dump_last: 64,
+        }
+    }
+}
+
 /// A configured campaign for one (edition, server) pair.
 #[derive(Clone, Debug)]
 pub struct Campaign {
     edition: Edition,
     server: ServerKind,
     config: CampaignConfig,
+    /// Flight-recorder settings; `None` (the default) records nothing and
+    /// costs one branch per would-be event.
+    trace: Option<TraceConfig>,
     /// Test hook: the fault id whose slot panics instead of running, to
     /// exercise quarantine without a genuinely buggy stack.
     panic_on: Option<String>,
@@ -373,8 +541,24 @@ impl Campaign {
             edition,
             server,
             config,
+            trace: None,
             panic_on: None,
         }
+    }
+
+    /// Enables the flight recorder for this campaign's slots. Recording is
+    /// observation-only — measures, config hash and journal replay are
+    /// unchanged — but completed slots additionally carry
+    /// [`SlotResult::activation`].
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Campaign {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The flight-recorder settings, when tracing is enabled.
+    pub fn trace_config(&self) -> Option<&TraceConfig> {
+        self.trace.as_ref()
     }
 
     /// Makes the slot running fault `fault_id` panic instead of executing —
@@ -610,20 +794,46 @@ impl Campaign {
             .map(|(slot, _)| slot)
             .collect();
 
+        // Live recorders of in-flight slots, kept so a panicked slot's tail
+        // can be dumped post-mortem. Completed slots deregister on the spot,
+        // bounding the registry to the in-flight window.
+        let tracers: Mutex<HashMap<usize, Tracer>> = Mutex::new(HashMap::new());
         let ran: Vec<SlotRun<Result<SlotResult, CampaignError>>> = run_slots_quarantined(
             self.config.parallelism,
             &worklist,
             || self.worker_stack(Injector::new()),
-            |stack, slot| self.run_one_fault_slot(stack, &faultload.faults[slot], iteration, slot),
+            |stack, slot| {
+                let tracer = self.slot_tracer();
+                let traced = tracer.is_enabled();
+                if traced {
+                    lock_tracers(&tracers).insert(slot, tracer.clone());
+                }
+                let result = self.run_one_fault_slot(
+                    stack,
+                    &faultload.faults[slot],
+                    iteration,
+                    slot,
+                    &tracer,
+                );
+                // Reached only when the slot did not panic; a panicked
+                // slot's recorder stays registered for the quarantine dump.
+                if traced {
+                    lock_tracers(&tracers).remove(&slot);
+                }
+                result
+            },
             |slot, run| match run {
                 SlotRun::Done(Ok(r)) => observe(slot, &SlotOutcome::Done(r.clone())),
                 SlotRun::Done(Err(_)) => {}
-                SlotRun::Panicked(message) => observe(
-                    slot,
-                    &SlotOutcome::Quarantined(SlotError::Panicked {
-                        message: message.clone(),
-                    }),
-                ),
+                SlotRun::Panicked(message) => {
+                    self.dump_quarantined_trace(slot, &faultload.faults[slot].id, &tracers);
+                    observe(
+                        slot,
+                        &SlotOutcome::Quarantined(SlotError::Panicked {
+                            message: message.clone(),
+                        }),
+                    );
+                }
             },
         );
         for (&slot, run) in worklist.iter().zip(ran) {
@@ -670,19 +880,116 @@ impl Campaign {
         })
     }
 
+    /// A per-slot recorder: live when the campaign has a [`TraceConfig`],
+    /// disabled (zero-cost) otherwise.
+    fn slot_tracer(&self) -> Tracer {
+        match &self.trace {
+            Some(tc) => Tracer::enabled(tc.capacity),
+            None => Tracer::disabled(),
+        }
+    }
+
+    /// Writes a quarantined slot's flight-recorder tail as JSONL (a header
+    /// line, then one event per line). Best-effort: a failed dump warns and
+    /// moves on — the quarantine record itself lives in the journal either
+    /// way.
+    fn dump_quarantined_trace(
+        &self,
+        slot: usize,
+        fault_id: &str,
+        tracers: &Mutex<HashMap<usize, Tracer>>,
+    ) {
+        let Some(tc) = &self.trace else { return };
+        let Some(dir) = &tc.dump_dir else { return };
+        let Some(tracer) = lock_tracers(tracers).remove(&slot) else {
+            return;
+        };
+        let tail = tracer.snapshot().tail(tc.dump_last);
+        let header = DumpHeader {
+            slot: slot as u64,
+            fault_id: fault_id.to_string(),
+            dropped: tail.dropped,
+            capacity: tail.capacity as u64,
+        };
+        let mut body = serde_json::to_string(&header).expect("plain struct serializes");
+        body.push('\n');
+        body.push_str(&tail.to_jsonl());
+        let path = dir.join(format!(
+            "{}-{}-slot{:04}.quarantine.jsonl",
+            self.edition.name(),
+            self.server.name(),
+            slot
+        ));
+        let written = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body));
+        if let Err(e) = written {
+            eprintln!(
+                "warning: could not dump quarantined slot {slot} ({fault_id}) trace to {}: {e}",
+                path.display()
+            );
+        }
+    }
+
+    /// Re-runs a single slot with a live recorder and returns its result
+    /// together with the full retained trace — the `faultbench trace`
+    /// subcommand's entry point. The slot uses the exact `(iteration, slot)`
+    /// derived seed a campaign run would, so the trace replays precisely
+    /// what the campaign saw.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of range for the faultload.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Campaign::run_injection`].
+    pub fn trace_slot(
+        &self,
+        faultload: &Faultload,
+        iteration: u64,
+        slot: usize,
+    ) -> Result<(SlotResult, Trace), CampaignError> {
+        assert!(
+            slot < faultload.len(),
+            "slot {slot} out of range: faultload has {} faults",
+            faultload.len()
+        );
+        let (probe, _) = self.boot()?;
+        if !faultload.matches_image(probe.program().image()) {
+            return Err(CampaignError::FingerprintMismatch {
+                target: faultload.target.clone(),
+                edition: self.edition,
+            });
+        }
+        drop(probe);
+        let capacity = self
+            .trace
+            .as_ref()
+            .map_or(DEFAULT_CAPACITY, |tc| tc.capacity);
+        let tracer = Tracer::enabled(capacity);
+        let mut stack = self.worker_stack(Injector::new());
+        let result = self.run_one_fault_slot(
+            &mut stack,
+            &faultload.faults[slot],
+            iteration,
+            slot,
+            &tracer,
+        )?;
+        Ok((result, tracer.snapshot()))
+    }
+
     /// One Fig. 4 slot: rest-interval recovery, warm-up, inject, exercise,
     /// restore. Depends only on `(iteration, slot)` — never on which worker
-    /// runs it or what ran before on this worker.
+    /// runs it or what ran before on this worker — and the recorder only
+    /// observes: traced and untraced runs produce identical measures.
     fn run_one_fault_slot(
         &self,
         stack: &mut WorkerStack,
         fault: &swfit_core::FaultDef,
         iteration: u64,
         slot: usize,
+        tracer: &Tracer,
     ) -> Result<SlotResult, CampaignError> {
-        if self.panic_on.as_deref() == Some(fault.id.as_str()) {
-            panic!("harness fault injected for fault `{}`", fault.id);
-        }
+        stack.os.set_tracer(tracer.clone());
         // Rest interval: recover the system and bring the server up on the
         // pristine OS — the fault arrives while the server is already
         // running, as in the paper's continuously-operating setup.
@@ -693,6 +1000,9 @@ impl Campaign {
         let mut rng = self.slot_rng(iteration, slot);
         // Warm-up traffic before the fault arrives (the paper's server
         // runs continuously; the fault hits a warm, serving process).
+        tracer.rebase(SimDuration::ZERO);
+        tracer.set_now(SimTime::ZERO);
+        tracer.emit(EventKind::Phase { name: "warmup" });
         let warmup_cfg = IntervalConfig {
             duration: self.config.warmup,
             ..self.config.interval
@@ -704,7 +1014,26 @@ impl Campaign {
             &mut rng,
             &warmup_cfg,
         );
+        if self.panic_on.as_deref() == Some(fault.id.as_str()) {
+            panic!("harness fault injected for fault `{}`", fault.id);
+        }
+        // The measured interval restarts its clock at zero; rebase so the
+        // slot's trace stays monotonic across the warm-up boundary.
+        tracer.rebase(self.config.warmup);
+        tracer.set_now(SimTime::ZERO);
+        tracer.emit(EventKind::Phase { name: "measure" });
+        if tracer.is_enabled() {
+            tracer.emit(EventKind::InjectApply {
+                fault_id: fault.id.clone(),
+                site: fault.site,
+            });
+        }
         stack.injector.inject(stack.os.image_mut(), fault)?;
+        if tracer.is_enabled() {
+            // The watchpoint costs one compare per executed instruction, so
+            // it is armed only on traced runs; it counts, never perturbs.
+            stack.os.arm_activation_watch(fault.site);
+        }
         let out = run_interval(
             &mut stack.os,
             stack.server.as_mut(),
@@ -712,15 +1041,51 @@ impl Campaign {
             &mut rng,
             &self.config.interval,
         );
+        let activation = if tracer.is_enabled() {
+            let (hits, first_hit) = stack.os.activation().expect("activation watch armed above");
+            Some(SlotActivation {
+                fault_type: fault.fault_type.acronym().to_string(),
+                hits,
+                first_hit,
+            })
+        } else {
+            None
+        };
+        stack.os.clear_activation_watch();
         stack.injector.restore(stack.os.image_mut());
+        if tracer.is_enabled() {
+            tracer.emit(EventKind::InjectUndo {
+                fault_id: fault.id.clone(),
+            });
+        }
         Ok(SlotResult {
             fault_id: fault.id.clone(),
             watchdog: out.watchdog,
             ended_dead: out.end_state != ServerState::Running,
             availability: out.availability,
             measures: out.measures,
+            activation,
         })
     }
+}
+
+/// First line of a quarantine dump: which slot, which fault, and how much
+/// of the stream the retained tail omits.
+#[derive(Serialize)]
+struct DumpHeader {
+    slot: u64,
+    fault_id: String,
+    dropped: u64,
+    capacity: u64,
+}
+
+/// The tracer registry is only ever locked around a single insert, remove
+/// or lookup — a panic cannot strike mid-mutation, so a poisoned lock (a
+/// quarantined slot panicked elsewhere) is still safe to use.
+fn lock_tracers(tracers: &Mutex<HashMap<usize, Tracer>>) -> MutexGuard<'_, HashMap<usize, Tracer>> {
+    tracers
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[cfg(test)]

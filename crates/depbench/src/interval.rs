@@ -12,6 +12,7 @@
 use serde::{Deserialize, Serialize};
 use simkit::{EventQueue, SimDuration, SimRng, SimTime};
 use simos::Os;
+use simtrace::EventKind;
 use specweb::{IntervalMeasures, RequestGenerator};
 use webserver::{ServerState, WebServer};
 
@@ -117,6 +118,23 @@ enum Event {
     Issue(usize),
 }
 
+/// Trace label for a repair action.
+fn action_name(action: RepairAction) -> &'static str {
+    match action {
+        RepairAction::Restart => "restart",
+        RepairAction::RebootThenRestart => "reboot+restart",
+        RepairAction::Failover => "failover",
+    }
+}
+
+/// Trace label for a failure class.
+fn class_name(class: FailureClass) -> &'static str {
+    match class {
+        FailureClass::Crash => "crash",
+        FailureClass::Hang => "hang",
+    }
+}
+
 /// One open outage: the repair plan, when the outage was detected, and when
 /// the next repair attempt is due.
 struct RepairJob {
@@ -172,6 +190,9 @@ pub fn run_interval(
             break;
         }
         let (now, Event::Issue(conn)) = queue.pop().expect("peeked");
+        // Events emitted anywhere below (OS calls, request lifecycle,
+        // watchdog actions) are stamped with this dispatch's virtual time.
+        os.tracer().set_now(now);
 
         // Watchdog repair path.
         if server.state() != ServerState::Running {
@@ -200,7 +221,8 @@ pub fn run_interval(
             if now >= job.due {
                 // Kill (if hung) and bring a process back, the way the
                 // policy prescribes for this attempt.
-                let revived = match job.plan.next_action() {
+                let action = job.plan.next_action();
+                let revived = match action {
                     RepairAction::Restart => server.start(os),
                     RepairAction::RebootThenRestart => {
                         // Reboot the OS mid-interval: kernel-state corruption
@@ -212,6 +234,13 @@ pub fn run_interval(
                     }
                     RepairAction::Failover => server.failover(os),
                 };
+                if os.tracer().is_enabled() {
+                    os.tracer().emit(EventKind::Watchdog {
+                        action: action_name(action),
+                        class: class_name(job.plan.class()),
+                        ok: revived,
+                    });
+                }
                 if revived {
                     avail.record_repair(now.since(job.outage_start));
                     repair = None;
@@ -262,6 +291,11 @@ pub fn run_interval(
             // Restart storm: the process burns CPU re-forking workers
             // without providing service. Kill and restart it.
             watchdog.kcp += 1;
+            if os.tracer().is_enabled() {
+                os.tracer().emit(EventKind::Kill {
+                    reason: "restart storm",
+                });
+            }
             storm_base = server.stats().self_restarts;
             if !server.start(os) {
                 // The kill's own restart failed: the outage opens when the

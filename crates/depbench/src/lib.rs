@@ -39,8 +39,9 @@ pub mod recovery;
 pub mod report;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError, CampaignResult,
-    QuarantinedSlot, SlotError, SlotOutcome, SlotResult,
+    ActivationSummary, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignError,
+    CampaignResult, QuarantinedSlot, SlotActivation, SlotError, SlotOutcome, SlotResult,
+    TraceConfig, TypeActivation,
 };
 pub use interval::{IntervalConfig, WatchdogCounts};
 pub use metrics::DependabilityMetrics;

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 use specweb::IntervalMeasures;
 
-use crate::campaign::CampaignResult;
+use crate::campaign::{ActivationSummary, CampaignResult};
 use crate::interval::WatchdogCounts;
 use crate::recovery::AvailabilityMetrics;
 
@@ -35,6 +35,11 @@ pub struct DependabilityMetrics {
     /// (availability %, MTTR, time-to-first-repair, longest outage).
     #[serde(default)]
     pub availability: AvailabilityMetrics,
+    /// Fault-activation rates (overall and per fault type). `Some` only
+    /// when the campaign ran traced; omitted from JSON otherwise, so
+    /// untraced metric sets stay byte-identical to pre-trace ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub activation: Option<ActivationSummary>,
 }
 
 impl DependabilityMetrics {
@@ -50,6 +55,7 @@ impl DependabilityMetrics {
             er_pct_f: campaign.measures.er_pct(),
             watchdog: campaign.watchdog,
             availability: campaign.availability,
+            activation: campaign.activation_summary(),
         }
     }
 
@@ -114,6 +120,18 @@ pub fn average_metrics(runs: &[DependabilityMetrics]) -> DependabilityMetrics {
             }
             merged
         },
+        // Activation rates are ratios of slot counts; like availability,
+        // "averaging" sums the counts, weighting each iteration by how many
+        // slots it actually tracked.
+        activation: {
+            let mut merged: Option<ActivationSummary> = None;
+            for summary in runs.iter().filter_map(|r| r.activation.as_ref()) {
+                merged
+                    .get_or_insert_with(ActivationSummary::default)
+                    .merge(summary);
+            }
+            merged
+        },
     }
 }
 
@@ -136,6 +154,7 @@ mod tests {
                 kcp: 1,
             },
             availability: AvailabilityMetrics::default(),
+            activation: None,
         }
     }
 

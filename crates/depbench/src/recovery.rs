@@ -88,7 +88,6 @@ pub enum RecoveryPolicy {
     },
 }
 
-
 impl RecoveryPolicy {
     /// Short names accepted by [`RecoveryPolicy::by_name`], comparison
     /// order for `faultbench recovery`.

@@ -7,7 +7,7 @@
 //! bought — without re-running either campaign.
 
 use depbench::report::{f, pct, TextTable};
-use depbench::CampaignResult;
+use depbench::{ActivationSummary, CampaignResult};
 
 /// Renders a metric-by-metric comparison of two campaign results.
 ///
@@ -112,6 +112,28 @@ pub fn diff_table(name_a: &str, a: &CampaignResult, name_b: &str, b: &CampaignRe
         a.quarantined.len() as u64,
         b.quarantined.len() as u64,
     );
+
+    // Activation rows appear only when at least one run was traced, so
+    // diffs of pre-trace (or untraced) runs render exactly as before.
+    let (act_a, act_b) = (a.activation_summary(), b.activation_summary());
+    if act_a.is_some() || act_b.is_some() {
+        let activated = |s: &Option<ActivationSummary>| s.as_ref().map_or(0, |s| s.activated);
+        let rate =
+            |s: &Option<ActivationSummary>| s.as_ref().map_or(0.0, ActivationSummary::rate_pct);
+        count(
+            &mut table,
+            "activated slots",
+            activated(&act_a),
+            activated(&act_b),
+        );
+        float(
+            &mut table,
+            "activation rate %",
+            rate(&act_a),
+            rate(&act_b),
+            1,
+        );
+    }
     table
 }
 
@@ -173,6 +195,7 @@ mod tests {
                 },
                 ended_dead: false,
                 availability: depbench::AvailabilityMetrics::default(),
+                activation: None,
             }],
             quarantined: Vec::new(),
         }
@@ -216,6 +239,25 @@ mod tests {
         assert!(text.contains("+5"), "expected signed +5 delta:\n{text}");
         let back = diff_table("b", &b, "a", &a).render();
         assert!(back.contains("-5"), "expected signed -5 delta:\n{back}");
+    }
+
+    #[test]
+    fn activation_rows_appear_only_for_traced_runs() {
+        let a = run(100, 0, 0);
+        let untraced = diff_table("x", &a, "y", &a).render();
+        assert!(
+            !untraced.contains("activation"),
+            "untraced diff must not grow rows:\n{untraced}"
+        );
+        let mut b = run(100, 0, 0);
+        b.slots[0].activation = Some(depbench::SlotActivation {
+            fault_type: "MIFS".to_string(),
+            hits: 3,
+            first_hit: Some(simkit::SimTime::from_micros(500)),
+        });
+        let traced = diff_table("x", &a, "y", &b).render();
+        assert!(traced.contains("activated slots"), "{traced}");
+        assert!(traced.contains("activation rate %"), "{traced}");
     }
 
     #[test]

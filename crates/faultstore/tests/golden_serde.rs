@@ -15,10 +15,11 @@
 //! ```
 
 use depbench::{
-    AvailabilityMetrics, CampaignResult, QuarantinedSlot, SlotError, SlotResult, WatchdogCounts,
+    AvailabilityMetrics, CampaignResult, QuarantinedSlot, SlotActivation, SlotError, SlotResult,
+    WatchdogCounts,
 };
 use serde::{Deserialize, Serialize};
-use simkit::SimDuration;
+use simkit::{SimDuration, SimTime};
 use simos::Edition;
 use specweb::IntervalMeasures;
 use swfit_core::{FaultDef, FaultType, Faultload};
@@ -74,6 +75,11 @@ fn golden() -> Golden {
         watchdog,
         ended_dead: false,
         availability,
+        activation: Some(SlotActivation {
+            fault_type: "MIFS".to_string(),
+            hits: 3,
+            first_hit: Some(SimTime::from_micros(412_000)),
+        }),
     };
     let campaign_result = CampaignResult {
         edition: Edition::Nimbus2000,
@@ -151,6 +157,31 @@ fn pre_policy_artifacts_still_deserialize() {
         serde_json::from_str(&old_campaign).expect("pre-policy stored run parses");
     assert_eq!(run.availability, AvailabilityMetrics::default());
     assert!(run.quarantined.is_empty());
+}
+
+#[test]
+fn pre_trace_artifacts_still_deserialize_under_schema_1() {
+    // Activation is additive within schema 1: a record written by a
+    // pre-trace (or untraced) binary has no `activation` key and must parse
+    // to `None` — and an untraced slot must serialize *without* the key, so
+    // untraced journals stay byte-identical to pre-trace ones.
+    assert_eq!(
+        faultstore::JOURNAL_SCHEMA,
+        1,
+        "activation fields are additive; schema must not bump"
+    );
+    let measures_json = serde_json::to_string(&measures()).unwrap();
+    let old_slot = format!(
+        r#"{{"fault_id": "MIFS@rtl_alloc_heap+17", "measures": {measures_json},
+             "watchdog": {{"mis": 1, "kns": 0, "kcp": 0}}, "ended_dead": false}}"#
+    );
+    let slot: SlotResult = serde_json::from_str(&old_slot).expect("pre-trace slot record parses");
+    assert!(slot.activation.is_none());
+    let reserialized = serde_json::to_string(&slot).unwrap();
+    assert!(
+        !reserialized.contains("activation"),
+        "untraced slot must omit the activation key: {reserialized}"
+    );
 }
 
 #[test]

@@ -48,4 +48,4 @@ pub mod vm;
 pub use image::{CodeImage, FuncInfo, Patch, PatchSet};
 pub use isa::{DecodeError, Instr, Opcode, Reg};
 pub use mem::Memory;
-pub use vm::{CallError, CallOutcome, HcallHandler, NoHcalls, Trap, Vm, VmConfig};
+pub use vm::{CallError, CallOutcome, HcallHandler, NoHcalls, Trap, Vm, VmConfig, Watchpoint};

@@ -151,6 +151,21 @@ pub struct CallOutcome {
 /// Sentinel return address marking the bottom of the call stack.
 const RETURN_SENTINEL: i64 = -0x5EAF00D;
 
+/// A single-address execution watchpoint.
+///
+/// Campaigns arm one on a fault's key instruction to measure *activation*
+/// (did the mutated code actually run?). Unlike
+/// [`enable_profiling`](Vm::enable_profiling), which counts every address
+/// and is priced for offline studies, a watchpoint is one compare in the
+/// dispatch loop — cheap enough to leave armed for a whole campaign slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watchpoint {
+    /// The watched code address.
+    pub pc: u32,
+    /// Times the watched address has executed since arming.
+    pub hits: u64,
+}
+
 /// The interpreter. Stateless between calls except for configuration and
 /// cumulative instruction counts.
 #[derive(Clone, Debug)]
@@ -158,6 +173,7 @@ pub struct Vm {
     config: VmConfig,
     total_executed: u64,
     profile: Option<Vec<u64>>,
+    watch: Option<Watchpoint>,
 }
 
 impl Default for Vm {
@@ -178,6 +194,7 @@ impl Vm {
             config,
             total_executed: 0,
             profile: None,
+            watch: None,
         }
     }
 
@@ -202,6 +219,22 @@ impl Vm {
     /// [`enable_profiling`](Vm::enable_profiling); `None` when disabled.
     pub fn profile(&self) -> Option<&[u64]> {
         self.profile.as_deref()
+    }
+
+    /// Arms an execution watchpoint on `pc`, resetting its hit count. Only
+    /// one watchpoint exists at a time (a campaign slot carries one fault).
+    pub fn set_watchpoint(&mut self, pc: u32) {
+        self.watch = Some(Watchpoint { pc, hits: 0 });
+    }
+
+    /// Disarms the watchpoint, returning its final state if one was armed.
+    pub fn clear_watchpoint(&mut self) -> Option<Watchpoint> {
+        self.watch.take()
+    }
+
+    /// The armed watchpoint and its hit count, if any.
+    pub fn watchpoint(&self) -> Option<Watchpoint> {
+        self.watch
     }
 
     /// Calls `func` with `args` (at most 8) in `image` against `mem`.
@@ -266,6 +299,11 @@ impl Vm {
             if let Some(counts) = self.profile.as_mut() {
                 if let Some(slot) = counts.get_mut(pc as usize) {
                     *slot += 1;
+                }
+            }
+            if let Some(w) = self.watch.as_mut() {
+                if w.pc == pc {
+                    w.hits += 1;
                 }
             }
 
@@ -746,5 +784,62 @@ mod tests {
             .call(&image, &mut mem, &mut Doubler, "main", &[21])
             .unwrap();
         assert_eq!(out.return_value, 42);
+    }
+
+    /// Counts down from `r2` in a loop whose body sits at a known address —
+    /// the watchpoint fixture.
+    const COUNTDOWN: &str = r#"
+        .func main
+            ldi r3, 1
+        loop:
+            sub r2, r2, r3
+            beqz r2, done
+            jmp loop
+        done:
+            ret
+    "#;
+
+    #[test]
+    fn watchpoint_counts_each_execution_of_the_watched_pc() {
+        let image = assemble(COUNTDOWN).expect("assembles");
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        // Address 1 is the `sub`: executed once per loop iteration.
+        vm.set_watchpoint(1);
+        vm.call(&image, &mut mem, &mut NoHcalls, "main", &[5])
+            .unwrap();
+        assert_eq!(vm.watchpoint(), Some(Watchpoint { pc: 1, hits: 5 }));
+        // Hits accumulate across calls until re-armed or cleared.
+        vm.call(&image, &mut mem, &mut NoHcalls, "main", &[3])
+            .unwrap();
+        assert_eq!(vm.watchpoint().unwrap().hits, 8);
+        let fin = vm.clear_watchpoint().unwrap();
+        assert_eq!(fin.hits, 8);
+        assert_eq!(vm.watchpoint(), None);
+    }
+
+    #[test]
+    fn rearming_a_watchpoint_resets_its_count() {
+        let image = assemble(COUNTDOWN).expect("assembles");
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        vm.set_watchpoint(1);
+        vm.call(&image, &mut mem, &mut NoHcalls, "main", &[4])
+            .unwrap();
+        assert_eq!(vm.watchpoint().unwrap().hits, 4);
+        vm.set_watchpoint(1);
+        assert_eq!(vm.watchpoint().unwrap().hits, 0);
+    }
+
+    #[test]
+    fn unexecuted_watchpoint_stays_at_zero() {
+        let image = assemble(COUNTDOWN).expect("assembles");
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        // Watch an address well past the function — it never executes.
+        vm.set_watchpoint(1000);
+        vm.call(&image, &mut mem, &mut NoHcalls, "main", &[5])
+            .unwrap();
+        assert_eq!(vm.watchpoint().unwrap().hits, 0);
     }
 }

@@ -14,6 +14,8 @@ use std::fmt;
 use minic::Program;
 use mvm::{CallError, Memory, Trap, Vm, VmConfig};
 use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+use simtrace::{EventKind, Tracer};
 
 use crate::api::OsApi;
 use crate::device::DeviceStore;
@@ -165,6 +167,14 @@ pub struct Os {
     devices: DeviceStore,
     api_counts: BTreeMap<OsApi, u64>,
     calls_total: u64,
+    tracer: Tracer,
+    /// Reboots of *this* instance (the global [`reboot_count`] spans all
+    /// instances and threads, so it cannot appear in deterministic traces).
+    reboots: u64,
+    /// Watchpoint hits already attributed to an earlier API call.
+    watch_seen: u64,
+    /// Virtual time the mutation site first executed, if it has.
+    watch_first: Option<SimTime>,
 }
 
 impl Os {
@@ -198,6 +208,10 @@ impl Os {
             devices: DeviceStore::new(),
             api_counts: BTreeMap::new(),
             calls_total: 0,
+            tracer: Tracer::disabled(),
+            reboots: 0,
+            watch_seen: 0,
+            watch_first: None,
         };
         os.reset_state()?;
         Ok(os)
@@ -244,6 +258,12 @@ impl Os {
     /// injected fault sits in code the boot path shares).
     pub fn reboot(&mut self) -> Result<(), String> {
         OS_REBOOTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.reboots += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.emit(EventKind::Reboot {
+                count: self.reboots,
+            });
+        }
         self.reset_state()
     }
 
@@ -292,17 +312,26 @@ impl Os {
         );
         *self.api_counts.entry(api).or_insert(0) += 1;
         self.calls_total += 1;
-        match self.vm.call(
+        if self.tracer.is_enabled() {
+            self.tracer.emit(EventKind::ApiEnter { api: api.symbol() });
+        }
+        let result = match self.vm.call(
             self.program.image(),
             &mut self.mem,
             &mut self.devices,
             api.symbol(),
             args,
         ) {
-            Ok(out) => Ok(CallResult {
-                value: out.return_value,
-                cost: out.executed + self.devices.take_cost(),
-            }),
+            Ok(out) => {
+                let device_cost = self.devices.take_cost();
+                if device_cost > 0 && self.tracer.is_enabled() {
+                    self.tracer.emit(EventKind::DeviceIo { cost: device_cost });
+                }
+                Ok(CallResult {
+                    value: out.return_value,
+                    cost: out.executed + device_cost,
+                })
+            }
             Err(CallError::Trap(t)) => {
                 self.devices.take_cost();
                 Err(OsCallError::Trap(t))
@@ -310,7 +339,77 @@ impl Os {
             Err(CallError::UnknownFunction(n)) => {
                 Err(OsCallError::Internal(format!("symbol `{n}` not linked")))
             }
+        };
+        self.observe_watch();
+        if self.tracer.is_enabled() {
+            let (ok, cost) = match &result {
+                Ok(r) => (true, r.cost),
+                Err(_) => (false, 0),
+            };
+            self.tracer.emit(EventKind::ApiExit {
+                api: api.symbol(),
+                ok,
+                cost,
+            });
         }
+        result
+    }
+
+    /// Attributes new mutation-site executions to the call that just
+    /// finished: stamps the first activation time and emits a `Watchpoint`
+    /// event with the hit delta. Watchpoint hits accrued outside [`Os::call`]
+    /// (e.g. during a reboot's boot path) surface at the next API call.
+    fn observe_watch(&mut self) {
+        if let Some(w) = self.vm.watchpoint() {
+            if w.hits > self.watch_seen {
+                let delta = w.hits - self.watch_seen;
+                self.watch_seen = w.hits;
+                if self.watch_first.is_none() {
+                    self.watch_first = Some(self.tracer.now());
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(EventKind::Watchpoint {
+                        pc: w.pc,
+                        hits: delta,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Installs the flight recorder this OS (and everything running on it)
+    /// emits into. The default is [`Tracer::disabled`], which records
+    /// nothing and costs one branch per would-be event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed flight recorder (shared handle; cloning it is cheap).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Arms an execution watchpoint on `pc` — a fault's key instruction —
+    /// resetting any previous activation observation. Hit deltas are
+    /// observed at API-call granularity (see [`Os::activation`]).
+    pub fn arm_activation_watch(&mut self, pc: u32) {
+        self.vm.set_watchpoint(pc);
+        self.watch_seen = 0;
+        self.watch_first = None;
+    }
+
+    /// Disarms the activation watchpoint.
+    pub fn clear_activation_watch(&mut self) {
+        self.vm.clear_watchpoint();
+        self.watch_seen = 0;
+        self.watch_first = None;
+    }
+
+    /// The armed watchpoint's observation so far: total executions of the
+    /// watched address and the virtual time of the first one (`None` until
+    /// it executes). Returns `None` when no watchpoint is armed.
+    pub fn activation(&self) -> Option<(u64, Option<SimTime>)> {
+        self.vm.watchpoint().map(|w| (w.hits, self.watch_first))
     }
 
     /// Host-side write of a NUL-terminated string into OS memory (models a
@@ -810,5 +909,100 @@ mod tests {
     fn arity_is_enforced() {
         let mut os = booted();
         let _ = os.call(OsApi::NtClose, &[1, 2]);
+    }
+
+    #[test]
+    fn traced_calls_emit_paired_enter_exit_events() {
+        let mut os = booted();
+        os.set_tracer(Tracer::enabled(64));
+        os.tracer().set_now(SimTime::from_micros(500));
+        os.call(OsApi::RtlAllocateHeap, &[100]).unwrap();
+        let trace = os.tracer().snapshot();
+        assert_eq!(trace.len(), 2, "enter + exit:\n{}", trace.to_jsonl());
+        match (&trace.events[0].kind, &trace.events[1].kind) {
+            (
+                EventKind::ApiEnter { api: a },
+                EventKind::ApiExit {
+                    api: b,
+                    ok: true,
+                    cost,
+                },
+            ) => {
+                assert_eq!(*a, "rtl_allocate_heap");
+                assert_eq!(*b, "rtl_allocate_heap");
+                assert!(*cost > 0);
+            }
+            other => panic!("unexpected events: {other:?}"),
+        }
+        assert_eq!(trace.events[0].at, SimTime::from_micros(500));
+    }
+
+    #[test]
+    fn untraced_calls_record_nothing() {
+        let mut os = booted();
+        os.call(OsApi::RtlAllocateHeap, &[100]).unwrap();
+        assert!(!os.tracer().is_enabled());
+        assert!(os.tracer().snapshot().is_empty());
+    }
+
+    #[test]
+    fn activation_watch_observes_the_first_execution_time() {
+        let mut os = booted();
+        os.set_tracer(Tracer::enabled(64));
+        let entry = os
+            .program()
+            .image()
+            .func("rtl_allocate_heap")
+            .expect("linked")
+            .entry;
+        os.arm_activation_watch(entry);
+        assert_eq!(os.activation(), Some((0, None)));
+
+        // An unrelated call does not activate the site.
+        os.call(OsApi::NtClose, &[1]).unwrap();
+        assert_eq!(os.activation(), Some((0, None)));
+
+        os.tracer().set_now(SimTime::from_micros(1234));
+        os.call(OsApi::RtlAllocateHeap, &[100]).unwrap();
+        let (hits, first) = os.activation().expect("armed");
+        assert!(hits > 0);
+        assert_eq!(first, Some(SimTime::from_micros(1234)));
+
+        // Later executions do not move the first-hit stamp, but do emit
+        // further Watchpoint events with the new delta.
+        os.tracer().set_now(SimTime::from_micros(9999));
+        os.call(OsApi::RtlAllocateHeap, &[100]).unwrap();
+        let (hits2, first2) = os.activation().expect("armed");
+        assert!(hits2 > hits);
+        assert_eq!(first2, Some(SimTime::from_micros(1234)));
+        let trace = os.tracer().snapshot();
+        let watchpoints = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Watchpoint { .. }))
+            .count();
+        assert_eq!(watchpoints, 2);
+
+        os.clear_activation_watch();
+        assert_eq!(os.activation(), None);
+    }
+
+    #[test]
+    fn reboot_event_counts_per_instance() {
+        let mut os = booted();
+        os.set_tracer(Tracer::enabled(64));
+        os.reboot().unwrap();
+        os.reboot().unwrap();
+        let counts: Vec<u64> = os
+            .tracer()
+            .snapshot()
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Reboot { count } => Some(count),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counts, vec![1, 2]);
     }
 }

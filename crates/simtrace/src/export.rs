@@ -1,0 +1,203 @@
+//! Trace export: JSONL for machine consumption, Chrome `trace_event` JSON
+//! for chrome://tracing (or Perfetto) visualisation.
+
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::tracer::Trace;
+
+impl Trace {
+    /// One JSON object per line, in emit order. Field order is fixed by the
+    /// type definitions, so for a deterministic simulation the bytes are a
+    /// pure function of the seed.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            let line = serde_json::to_string(event).expect("trace events always serialize");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The stream in Chrome `trace_event` format (JSON object form), ready
+    /// to load into chrome://tracing.
+    ///
+    /// OS API entry/exit pairs become `B`/`E` duration slices; everything
+    /// else is an instant (`i`) event. Timestamps are virtual microseconds;
+    /// `pid` distinguishes slots when several traces are merged, and all
+    /// events share tid 0 (each slot is single-threaded by construction).
+    pub fn to_chrome(&self, pid: u64) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ts = event.at.as_micros();
+            let (ph, name, args) = chrome_parts(&event.kind);
+            write!(
+                out,
+                "{{\"name\":{name},\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":0",
+                name = json_str(&name),
+            )
+            .expect("writing to String cannot fail");
+            if ph == 'i' {
+                // Instant events need a scope; "t" = thread-scoped tick.
+                out.push_str(",\"s\":\"t\"");
+            }
+            if !args.is_empty() {
+                write!(out, ",\"args\":{{{args}}}").expect("writing to String cannot fail");
+            }
+            out.push('}');
+        }
+        write!(
+            out,
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped\":{}}}}}",
+            self.dropped
+        )
+        .expect("writing to String cannot fail");
+        out
+    }
+}
+
+/// Chrome phase, event name and pre-rendered `args` body for one event.
+fn chrome_parts(kind: &EventKind) -> (char, String, String) {
+    match kind {
+        EventKind::ApiEnter { api } => ('B', (*api).to_string(), String::new()),
+        EventKind::ApiExit { api, ok, cost } => (
+            'E',
+            (*api).to_string(),
+            format!("\"ok\":{ok},\"cost\":{cost}"),
+        ),
+        EventKind::Watchpoint { pc, hits } => (
+            'i',
+            "watchpoint".to_string(),
+            format!("\"pc\":{pc},\"hits\":{hits}"),
+        ),
+        EventKind::DeviceIo { cost } => ('i', "device_io".to_string(), format!("\"cost\":{cost}")),
+        EventKind::Reboot { count } => ('i', "reboot".to_string(), format!("\"count\":{count}")),
+        EventKind::RequestStart { seq } => {
+            ('i', "request_start".to_string(), format!("\"seq\":{seq}"))
+        }
+        EventKind::RequestDone { seq, ok, cost } => (
+            'i',
+            "request_done".to_string(),
+            format!("\"seq\":{seq},\"ok\":{ok},\"cost\":{cost}"),
+        ),
+        EventKind::RequestFailed {
+            seq,
+            phase,
+            failure,
+        } => (
+            'i',
+            format!("request_failed:{failure}"),
+            format!("\"seq\":{seq},\"phase\":{}", json_str(phase)),
+        ),
+        EventKind::Watchdog { action, class, ok } => (
+            'i',
+            format!("watchdog:{action}"),
+            format!("\"class\":{},\"ok\":{ok}", json_str(class)),
+        ),
+        EventKind::Kill { reason } => (
+            'i',
+            "kill".to_string(),
+            format!("\"reason\":{}", json_str(reason)),
+        ),
+        EventKind::Phase { name } => ('i', format!("phase:{name}"), String::new()),
+        EventKind::InjectApply { fault_id, site } => (
+            'i',
+            "inject_apply".to_string(),
+            format!("\"fault_id\":{},\"site\":{site}", json_str(fault_id)),
+        ),
+        EventKind::InjectUndo { fault_id } => (
+            'i',
+            "inject_undo".to_string(),
+            format!("\"fault_id\":{}", json_str(fault_id)),
+        ),
+    }
+}
+
+/// Minimal JSON string rendering (quote + escape) for names/args.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+    use simkit::SimTime;
+
+    fn sample() -> Trace {
+        let t = Tracer::enabled(16);
+        t.set_now(SimTime::from_micros(10));
+        t.emit(EventKind::Phase { name: "measure" });
+        t.emit(EventKind::ApiEnter { api: "os_alloc" });
+        t.emit(EventKind::Watchpoint { pc: 99, hits: 3 });
+        t.emit(EventKind::ApiExit {
+            api: "os_alloc",
+            ok: true,
+            cost: 120,
+        });
+        t.set_now(SimTime::from_micros(40));
+        t.emit(EventKind::InjectApply {
+            fault_id: "MIFS@f+1".to_string(),
+            site: 99,
+        });
+        t.snapshot()
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let jsonl = sample().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(jsonl.contains("\"Watchpoint\""));
+        assert!(jsonl.contains("MIFS@f+1"));
+    }
+
+    #[test]
+    fn jsonl_bytes_are_reproducible() {
+        assert_eq!(sample().to_jsonl(), sample().to_jsonl());
+    }
+
+    #[test]
+    fn chrome_export_pairs_api_enter_exit() {
+        let chrome = sample().to_chrome(7);
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"B\""), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"E\""), "{chrome}");
+        assert!(chrome.contains("\"pid\":7"));
+        assert!(chrome.contains("\"ts\":10"));
+        assert!(chrome.contains("\"dropped\":0"));
+    }
+
+    #[test]
+    fn chrome_export_escapes_names() {
+        let t = Tracer::enabled(4);
+        t.emit(EventKind::Kill {
+            reason: "restart \"storm\"",
+        });
+        let chrome = t.snapshot().to_chrome(0);
+        assert!(chrome.contains("restart \\\"storm\\\""), "{chrome}");
+    }
+}

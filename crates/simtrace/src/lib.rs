@@ -1,0 +1,34 @@
+//! Deterministic flight-recorder tracing for fault-injection campaigns.
+//!
+//! Every campaign slot is a black box the moment something goes wrong: the
+//! server hangs, the watchdog reboots, the slot quarantines — and the only
+//! artifact is the final [`SlotResult`]-level aggregate. `simtrace` records
+//! *what happened on the way there* as a stream of typed events (OS API
+//! entry/exit, device I/O, mutation-site watchpoint hits, request lifecycle,
+//! watchdog actions, injection apply/undo) into a fixed-capacity ring buffer.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero cost when disabled.** A disabled [`Tracer`] is a `None`; every
+//!    emit path is one branch. Disabled is the default everywhere, and a
+//!    disabled campaign is bit-identical to an untraced one.
+//! 2. **Deterministic.** Events are stamped with *virtual* time (the
+//!    simulation clock, pushed in by the event loop via [`Tracer::set_now`])
+//!    and a monotonic sequence number — never wall-clock. Same seed ⇒
+//!    byte-identical [`Trace::to_jsonl`] output.
+//! 3. **Bounded.** The ring keeps the last `capacity` events and counts the
+//!    rest in [`Trace::dropped`]; a hung slot cannot eat unbounded memory,
+//!    and the tail is exactly what a flight recorder should preserve.
+//!
+//! The [`Tracer`] handle is cheaply clonable (`Arc` inside) so the campaign
+//! can keep one clone per slot for post-mortem dumps while the OS/server
+//! stack holds another; a slot that panics still leaves its trace readable.
+//!
+//! [`SlotResult`]: https://docs.rs/depbench
+
+mod event;
+mod export;
+mod tracer;
+
+pub use event::{EventKind, TraceEvent};
+pub use tracer::{Trace, Tracer, DEFAULT_CAPACITY};

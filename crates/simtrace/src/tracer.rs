@@ -1,0 +1,300 @@
+//! The recorder: a clonable handle over a fixed-capacity ring buffer.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use simkit::{SimDuration, SimTime};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Default ring capacity: enough for several hundred requests' worth of API
+/// traffic while keeping a slot's recorder under ~1 MiB.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Fixed-capacity ring of events. Oldest events are overwritten first;
+/// `dropped` counts the overwrites.
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest retained event once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            capacity,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events in emit order (oldest first).
+    fn ordered(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Recorder {
+    ring: Ring,
+    now: SimTime,
+    base: SimDuration,
+    next_seq: u64,
+}
+
+/// A shared handle to a slot's flight recorder.
+///
+/// Disabled (the default) it holds nothing and every method is a single
+/// branch; enabled it shares one ring recorder across clones, so the campaign can
+/// keep a clone for post-mortem dumps while the OS stack emits into another.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Recorder>>>,
+}
+
+impl Tracer {
+    /// The no-op recorder; every emit is a branch on `None`.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A live recorder retaining the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a flight recorder that can hold
+    /// nothing is a configuration bug, not a valid mode.
+    pub fn enabled(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "trace ring capacity must be non-zero");
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(Recorder {
+                ring: Ring::new(capacity),
+                now: SimTime::ZERO,
+                base: SimDuration::ZERO,
+                next_seq: 0,
+            }))),
+        }
+    }
+
+    /// Whether events are being recorded. Callers building event payloads
+    /// should gate on this so a disabled tracer costs one branch.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A recorder is shared state; a panic mid-emit cannot corrupt the ring
+    /// (every mutation is a single push), so a poisoned lock is still
+    /// readable — exactly what a post-mortem dump needs.
+    fn lock(inner: &Arc<Mutex<Recorder>>) -> MutexGuard<'_, Recorder> {
+        inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Advances the virtual clock used to stamp subsequent events (offset
+    /// by the current [`rebase`](Tracer::rebase)). No-op when disabled.
+    #[inline]
+    pub fn set_now(&self, at: SimTime) {
+        if let Some(inner) = &self.inner {
+            let mut rec = Self::lock(inner);
+            rec.now = at + rec.base;
+        }
+    }
+
+    /// Sets the offset added to every subsequent [`set_now`](Tracer::set_now).
+    ///
+    /// Simulation intervals each start their own clock at zero; a slot that
+    /// runs a warm-up interval followed by the measured interval rebases the
+    /// tracer between them so one slot's trace stays monotonic.
+    pub fn rebase(&self, base: SimDuration) {
+        if let Some(inner) = &self.inner {
+            Self::lock(inner).base = base;
+        }
+    }
+
+    /// The current virtual clock ([`SimTime::ZERO`] when disabled).
+    pub fn now(&self) -> SimTime {
+        match &self.inner {
+            Some(inner) => Self::lock(inner).now,
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Records an event at the current virtual time. No-op when disabled.
+    pub fn emit(&self, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let mut rec = Self::lock(inner);
+            let event = TraceEvent {
+                seq: rec.next_seq,
+                at: rec.now,
+                kind,
+            };
+            rec.next_seq += 1;
+            rec.ring.push(event);
+        }
+    }
+
+    /// Copies the retained events out without disturbing the recorder —
+    /// the post-mortem path for quarantined slots.
+    pub fn snapshot(&self) -> Trace {
+        match &self.inner {
+            Some(inner) => {
+                let rec = Self::lock(inner);
+                Trace {
+                    events: rec.ring.ordered(),
+                    dropped: rec.ring.dropped,
+                    capacity: rec.ring.capacity,
+                }
+            }
+            None => Trace::empty(),
+        }
+    }
+
+    /// Total events emitted so far (including ones the ring has dropped).
+    pub fn emitted(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => Self::lock(inner).next_seq,
+            None => 0,
+        }
+    }
+}
+
+/// A finished (or snapshotted) event stream, ready for export.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events that were emitted but overwritten by ring wraparound.
+    pub dropped: u64,
+    /// The ring capacity the trace was recorded with.
+    pub capacity: usize,
+}
+
+impl Trace {
+    /// A trace with no events (what a disabled tracer snapshots to).
+    pub fn empty() -> Trace {
+        Trace {
+            events: Vec::new(),
+            dropped: 0,
+            capacity: 0,
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The last `n` events — the flight-recorder tail dumped on slot
+    /// failure/quarantine. `dropped` is adjusted to count everything the
+    /// tail omits, so `tail.dropped + tail.len()` still totals all emits.
+    pub fn tail(&self, n: usize) -> Trace {
+        let skip = self.events.len().saturating_sub(n);
+        Trace {
+            events: self.events[skip..].to_vec(),
+            dropped: self.dropped + skip as u64,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker(i: u64) -> EventKind {
+        EventKind::RequestStart { seq: i }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.set_now(SimTime::from_micros(5));
+        t.emit(marker(0));
+        assert_eq!(t.emitted(), 0);
+        assert_eq!(t.snapshot(), Trace::empty());
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_pushed_clock() {
+        let t = Tracer::enabled(8);
+        t.set_now(SimTime::from_micros(100));
+        t.emit(marker(0));
+        t.set_now(SimTime::from_micros(250));
+        t.emit(marker(1));
+        let trace = t.snapshot();
+        assert_eq!(trace.events[0].at, SimTime::from_micros(100));
+        assert_eq!(trace.events[1].at, SimTime::from_micros(250));
+        assert_eq!(trace.events[1].seq, 1);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_the_tail_and_counts_drops() {
+        let t = Tracer::enabled(4);
+        for i in 0..10 {
+            t.emit(marker(i));
+        }
+        let trace = t.snapshot();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.dropped, 6);
+        assert_eq!(t.emitted(), 10);
+        // The retained events are exactly the last four, in emit order.
+        let seqs: Vec<u64> = trace.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // The first retained seq equals the drop count: no silent gaps.
+        assert_eq!(trace.events[0].seq, trace.dropped);
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let t = Tracer::enabled(8);
+        let clone = t.clone();
+        t.emit(marker(0));
+        clone.emit(marker(1));
+        assert_eq!(t.snapshot(), clone.snapshot());
+        assert_eq!(t.emitted(), 2);
+    }
+
+    #[test]
+    fn tail_keeps_the_last_n_and_accounts_for_the_rest() {
+        let t = Tracer::enabled(16);
+        for i in 0..10 {
+            t.emit(marker(i));
+        }
+        let tail = t.snapshot().tail(3);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail.dropped, 7);
+        assert_eq!(tail.events[0].seq, 7);
+        // A tail wider than the trace is the trace.
+        assert_eq!(t.snapshot().tail(100), t.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_is_rejected() {
+        let _ = Tracer::enabled(0);
+    }
+}

@@ -9,6 +9,7 @@
 //! conversion, long-path lookup, virtual-memory management) are used.
 
 use simos::{Os, OsApi, OsCallError};
+use simtrace::EventKind;
 
 use crate::request::{Method, Outcome, Request};
 
@@ -202,8 +203,45 @@ pub fn startup_config(os: &mut Os, bufs: &Buffers) -> Result<u64, DriverError> {
 ///
 /// `seq` is the server's request counter (drives the every-N auxiliary
 /// calls). The returned cost covers all OS work plus `style.overhead`.
-#[allow(clippy::too_many_lines)] // the sequence mirrors a real request path
 pub fn serve_once(
+    os: &mut Os,
+    bufs: &Buffers,
+    style: &Style,
+    req: &Request,
+    seq: u64,
+) -> DriveOutcome {
+    let traced = os.tracer().is_enabled();
+    if traced {
+        os.tracer().emit(EventKind::RequestStart { seq });
+    }
+    let result = serve_once_steps(os, bufs, style, req, seq);
+    if traced {
+        match &result {
+            Ok((outcome, cost)) => os.tracer().emit(EventKind::RequestDone {
+                seq,
+                ok: matches!(outcome, Outcome::Ok { .. }),
+                cost: *cost,
+            }),
+            Err(e) => os.tracer().emit(EventKind::RequestFailed {
+                seq,
+                phase: match e.phase {
+                    Phase::Master => "master",
+                    Phase::Worker => "worker",
+                },
+                failure: match e.failure {
+                    StepFailure::Crash => "crash",
+                    StepFailure::Hang => "hang",
+                },
+            }),
+        }
+    }
+    result
+}
+
+/// The OS-call sequence behind [`serve_once`] (split out so the wrapper can
+/// record the request's fate exactly once, whichever early return fires).
+#[allow(clippy::too_many_lines)] // the sequence mirrors a real request path
+fn serve_once_steps(
     os: &mut Os,
     bufs: &Buffers,
     style: &Style,
