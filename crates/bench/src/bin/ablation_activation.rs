@@ -25,9 +25,10 @@
 //! activate without visible effect, never the reverse.
 
 use bench::cli::CliArgs;
-use depbench::report::{f, TextTable};
+use depbench::report::{f, pm, TextTable};
 use depbench::{Campaign, TraceConfig};
 use simos::{Edition, Os, OsApi};
+use simstats::{bootstrap_ratio_ci, BOOTSTRAP_RESAMPLES, BOOTSTRAP_SEED};
 use swfit_core::{Faultload, Scanner};
 use webserver::ServerKind;
 
@@ -110,6 +111,15 @@ fn main() {
         let affected_rate = affected as f64 * 100.0 / fl.len().max(1) as f64;
         affected_rates.push(affected_rate);
         activation_rates.push(act.rate_pct());
+        // ER%f with a seeded-bootstrap 95 % half-width over the per-slot
+        // (errors, ops) pairs — the three faultloads' error rates are only
+        // comparable with their dispersion on the table.
+        let er_pairs: Vec<(f64, f64)> = res
+            .slots
+            .iter()
+            .map(|s| (s.measures.errors() as f64, s.measures.ops() as f64))
+            .collect();
+        let er_ci = bootstrap_ratio_ci(&er_pairs, 100.0, BOOTSTRAP_SEED, BOOTSTRAP_RESAMPLES);
         table.row([
             name.to_string(),
             fl.len().to_string(),
@@ -117,7 +127,7 @@ fn main() {
             f(act.rate_pct(), 1),
             affected.to_string(),
             f(affected_rate, 1),
-            f(res.measures.er_pct(), 1),
+            pm(res.measures.er_pct(), 1, er_ci.as_ref()),
             res.watchdog.admf().to_string(),
         ]);
     }

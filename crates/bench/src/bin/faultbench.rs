@@ -3,8 +3,8 @@
 //! ```text
 //! faultbench scan <edition> [--all] [--limit N] [--out FILE] [--store DIR]
 //! faultbench profile <edition>                     run the profiling phase
-//! faultbench campaign <edition> <server> [--faultload FILE] [--iterations N]
-//!            [--jobs N] [--seed N] [--limit N] [--out FILE]
+//! faultbench campaign <edition> <server> [--faultload FILE] [--iters N]
+//!            [--ci-target P] [--jobs N] [--seed N] [--limit N] [--out FILE]
 //!            [--store DIR] [--resume] [--save NAME] [--trace] [--trace-dir D]
 //! faultbench recovery <edition> <server> [--limit N] [--jobs N] [--seed N]
 //!                                                  compare recovery policies
@@ -14,6 +14,17 @@
 //! faultbench diff <runA> <runB> --store DIR        compare two stored runs
 //! faultbench accuracy <edition>                    score the scanner
 //! ```
+//!
+//! `campaign --iters N` runs up to N iterations (the historical
+//! `--iterations` spelling still works); with `--ci-target P` the campaign
+//! additionally stops early once every tier-1 metric's 95 % confidence
+//! half-width falls below P (percent of the mean for SPCf/THRf/RTMf,
+//! percentage points for ER%f). Multi-iteration tables close with an
+//! `average` row carrying `± half-width` cells, and `--out` saves the full
+//! `MetricsSummary` (mean, CIs, per-iteration metrics). With `--store`, the
+//! stop decision is journaled durably the moment it is taken, so a crashed
+//! run resumed with `--resume` replays the same stopped-at iteration count
+//! byte-identically instead of re-deriving it.
 //!
 //! `campaign --trace` runs every slot with the per-slot flight recorder on:
 //! results additionally report fault-activation rates (did the mutated
@@ -266,13 +277,24 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if store.is_none() && flag_value(args, "--save").is_some() {
         return Err("--save needs --store DIR (runs are stored in the store)".into());
     }
-    let iterations: u64 = flag_value(args, "--iterations")
+    let legacy_iterations: Option<u64> = flag_value(args, "--iterations")
         .map(|v| v.parse().map_err(|_| format!("bad iteration count `{v}`")))
-        .transpose()?
-        .unwrap_or(1);
+        .transpose()?;
+    if legacy_iterations == Some(0) {
+        return Err(
+            "campaign needs at least one iteration; --iterations 0 has nothing to run".into(),
+        );
+    }
+    let conv = cli.convergence();
+    // Iteration budget: the convergence rule's cap when --ci-target is on,
+    // otherwise the fixed count from --iters / --iterations (default 1).
+    let max_iterations = match &conv {
+        Some(c) => c.max_iters,
+        None => cli.iters.or(legacy_iterations).unwrap_or(1),
+    };
     let faultload = load_faultload(args, edition, store.as_ref())?;
     eprintln!(
-        "campaign: {edition} / {server}, {} faults, {iterations} iteration(s), {} job(s){}",
+        "campaign: {edition} / {server}, {} faults, up to {max_iterations} iteration(s), {} job(s){}",
         faultload.len(),
         cli.jobs.unwrap_or(1),
         if cli.trace {
@@ -282,6 +304,27 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         }
     );
     let campaign = cli.instrument(Campaign::new(edition, server, cli.config()));
+
+    // A resumed campaign replays a journaled stop decision instead of
+    // re-deriving it; a fresh one must not inherit a stale decision.
+    let mut stop: Option<faultstore::StopRecord> = None;
+    if let (Some(s), Some(c)) = (&store, &conv) {
+        if cli.resume {
+            stop = s
+                .load_stop(&campaign, &faultload, c)
+                .map_err(|e| e.to_string())?;
+            if let Some(r) = &stop {
+                eprintln!(
+                    "replaying journaled stop decision: {} iteration(s), converged={}",
+                    r.stopped_at, r.converged
+                );
+            }
+        } else {
+            s.clear_stop(&campaign).map_err(|e| e.to_string())?;
+        }
+    }
+    let iteration_bound = stop.as_ref().map_or(max_iterations, |r| r.stopped_at);
+
     let baseline = campaign.run_profile_mode(0).map_err(|e| e.to_string())?;
     let mut metrics_out: Vec<DependabilityMetrics> = Vec::new();
     let mut table = TextTable::new([
@@ -300,7 +343,8 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         pct(1.0),
         "-".to_string(),
     ]);
-    for it in 0..iterations {
+    let mut it: u64 = 0;
+    while it < iteration_bound {
         let res = match &store {
             Some(s) => s
                 .run_resumable(&campaign, &faultload, it, cli.resume)
@@ -313,7 +357,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             })?,
         };
         if let (Some(s), Some(name)) = (&store, flag_value(args, "--save")) {
-            let run_name = if iterations == 1 {
+            let run_name = if max_iterations == 1 {
                 name.clone()
             } else {
                 format!("{name}-it{}", it + 1)
@@ -349,15 +393,77 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             mttr_ms(&m.availability),
         ]);
         metrics_out.push(m);
+        it += 1;
+
+        // The convergence check — skipped entirely when a journaled stop
+        // decision is being replayed (its iteration count is final).
+        if stop.is_none() {
+            if let Some(c) = &conv {
+                let summary = depbench::aggregate_metrics(&metrics_out)
+                    .ok_or("campaign produced no iterations to aggregate")?;
+                let converged = summary.converged(c);
+                if converged || it >= c.max_iters {
+                    // Journal the decision durably *before* reporting it:
+                    // a crash from here on must not change how many
+                    // iterations a resumed run claims.
+                    if let Some(s) = &store {
+                        s.record_stop(&campaign, &faultload, c, it, converged)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    if std::env::var_os("FAULTBENCH_CRASH_AFTER_STOP").is_some() {
+                        // Test hook: die the instant the stop decision is
+                        // durable, before any summary output.
+                        std::process::abort();
+                    }
+                    if converged {
+                        eprintln!(
+                            "converged after {it} iteration(s): every tier-1 CI half-width is within {} %",
+                            c.target_halfwidth_pct
+                        );
+                    } else {
+                        eprintln!(
+                            "stopping at the iteration cap ({}) without convergence; \
+                             raise --iters or loosen --ci-target",
+                            c.max_iters
+                        );
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let summary = depbench::aggregate_metrics(&metrics_out)
+        .ok_or("campaign produced no iterations to aggregate")?;
+    if summary.iterations() >= 2 {
+        use depbench::report::pm;
+        let m = &summary.mean;
+        let ci = &summary.ci95;
+        table.row([
+            "average".to_string(),
+            pm(f64::from(m.spc_f), 0, ci.spc_f.as_ref()),
+            pm(m.thr_f, 1, ci.thr_f.as_ref()),
+            pm(m.rtm_f, 1, ci.rtm_f.as_ref()),
+            pm(m.er_pct_f, 1, ci.er_pct_f.as_ref()),
+            m.watchdog.mis.to_string(),
+            m.watchdog.kns.to_string(),
+            m.watchdog.kcp.to_string(),
+            m.admf().to_string(),
+            pm(
+                m.availability.availability_pct(),
+                2,
+                ci.availability_pct.as_ref(),
+            ),
+            mttr_ms(&m.availability),
+        ]);
     }
     print!("{}", table.render());
-    for (it, m) in metrics_out.iter().enumerate() {
+    for (it, m) in summary.per_iteration.iter().enumerate() {
         if let Some(act) = &m.activation {
             print_activation(&format!("iteration {}", it + 1), act);
         }
     }
     if let Some(path) = flag_value(args, "--out") {
-        let json = serde_json::to_string_pretty(&metrics_out).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }

@@ -36,7 +36,9 @@ fn main() {
                     DependabilityMetrics::from_runs(&baseline, &r)
                 })
                 .collect();
-            let m = depbench::metrics::average_metrics(&runs);
+            let m = depbench::metrics::aggregate_metrics(&runs)
+                .expect("at least one iteration ran")
+                .mean;
             series.push(Series { edition, kind, m });
         }
     }

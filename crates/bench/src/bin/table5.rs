@@ -7,8 +7,8 @@
 
 use bench::cli::CliArgs;
 use bench::tuned_faultload_cached;
-use depbench::metrics::average_metrics;
-use depbench::report::{f, TextTable};
+use depbench::metrics::aggregate_metrics;
+use depbench::report::{f, pm, TextTable};
 use depbench::{Campaign, DependabilityMetrics};
 use simos::Edition;
 use webserver::ServerKind;
@@ -63,13 +63,14 @@ fn main() {
                 ]);
                 runs.push(m);
             }
-            let avg = average_metrics(&runs);
+            let summary = aggregate_metrics(&runs).expect("at least one iteration ran");
+            let (avg, ci) = (&summary.mean, &summary.ci95);
             table.row([
                 "Average (all iter)".to_string(),
-                avg.spc_f.to_string(),
-                f(avg.thr_f, 1),
-                f(avg.rtm_f, 1),
-                f(avg.er_pct_f, 1),
+                pm(f64::from(avg.spc_f), 0, ci.spc_f.as_ref()),
+                pm(avg.thr_f, 1, ci.thr_f.as_ref()),
+                pm(avg.rtm_f, 1, ci.rtm_f.as_ref()),
+                pm(avg.er_pct_f, 1, ci.er_pct_f.as_ref()),
                 avg.watchdog.mis.to_string(),
                 avg.watchdog.kcp.to_string(),
                 avg.watchdog.kns.to_string(),

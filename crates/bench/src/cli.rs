@@ -5,8 +5,14 @@
 //!
 //! ```text
 //! --jobs N       worker threads for fault slots (default 1; results are
-//!                bit-identical at any value)
+//!                bit-identical at any value; 0 is clamped to 1 with a
+//!                warning)
 //! --seed N       base RNG seed (default: the paper-dated default)
+//! --iters N      iteration cap for convergence-stopped campaigns
+//!                (default 8; 0 is clamped to 1 with a warning)
+//! --ci-target P  stop iterating once every tier-1 metric's 95% CI
+//!                half-width is below P (percent of the mean for
+//!                SPCf/THRf/RTMf, percentage points for ER%f)
 //! --store DIR    persistent fault store: scans are served from the
 //!                content-addressed cache, campaigns are journaled
 //! --resume       resume interrupted campaigns from the store's journal
@@ -31,6 +37,11 @@ pub struct CliArgs {
     pub jobs: Option<usize>,
     /// `--seed N`: base RNG seed override.
     pub seed: Option<u64>,
+    /// `--iters N`: iteration cap for convergence-stopped campaigns.
+    pub iters: Option<u64>,
+    /// `--ci-target P`: CI half-width target (percent) enabling
+    /// convergence-based early stopping.
+    pub ci_target: Option<f64>,
     /// `--store DIR`: root of the persistent [`FaultStore`].
     pub store: Option<std::path::PathBuf>,
     /// `--resume`: replay the journaled prefix of an interrupted campaign.
@@ -73,12 +84,37 @@ impl CliArgs {
                 None => Ok(None),
             }
         };
+        // Zero workers / zero iterations cannot run anything; clamp to 1
+        // with a warning instead of erroring or (worse) dividing by zero
+        // downstream.
+        let clamp_zero = |flag: &str, n: u64| -> u64 {
+            if n == 0 {
+                eprintln!("warning: {flag} 0 makes no progress; clamped to 1");
+                1
+            } else {
+                n
+            }
+        };
         let jobs = value_of("--jobs")?
             .map(|v| {
                 v.parse::<usize>()
+                    .map_err(|_| format!("--jobs needs an unsigned integer, got `{v}`"))
+                    .map(|n| clamp_zero("--jobs", n as u64) as usize)
+            })
+            .transpose()?;
+        let iters = value_of("--iters")?
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("--iters needs an unsigned integer, got `{v}`"))
+                    .map(|n| clamp_zero("--iters", n))
+            })
+            .transpose()?;
+        let ci_target = value_of("--ci-target")?
+            .map(|v| {
+                v.parse::<f64>()
                     .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))
+                    .filter(|p| p.is_finite() && *p > 0.0)
+                    .ok_or_else(|| format!("--ci-target needs a positive percentage, got `{v}`"))
             })
             .transpose()?;
         let seed = value_of("--seed")?
@@ -97,10 +133,26 @@ impl CliArgs {
         Ok(CliArgs {
             jobs,
             seed,
+            iters,
+            ci_target,
             store,
             resume,
             trace,
             trace_dir,
+        })
+    }
+
+    /// The convergence rule implied by `--iters`/`--ci-target`: `Some`
+    /// only when `--ci-target` was given (otherwise campaigns run their
+    /// fixed iteration count as before). `max_iters` comes from `--iters`
+    /// (default 8) and is floored at `min_iters` = 2 — a CI needs at least
+    /// two samples.
+    pub fn convergence(&self) -> Option<depbench::ConvergenceConfig> {
+        let target = self.ci_target?;
+        Some(depbench::ConvergenceConfig {
+            target_halfwidth_pct: target,
+            min_iters: 2,
+            max_iters: self.iters.unwrap_or(8).max(2),
         })
     }
 
@@ -203,17 +255,61 @@ mod tests {
     #[test]
     fn malformed_values_are_rejected() {
         for bad in [
-            &["--jobs", "0"][..],
-            &["--jobs", "many"],
+            &["--jobs", "many"][..],
             &["--jobs"],
             &["--seed", "-1"],
             &["--seed"],
             &["--store"],
             &["--resume"], // without --store
             &["--jobs", "--seed"],
+            &["--iters", "many"],
+            &["--iters"],
+            &["--ci-target", "0"],
+            &["--ci-target", "-5"],
+            &["--ci-target", "inf"],
+            &["--ci-target", "nan"],
+            &["--ci-target"],
         ] {
             assert!(CliArgs::from_slice(&args(bad)).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn zero_jobs_and_iters_clamp_to_one() {
+        let cli = CliArgs::from_slice(&args(&["--jobs", "0", "--iters", "0"])).unwrap();
+        assert_eq!(cli.jobs, Some(1));
+        assert_eq!(cli.iters, Some(1));
+        assert_eq!(cli.config().parallelism, 1);
+    }
+
+    #[test]
+    fn convergence_comes_from_ci_target_and_iters() {
+        // Without --ci-target there is no convergence rule: campaigns run
+        // their fixed iteration count as before.
+        let fixed = CliArgs::from_slice(&args(&["--iters", "5"])).unwrap();
+        assert!(fixed.convergence().is_none());
+
+        let conv = CliArgs::from_slice(&args(&["--ci-target", "5", "--iters", "6"]))
+            .unwrap()
+            .convergence()
+            .unwrap();
+        assert!((conv.target_halfwidth_pct - 5.0).abs() < 1e-12);
+        assert_eq!(conv.min_iters, 2);
+        assert_eq!(conv.max_iters, 6);
+
+        // The cap never drops below min_iters: a CI needs two samples.
+        let floored = CliArgs::from_slice(&args(&["--ci-target", "5", "--iters", "1"]))
+            .unwrap()
+            .convergence()
+            .unwrap();
+        assert_eq!(floored.max_iters, 2);
+
+        // Default cap without --iters.
+        let default = CliArgs::from_slice(&args(&["--ci-target", "2.5"]))
+            .unwrap()
+            .convergence()
+            .unwrap();
+        assert_eq!(default.max_iters, 8);
     }
 
     #[test]

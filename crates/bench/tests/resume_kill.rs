@@ -117,6 +117,116 @@ fn sigkilled_campaign_resumes_byte_identical() {
     std::fs::remove_dir_all(&killed_store).unwrap();
 }
 
+/// A convergence-stopped campaign command: small faultload, loose CI
+/// target (empirically stops after 2 of the 4 allowed iterations), stop
+/// decision journaled in the store.
+fn converging_cmd(store: &Path, resume: bool) -> Command {
+    let mut cmd = faultbench();
+    cmd.args([
+        "campaign",
+        EDITION,
+        SERVER,
+        "--limit",
+        "12",
+        "--ci-target",
+        "40",
+        "--iters",
+        "4",
+        "--save",
+        RUN_NAME,
+        "--store",
+    ])
+    .arg(store)
+    .stdout(Stdio::null());
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd
+}
+
+fn stop_file(store: &Path) -> PathBuf {
+    store
+        .join("journals")
+        .join(format!("{EDITION}-{SERVER}-stop.json"))
+}
+
+#[test]
+fn crash_after_stop_decision_resumes_byte_identical() {
+    // Uninterrupted reference: converges early, records the stop decision,
+    // saves one run per iteration actually executed.
+    let reference_store = tmpdir("conv-ref");
+    let out = converging_cmd(&reference_store, false)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("faultbench runs");
+    assert!(out.status.success(), "reference campaign failed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("converged after 2 iteration(s)"),
+        "reference must stop early at 2 of 4 iterations: {stderr}"
+    );
+    let reference_stop = std::fs::read(stop_file(&reference_store)).expect("stop file recorded");
+    let run_names: Vec<String> = (1..=2).map(|i| format!("{RUN_NAME}-it{i}")).collect();
+    let reference_runs: Vec<String> = run_names
+        .iter()
+        .map(|n| {
+            std::fs::read_to_string(reference_store.join("runs").join(format!("{n}.json")))
+                .expect("reference run stored")
+        })
+        .collect();
+
+    // Same campaign, dying the instant the stop decision is durable —
+    // after the stop file's rename, before any summary output.
+    let crashed_store = tmpdir("conv-crash");
+    let out = converging_cmd(&crashed_store, false)
+        .env("FAULTBENCH_CRASH_AFTER_STOP", "1")
+        .stderr(Stdio::piped())
+        .output()
+        .expect("faultbench runs");
+    assert!(
+        !out.status.success(),
+        "hooked campaign must die at the stop"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("converged after"),
+        "the crash must precede the stop report: {stderr}"
+    );
+    let stop_at_crash = std::fs::read(stop_file(&crashed_store)).expect("stop decision durable");
+    assert_eq!(
+        reference_stop, stop_at_crash,
+        "the journaled decision matches the uninterrupted run's"
+    );
+
+    // Resume (no hook): the decision is replayed, not re-derived — the
+    // campaign stops at the same iteration and every artifact is
+    // byte-identical to the uninterrupted run.
+    let out = converging_cmd(&crashed_store, true)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("faultbench runs");
+    assert!(out.status.success(), "resumed campaign failed");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("replaying journaled stop decision: 2 iteration(s)"),
+        "resume must replay the stop decision: {stderr}"
+    );
+    assert_eq!(
+        stop_at_crash,
+        std::fs::read(stop_file(&crashed_store)).expect("stop file survives resume"),
+        "resume must not rewrite the stop decision"
+    );
+    for (name, expected) in run_names.iter().zip(&reference_runs) {
+        let resumed =
+            std::fs::read_to_string(crashed_store.join("runs").join(format!("{name}.json")))
+                .expect("resumed run stored");
+        assert_eq!(expected, &resumed, "run `{name}` differs after resume");
+    }
+
+    std::fs::remove_dir_all(&reference_store).unwrap();
+    std::fs::remove_dir_all(&crashed_store).unwrap();
+}
+
 #[test]
 fn resume_against_a_changed_config_is_refused() {
     let store = tmpdir("stale");

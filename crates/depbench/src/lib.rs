@@ -44,7 +44,10 @@ pub use campaign::{
     TraceConfig, TypeActivation,
 };
 pub use interval::{IntervalConfig, WatchdogCounts};
-pub use metrics::DependabilityMetrics;
+pub use metrics::{
+    aggregate_metrics, ConvergenceConfig, DependabilityMetrics, MetricsCi, MetricsSummary,
+    RequestCounts,
+};
 pub use opfaults::{
     apply_operator_fault, generate_operator_faults, undo_operator_fault, OperatorFault,
 };

@@ -77,6 +77,17 @@ pub fn pct(fraction: f64) -> String {
     format!("{:.2}%", fraction * 100.0)
 }
 
+/// Formats a value with its 95 % confidence half-width, e.g. `"12.0 ±0.5"`.
+/// Without an interval (single iteration, or legacy artifacts missing the
+/// underlying counts) the cell is just the value — same as before the
+/// statistics engine existed.
+pub fn pm(value: f64, digits: usize, ci: Option<&simstats::Ci>) -> String {
+    match ci {
+        Some(ci) => format!("{value:.digits$} \u{b1}{:.digits$}", ci.half_width),
+        None => f(value, digits),
+    }
+}
+
 /// Renders a horizontal ASCII bar scaled to `max` over `width` chars.
 ///
 /// Degenerate inputs render an empty or clamped bar instead of an
@@ -125,6 +136,16 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(10.0, 1), "10.0");
+    }
+
+    #[test]
+    fn plus_minus_cells() {
+        let ci = simstats::Ci {
+            mean: 12.0,
+            half_width: 0.46,
+        };
+        assert_eq!(pm(12.0, 1, Some(&ci)), "12.0 \u{b1}0.5");
+        assert_eq!(pm(12.0, 1, None), "12.0");
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use depbench::{Campaign, SlotError, SlotOutcome, SlotResult};
+use depbench::{Campaign, ConvergenceConfig, SlotError, SlotOutcome, SlotResult};
 use serde::{Deserialize, Serialize};
 use swfit_core::Faultload;
 
@@ -126,6 +126,111 @@ impl JournalHeader {
         }
         if self.fault_count != expected.fault_count {
             return mismatch("fault count", &self.fault_count, &expected.fault_count);
+        }
+        Ok(())
+    }
+}
+
+/// The durable record of a campaign's early-stop decision: which iteration
+/// the convergence rule (or the iteration cap) stopped the campaign at.
+///
+/// Written once, atomically (tmp + fsync + rename), the moment the decision
+/// is taken — *before* the final summary is printed or saved. A resumed
+/// campaign replays the decision instead of re-deriving it, so a crash
+/// between "decided to stop" and "finished reporting" cannot change how
+/// many iterations the campaign claims to have run: the stop file is the
+/// decision, byte for byte.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StopRecord {
+    /// Format version ([`JOURNAL_SCHEMA`]).
+    pub schema: u32,
+    /// OS edition name.
+    pub edition: String,
+    /// Server name.
+    pub server: String,
+    /// [`depbench::CampaignConfig::stable_hash`] of the campaign config.
+    pub config_hash: u64,
+    /// The faultload's image fingerprint.
+    pub faultload_fingerprint: Option<u64>,
+    /// Hash of the fault ids, in slot order.
+    pub faultload_hash: u64,
+    /// The convergence rule in force when the decision was taken.
+    pub convergence: ConvergenceConfig,
+    /// Iterations the campaign ran (the stop decision: iterations
+    /// `0..stopped_at` are final).
+    pub stopped_at: u64,
+    /// `true` when the CI half-width targets were met; `false` when the
+    /// campaign stopped because it hit `convergence.max_iters` instead.
+    pub converged: bool,
+}
+
+impl StopRecord {
+    /// The record describing `campaign` under `conv` stopping after
+    /// `stopped_at` iterations.
+    pub fn describe(
+        campaign: &Campaign,
+        faultload: &Faultload,
+        conv: &ConvergenceConfig,
+        stopped_at: u64,
+        converged: bool,
+    ) -> StopRecord {
+        let header = JournalHeader::describe(campaign, faultload, 0);
+        StopRecord {
+            schema: JOURNAL_SCHEMA,
+            edition: header.edition,
+            server: header.server,
+            config_hash: header.config_hash,
+            faultload_fingerprint: header.faultload_fingerprint,
+            faultload_hash: header.faultload_hash,
+            convergence: *conv,
+            stopped_at,
+            converged,
+        }
+    }
+
+    /// Validates that this record belongs to the campaign and convergence
+    /// rule about to resume — everything except the decision itself
+    /// (`stopped_at` / `converged`) must agree.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::StaleJournal`] naming the mismatched field: replaying a
+    /// stop decision taken under a different config or target would freeze
+    /// the wrong iteration count into the results.
+    pub fn validate_against(&self, expected: &StopRecord) -> Result<(), StoreError> {
+        let mismatch = |field: &str, found: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
+            Err(StoreError::StaleJournal {
+                reason: format!("stop record {field} is {found:?}, campaign expects {want:?}"),
+            })
+        };
+        if self.schema != expected.schema {
+            return mismatch("schema", &self.schema, &expected.schema);
+        }
+        if self.edition != expected.edition {
+            return mismatch("edition", &self.edition, &expected.edition);
+        }
+        if self.server != expected.server {
+            return mismatch("server", &self.server, &expected.server);
+        }
+        if self.config_hash != expected.config_hash {
+            return mismatch("config hash", &self.config_hash, &expected.config_hash);
+        }
+        if self.faultload_fingerprint != expected.faultload_fingerprint {
+            return mismatch(
+                "faultload fingerprint",
+                &self.faultload_fingerprint,
+                &expected.faultload_fingerprint,
+            );
+        }
+        if self.faultload_hash != expected.faultload_hash {
+            return mismatch(
+                "faultload content",
+                &self.faultload_hash,
+                &expected.faultload_hash,
+            );
+        }
+        if self.convergence != expected.convergence {
+            return mismatch("convergence rule", &self.convergence, &expected.convergence);
         }
         Ok(())
     }

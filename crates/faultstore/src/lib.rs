@@ -58,7 +58,7 @@ use std::fmt;
 
 pub use cache::{scan_count, CacheKey, FaultMapCache};
 pub use diff::{diff_runs, diff_table};
-pub use journal::{Journal, JournalHeader, JOURNAL_SCHEMA};
+pub use journal::{Journal, JournalHeader, StopRecord, JOURNAL_SCHEMA};
 pub use store::FaultStore;
 
 /// Why a store operation could not complete.

@@ -1,6 +1,8 @@
-//! Golden-fixture test pinning the on-disk JSON schema of the three
-//! persisted artifact types: `Faultload` (fault-map cache entries),
-//! `SlotResult` (journal records) and `CampaignResult` (stored runs).
+//! Golden-fixture test pinning the on-disk JSON schema of the persisted
+//! artifact types: `Faultload` (fault-map cache entries), `SlotResult`
+//! (journal records), `CampaignResult` (stored runs), `MetricsSummary`
+//! (`faultbench campaign --out`) and `StopRecord` (durable early-stop
+//! decisions).
 //!
 //! The store's whole value is that artifacts written by one build are
 //! readable by the next. Any rename, reorder, type change or removed field
@@ -15,9 +17,11 @@
 //! ```
 
 use depbench::{
-    AvailabilityMetrics, CampaignResult, QuarantinedSlot, SlotActivation, SlotError, SlotResult,
-    WatchdogCounts,
+    aggregate_metrics, AvailabilityMetrics, CampaignResult, ConvergenceConfig,
+    DependabilityMetrics, MetricsSummary, QuarantinedSlot, RequestCounts, SlotActivation,
+    SlotError, SlotResult, WatchdogCounts,
 };
+use faultstore::StopRecord;
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 use simos::Edition;
@@ -30,6 +34,8 @@ struct Golden {
     faultload: Faultload,
     slot_result: SlotResult,
     campaign_result: CampaignResult,
+    metrics_summary: MetricsSummary,
+    stop_record: StopRecord,
 }
 
 fn measures() -> IntervalMeasures {
@@ -96,10 +102,45 @@ fn golden() -> Golden {
             },
         }],
     };
+    let iteration_metrics = |spc_f: u32, thr_f: f64, errors: u64| DependabilityMetrics {
+        spc_baseline: 20,
+        thr_baseline: 206.0,
+        rtm_baseline: 185.0,
+        spc_f,
+        thr_f,
+        rtm_f: 221.5,
+        er_pct_f: errors as f64 * 100.0 / 1000.0,
+        watchdog,
+        availability,
+        activation: None,
+        requests: Some(RequestCounts { ops: 1000, errors }),
+    };
+    let metrics_summary = aggregate_metrics(&[
+        iteration_metrics(15, 176.9, 136),
+        iteration_metrics(15, 179.8, 134),
+    ])
+    .expect("two iterations aggregate");
+    let stop_record = StopRecord {
+        schema: faultstore::JOURNAL_SCHEMA,
+        edition: "nimbus-2000".to_string(),
+        server: "wren".to_string(),
+        config_hash: 0xfeed_beef_cafe_0042,
+        faultload_fingerprint: Some(0x1234_5678_9abc_def0),
+        faultload_hash: 0x0bad_f00d_dead_5eed,
+        convergence: ConvergenceConfig {
+            target_halfwidth_pct: 5.0,
+            min_iters: 2,
+            max_iters: 8,
+        },
+        stopped_at: 2,
+        converged: true,
+    };
     Golden {
         faultload,
         slot_result,
         campaign_result,
+        metrics_summary,
+        stop_record,
     }
 }
 
@@ -182,6 +223,44 @@ fn pre_trace_artifacts_still_deserialize_under_schema_1() {
         !reserialized.contains("activation"),
         "untraced slot must omit the activation key: {reserialized}"
     );
+}
+
+#[test]
+fn pre_stats_artifacts_still_deserialize_under_schema_1() {
+    // The statistics engine's fields are additive within schema 1: a
+    // metrics artifact written before `requests` existed must parse with
+    // the counts absent — and re-serialize without the key, so artifacts
+    // only ever gain fields when a binary that measured them writes them.
+    assert_eq!(
+        faultstore::JOURNAL_SCHEMA,
+        1,
+        "request counts and CIs are additive; schema must not bump"
+    );
+    let old_metrics = r#"{
+        "spc_baseline": 20, "thr_baseline": 206.0, "rtm_baseline": 185.0,
+        "spc_f": 15, "thr_f": 176.9, "rtm_f": 221.5, "er_pct_f": 13.6,
+        "watchdog": {"mis": 1, "kns": 2, "kcp": 0}
+    }"#;
+    let m: DependabilityMetrics =
+        serde_json::from_str(old_metrics).expect("pre-stats metrics parse");
+    assert!(m.requests.is_none());
+    let reserialized = serde_json::to_string(&m).unwrap();
+    assert!(
+        !reserialized.contains("requests"),
+        "legacy metrics must omit the requests key: {reserialized}"
+    );
+
+    // The old `faultbench campaign --out` format — a bare array of
+    // per-iteration metrics — still aggregates (unweighted ER%f fallback).
+    let old_out = format!("[{old_metrics}, {old_metrics}]");
+    let runs: Vec<DependabilityMetrics> =
+        serde_json::from_str(&old_out).expect("pre-stats --out array parses");
+    let summary = aggregate_metrics(&runs).expect("legacy runs aggregate");
+    assert!(
+        summary.ci95.er_pct_f.is_none(),
+        "no counts, no bootstrap CI"
+    );
+    assert!((summary.mean.er_pct_f - 13.6).abs() < 1e-12);
 }
 
 #[test]
