@@ -2,7 +2,9 @@
 //! full faultload generation flow (the feasibility numbers of §4).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use depbench::{profile_servers, Campaign, CampaignConfig, IntervalConfig, ProfilePhaseConfig};
+use depbench::{
+    profile_servers, Campaign, CampaignConfig, ExecMode, IntervalConfig, ProfilePhaseConfig,
+};
 use simkit::SimDuration;
 use simos::{Edition, Os};
 use swfit_core::Scanner;
@@ -88,6 +90,33 @@ fn bench_parallel_injection(c: &mut Criterion) {
     }
 }
 
+fn bench_execution_engines(c: &mut Criterion) {
+    // The tentpole's gate: the same nimbus-2000/heron campaign on the fast
+    // path (pre-decoded dispatch + warm-snapshot slot reset) and on the
+    // legacy path (decode-per-step + full re-boot per slot, the
+    // `--no-predecode` escape hatch). Results are byte-identical (see the
+    // campaign tests); only wall-clock should change.
+    let os = Os::boot(Edition::Nimbus2000).expect("boots");
+    let mut faultload = Scanner::standard().scan_image(os.program().image());
+    faultload.faults.truncate(12);
+    let variants = [
+        ("decoded_snapshot", ExecMode::Decoded, true),
+        ("legacy_reboot", ExecMode::Legacy, false),
+    ];
+    for (label, mode, snapshot) in variants {
+        let campaign = Campaign::new(
+            Edition::Nimbus2000,
+            ServerKind::Heron,
+            quick_campaign_config(),
+        )
+        .with_exec_mode(mode)
+        .with_snapshot_reset(snapshot);
+        c.bench_function(&format!("injection_campaign_heron_12_slots_{label}"), |b| {
+            b.iter(|| campaign.run_injection(&faultload, 0))
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -95,6 +124,7 @@ criterion_group! {
         bench_faultload_generation,
         bench_baseline_slot,
         bench_injection_slots,
-        bench_parallel_injection
+        bench_parallel_injection,
+        bench_execution_engines
 }
 criterion_main!(benches);

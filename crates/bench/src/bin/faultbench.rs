@@ -13,6 +13,10 @@
 //!                                                  flight recorder on
 //! faultbench diff <runA> <runB> --store DIR        compare two stored runs
 //! faultbench accuracy <edition>                    score the scanner
+//! faultbench perf <edition> <server> [--limit N] [--jobs N] [--seed N]
+//!            [--out FILE]    time the fast execution path (pre-decoded
+//!                            dispatch + snapshot slot reset) against the
+//!                            legacy path and write a BENCH_<date>.json
 //! ```
 //!
 //! `campaign --iters N` runs up to N iterations (the historical
@@ -68,9 +72,10 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("accuracy") => cmd_accuracy(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
         _ => {
             eprintln!(
-                "usage: faultbench <scan|profile|campaign|recovery|trace|diff|accuracy> …\n\
+                "usage: faultbench <scan|profile|campaign|recovery|trace|diff|accuracy|perf> …\n\
                  see the module docs (`faultbench.rs`) for details"
             );
             return ExitCode::FAILURE;
@@ -628,5 +633,103 @@ fn cmd_accuracy(args: &[String]) -> Result<(), String> {
         report.overall_precision() * 100.0,
         report.overall_recall() * 100.0
     );
+    Ok(())
+}
+
+/// Converts days since the Unix epoch to a civil `(year, month, day)`
+/// (Gregorian; Howard Hinnant's `civil_from_days` algorithm), so the perf
+/// report can stamp its artifact without a date-time dependency.
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Today's UTC date as `YYYY-MM-DD`.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `faultbench perf`: A/B-times the fast execution path (pre-decoded VM
+/// dispatch + warm-snapshot slot reset) against the legacy path
+/// (decode-per-step + full re-boot) on the same faultload, checks the two
+/// produce byte-identical campaign JSON, and writes the measurements as a
+/// `BENCH_<date>.json` artifact.
+fn cmd_perf(args: &[String]) -> Result<(), String> {
+    let edition = parse_edition(args.first())?;
+    let server = parse_server(args.get(1))?;
+    let cli = CliArgs::from_slice(args)?;
+    let faultload = load_faultload(args, edition, None)?;
+    // Unlimited faultloads are large; a capped, evenly-sampled slice times
+    // the same code paths in a fraction of the wall clock.
+    let faultload = match parse_limit(args)? {
+        Some(_) => faultload,
+        None => sample(faultload, 32),
+    };
+    let jobs = cli.jobs.unwrap_or(1);
+    let slots = faultload.len();
+    eprintln!("perf: {edition} / {server}, {slots} slots, {jobs} job(s), decoded vs legacy");
+
+    let timed = |label: &str, campaign: &Campaign| -> Result<(f64, String), String> {
+        let t0 = std::time::Instant::now();
+        let result = campaign
+            .run_injection(&faultload, 0)
+            .map_err(|e| e.to_string())?;
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "  {label}: {:.3} s ({:.1} slots/s)",
+            secs,
+            slots as f64 / secs
+        );
+        Ok((
+            secs,
+            serde_json::to_string(&result).map_err(|e| e.to_string())?,
+        ))
+    };
+    let base = Campaign::new(edition, server, cli.config());
+    let (decoded_secs, decoded_json) = timed("decoded+snapshot", &base.clone())?;
+    let (legacy_secs, legacy_json) = timed(
+        "legacy          ",
+        &base
+            .with_exec_mode(depbench::ExecMode::Legacy)
+            .with_snapshot_reset(false),
+    )?;
+    if decoded_json != legacy_json {
+        return Err("decoded and legacy campaigns diverged — engines are not bit-identical".into());
+    }
+
+    let date = today_utc();
+    let speedup = legacy_secs / decoded_secs;
+    // Hand-rolled JSON: every value is a plain number or a fixed
+    // identifier, and `f64`'s `Display` prints valid JSON numbers.
+    let body = format!(
+        "{{\n  \"date\": \"{date}\",\n  \"edition\": \"{edition}\",\n  \"server\": \"{server}\",\n  \
+         \"slots\": {slots},\n  \"jobs\": {jobs},\n  \
+         \"decoded\": {{ \"seconds\": {ds}, \"slots_per_sec\": {dr} }},\n  \
+         \"legacy\": {{ \"seconds\": {ls}, \"slots_per_sec\": {lr} }},\n  \
+         \"speedup\": {speedup},\n  \"byte_identical\": true\n}}\n",
+        edition = edition.name(),
+        server = server.name(),
+        ds = decoded_secs,
+        dr = slots as f64 / decoded_secs,
+        ls = legacy_secs,
+        lr = slots as f64 / legacy_secs,
+    );
+    let out = flag_value(args, "--out")
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{date}.json"));
+    std::fs::write(&out, body).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("campaign throughput: {speedup:.2}x (decoded+snapshot over legacy); wrote {out}");
     Ok(())
 }

@@ -21,6 +21,9 @@
 //!                fault activation and campaigns report activation rates
 //! --trace-dir D  like --trace, and also dump quarantined slots' recorder
 //!                tails as JSONL under D
+//! --no-predecode run the legacy execution path: decode-per-step VM
+//!                dispatch and full re-boot slot reset (the A/B-timing
+//!                escape hatch; results are bit-identical either way)
 //! ```
 //!
 //! Unrecognized arguments are left alone — binaries keep their own extra
@@ -51,6 +54,9 @@ pub struct CliArgs {
     /// `--trace-dir DIR`: where quarantined slots dump their recorder
     /// tails. Implies `--trace`.
     pub trace_dir: Option<std::path::PathBuf>,
+    /// `--no-predecode`: run campaigns on the legacy execution path —
+    /// decode-per-step VM dispatch *and* full re-boot slot reset.
+    pub no_predecode: bool,
 }
 
 impl CliArgs {
@@ -130,6 +136,7 @@ impl CliArgs {
         }
         let trace_dir = value_of("--trace-dir")?.map(std::path::PathBuf::from);
         let trace = trace_dir.is_some() || args.iter().any(|a| a == "--trace");
+        let no_predecode = args.iter().any(|a| a == "--no-predecode");
         Ok(CliArgs {
             jobs,
             seed,
@@ -139,6 +146,7 @@ impl CliArgs {
             resume,
             trace,
             trace_dir,
+            no_predecode,
         })
     }
 
@@ -171,10 +179,16 @@ impl CliArgs {
         self.configure(CampaignConfig::builder()).build()
     }
 
-    /// Applies `--trace`/`--trace-dir` to a campaign: with neither flag the
-    /// campaign is returned untouched (recording fully off, the default).
+    /// Applies `--trace`/`--trace-dir`/`--no-predecode` to a campaign:
+    /// with no flag given the campaign is returned untouched (recording
+    /// fully off, fast execution path — the defaults).
     #[must_use]
-    pub fn instrument(&self, campaign: Campaign) -> Campaign {
+    pub fn instrument(&self, mut campaign: Campaign) -> Campaign {
+        if self.no_predecode {
+            campaign = campaign
+                .with_exec_mode(depbench::ExecMode::Legacy)
+                .with_snapshot_reset(false);
+        }
         if !self.trace {
             return campaign;
         }
@@ -350,5 +364,29 @@ mod tests {
         assert_eq!(tc.dump_dir.as_deref(), Some(std::path::Path::new("dumps")));
 
         assert!(CliArgs::from_slice(&args(&["--trace-dir"])).is_err());
+    }
+
+    #[test]
+    fn no_predecode_selects_the_legacy_execution_path() {
+        use depbench::{Campaign, CampaignConfig, ExecMode};
+        use simos::Edition;
+        use webserver::ServerKind;
+
+        let fresh = || {
+            Campaign::new(
+                Edition::Nimbus2000,
+                ServerKind::Heron,
+                CampaignConfig::default(),
+            )
+        };
+        let fast = CliArgs::from_slice(&[]).unwrap().instrument(fresh());
+        assert_eq!(fast.exec_mode(), ExecMode::Decoded);
+        assert!(fast.snapshot_reset());
+
+        let cli = CliArgs::from_slice(&args(&["--no-predecode"])).unwrap();
+        assert!(cli.no_predecode);
+        let legacy = cli.instrument(fresh());
+        assert_eq!(legacy.exec_mode(), ExecMode::Legacy);
+        assert!(!legacy.snapshot_reset());
     }
 }

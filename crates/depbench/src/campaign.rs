@@ -21,13 +21,13 @@ use std::sync::{Mutex, MutexGuard};
 
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimRng, SimTime};
-use simos::{Edition, Os};
+use simos::{Edition, ExecMode, Os, OsSnapshot};
 use simtrace::{EventKind, Trace, Tracer, DEFAULT_CAPACITY};
 use specweb::{FileSet, FileSetConfig, IntervalMeasures, RequestGenerator};
 use swfit_core::{Faultload, InjectError, Injector};
 use webserver::{ServerKind, ServerState, WebServer};
 
-use crate::executor::{run_slots, run_slots_quarantined, SlotRun};
+use crate::executor::{ExecOptions, ExecPlan, Executor, SlotRun};
 use crate::interval::{run_interval, IntervalConfig, WatchdogCounts};
 use crate::recovery::{AvailabilityMetrics, RecoveryPolicy};
 
@@ -471,12 +471,27 @@ fn rate_pct(activated: u64, tracked: u64) -> f64 {
 /// every slot starts by restoring it, because served traffic mutates the
 /// tree (POST log files) and a slot's outcome must depend only on
 /// `(iteration, slot)`, never on what ran before on this worker.
+///
+/// `warm` (when [`Campaign::snapshot_reset`] is on) additionally captures
+/// the whole stack *after* a fault-free boot-and-start: OS memory, device
+/// tree and a started server process. Slot reset then restores that
+/// snapshot instead of re-running OS reset plus server startup — the same
+/// state, a fraction of the work.
 struct WorkerStack {
     os: Os,
     server: Box<dyn WebServer>,
     generator_template: RequestGenerator,
     injector: Injector,
     pristine_devices: simos::DeviceStore,
+    warm: Option<WarmSnapshot>,
+}
+
+/// The copy-on-boot snapshot of a fault-free, fully started stack: the OS
+/// side (memory + devices, fingerprint-guarded) and a warm server process
+/// cloned for each slot.
+struct WarmSnapshot {
+    os: OsSnapshot,
+    server: Box<dyn WebServer>,
 }
 
 impl WorkerStack {
@@ -489,6 +504,37 @@ impl WorkerStack {
         *self.os.devices_mut() = self.pristine_devices.clone();
         self.os.reset_state().expect("pristine OS state resets");
         self.server = kind.build();
+    }
+
+    /// Performs one fault-free reset + startup and captures the result as
+    /// the worker's warm snapshot. Called once, at stack build time, while
+    /// the OS tracer is still disabled — so traced and untraced campaigns
+    /// capture (and later restore) byte-identical state.
+    fn capture_warm(&mut self, kind: ServerKind) {
+        self.reset(kind);
+        let started = self.server.start(&mut self.os);
+        debug_assert!(started, "fault-free startup succeeds");
+        self.warm = Some(WarmSnapshot {
+            os: self.os.snapshot(),
+            server: self.server.clone_box(),
+        });
+    }
+
+    /// Brings the stack to its per-slot starting state: a pristine OS with
+    /// a running server. Restores the warm snapshot when one is armed (and
+    /// the image is pristine — the fingerprint guard); otherwise falls back
+    /// to the full reset + startup sequence. Both paths land on the exact
+    /// same state, so slot results are byte-identical either way.
+    fn bring_up(&mut self, kind: ServerKind) {
+        if let Some(warm) = &self.warm {
+            if self.os.restore(&warm.os) {
+                self.server = warm.server.clone_box();
+                return;
+            }
+        }
+        self.reset(kind);
+        let started = self.server.start(&mut self.os);
+        debug_assert!(started, "fault-free startup succeeds");
     }
 }
 
@@ -529,6 +575,15 @@ pub struct Campaign {
     /// Flight-recorder settings; `None` (the default) records nothing and
     /// costs one branch per would-be event.
     trace: Option<TraceConfig>,
+    /// Which VM dispatch engine worker stacks run on. Observation-only for
+    /// results (both engines are bit-identical), so — like `trace` — it
+    /// lives outside [`CampaignConfig`] and never enters
+    /// [`CampaignConfig::stable_hash`].
+    exec_mode: ExecMode,
+    /// Whether slot reset restores a warm copy-on-boot snapshot instead of
+    /// re-running OS reset + server startup. Result-identical either way;
+    /// kept out of the stable hash for the same reason as `exec_mode`.
+    snapshot_reset: bool,
     /// Test hook: the fault id whose slot panics instead of running, to
     /// exercise quarantine without a genuinely buggy stack.
     panic_on: Option<String>,
@@ -542,8 +597,38 @@ impl Campaign {
             server,
             config,
             trace: None,
+            exec_mode: ExecMode::default(),
+            snapshot_reset: true,
             panic_on: None,
         }
+    }
+
+    /// Selects the VM dispatch engine ([`ExecMode::Decoded`] is the
+    /// default; [`ExecMode::Legacy`] is the A/B-timing escape hatch).
+    /// Results are bit-identical across modes.
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Campaign {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Enables or disables warm-snapshot slot reset (on by default).
+    /// Results are bit-identical either way; `false` re-runs the full OS
+    /// reset + server startup between slots, for A/B timing.
+    #[must_use]
+    pub fn with_snapshot_reset(mut self, on: bool) -> Campaign {
+        self.snapshot_reset = on;
+        self
+    }
+
+    /// The VM dispatch engine worker stacks run on.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Whether slot reset restores the warm snapshot.
+    pub fn snapshot_reset(&self) -> bool {
+        self.snapshot_reset
     }
 
     /// Enables the flight recorder for this campaign's slots. Recording is
@@ -594,17 +679,25 @@ impl Campaign {
     /// One worker's stack. Only called after a probe boot has succeeded, so
     /// a failure here would be a bug (the compiled image is cached).
     fn worker_stack(&self, injector: Injector) -> WorkerStack {
-        let (os, generator_template) = self
+        let (mut os, generator_template) = self
             .boot()
             .expect("a probe boot of this edition already succeeded");
+        os.set_exec_mode(self.exec_mode);
         let pristine_devices = os.devices().clone();
-        WorkerStack {
+        let mut stack = WorkerStack {
             os,
             server: self.server.build(),
             generator_template,
             injector,
             pristine_devices,
+            warm: None,
+        };
+        if self.snapshot_reset {
+            // Captured now, before any slot arms a tracer, so every slot —
+            // traced or not — restores the same bytes.
+            stack.capture_warm(self.server);
         }
+        stack
     }
 
     /// The derived random stream for one `(iteration, slot)` pair — the
@@ -652,13 +745,14 @@ impl Campaign {
         // Several slots, mirroring the slotted campaign structure (same
         // rest-interval recovery between slots as the injection campaign).
         const SLOTS: usize = 8;
-        let per_slot: Vec<IntervalMeasures> = run_slots(
-            self.config.parallelism,
-            SLOTS,
+        let runs = Executor::new(self.config.parallelism).run(
+            ExecPlan::Range {
+                start: 0,
+                end: SLOTS,
+            },
             || self.worker_stack(Injector::profile_mode()),
             |stack, slot| {
-                stack.reset(self.server);
-                assert!(stack.server.start(&mut stack.os), "baseline start succeeds");
+                stack.bring_up(self.server);
                 if injector_busy > SimDuration::ZERO {
                     // Profile-mode bookkeeping: a no-op inject/restore cycle.
                     let fake = swfit_core::FaultDef {
@@ -686,7 +780,12 @@ impl Campaign {
                 stack.injector.restore(stack.os.image_mut());
                 out.measures
             },
+            ExecOptions::default(),
         );
+        let per_slot = runs.into_iter().map(|r| match r {
+            SlotRun::Done(m) => m,
+            SlotRun::Panicked(m) => unreachable!("panic escaped quarantine-off run: {m}"),
+        });
         // Fold in slot order so float accumulation matches at any
         // parallelism.
         let mut total: Option<IntervalMeasures> = None;
@@ -732,9 +831,8 @@ impl Campaign {
     ///
     /// `observe(slot, &outcome)` fires once per *newly executed* slot —
     /// completed or quarantined — in increasing slot order even under
-    /// parallel work-stealing (see
-    /// [`crate::executor::run_slots_quarantined`]), which is exactly the
-    /// record sequence an append-only journal needs.
+    /// parallel work-stealing (see [`crate::executor::Executor::run`]),
+    /// which is exactly the record sequence an append-only journal needs.
     ///
     /// A panicking slot does not abort the campaign: the panic is caught,
     /// the worker's stack is rebuilt, and the slot lands in
@@ -798,31 +896,8 @@ impl Campaign {
         // can be dumped post-mortem. Completed slots deregister on the spot,
         // bounding the registry to the in-flight window.
         let tracers: Mutex<HashMap<usize, Tracer>> = Mutex::new(HashMap::new());
-        let ran: Vec<SlotRun<Result<SlotResult, CampaignError>>> = run_slots_quarantined(
-            self.config.parallelism,
-            &worklist,
-            || self.worker_stack(Injector::new()),
-            |stack, slot| {
-                let tracer = self.slot_tracer();
-                let traced = tracer.is_enabled();
-                if traced {
-                    lock_tracers(&tracers).insert(slot, tracer.clone());
-                }
-                let result = self.run_one_fault_slot(
-                    stack,
-                    &faultload.faults[slot],
-                    iteration,
-                    slot,
-                    &tracer,
-                );
-                // Reached only when the slot did not panic; a panicked
-                // slot's recorder stays registered for the quarantine dump.
-                if traced {
-                    lock_tracers(&tracers).remove(&slot);
-                }
-                result
-            },
-            |slot, run| match run {
+        let mut journal_observer =
+            |slot: usize, run: &SlotRun<Result<SlotResult, CampaignError>>| match run {
                 SlotRun::Done(Ok(r)) => observe(slot, &SlotOutcome::Done(r.clone())),
                 SlotRun::Done(Err(_)) => {}
                 SlotRun::Panicked(message) => {
@@ -834,8 +909,37 @@ impl Campaign {
                         }),
                     );
                 }
-            },
-        );
+            };
+        let ran: Vec<SlotRun<Result<SlotResult, CampaignError>>> =
+            Executor::new(self.config.parallelism).run(
+                ExecPlan::Worklist(&worklist),
+                || self.worker_stack(Injector::new()),
+                |stack, slot| {
+                    let tracer = self.slot_tracer();
+                    let traced = tracer.is_enabled();
+                    if traced {
+                        lock_tracers(&tracers).insert(slot, tracer.clone());
+                    }
+                    let result = self.run_one_fault_slot(
+                        stack,
+                        &faultload.faults[slot],
+                        iteration,
+                        slot,
+                        &tracer,
+                    );
+                    // Reached only when the slot did not panic; a panicked
+                    // slot's recorder stays registered for the quarantine dump.
+                    if traced {
+                        lock_tracers(&tracers).remove(&slot);
+                    }
+                    result
+                },
+                ExecOptions {
+                    observer: Some(&mut journal_observer),
+                    quarantine: true,
+                    ..ExecOptions::default()
+                },
+            );
         for (&slot, run) in worklist.iter().zip(ran) {
             outcomes[slot] = Some(match run {
                 SlotRun::Done(result) => SlotOutcome::Done(result?),
@@ -992,10 +1096,10 @@ impl Campaign {
         stack.os.set_tracer(tracer.clone());
         // Rest interval: recover the system and bring the server up on the
         // pristine OS — the fault arrives while the server is already
-        // running, as in the paper's continuously-operating setup.
-        stack.reset(self.server);
-        let started = stack.server.start(&mut stack.os);
-        debug_assert!(started, "fault-free startup succeeds");
+        // running, as in the paper's continuously-operating setup. With
+        // snapshot reset armed this restores the warm capture; otherwise it
+        // re-runs the full reset + startup. Same state either way.
+        stack.bring_up(self.server);
         let mut generator = stack.generator_template.clone();
         let mut rng = self.slot_rng(iteration, slot);
         // Warm-up traffic before the fault arrives (the paper's server
@@ -1361,6 +1465,66 @@ mod tests {
             backoff.stable_hash(),
             "non-default policies must invalidate journals"
         );
+    }
+
+    #[test]
+    fn snapshot_and_legacy_paths_are_byte_identical_at_any_parallelism() {
+        // The tentpole's correctness gate: the fast path (pre-decoded
+        // dispatch + warm-snapshot slot reset) must produce byte-for-byte
+        // the same campaign JSON as the legacy path (decode-per-step +
+        // full re-boot per slot), sequentially and under work-stealing.
+        let fl = small_faultload(Edition::Nimbus2000, 8);
+        let run = |parallelism: usize, snapshot: bool, mode: ExecMode| {
+            let cfg = CampaignConfig {
+                parallelism,
+                ..quick_config()
+            };
+            let c = Campaign::new(Edition::Nimbus2000, ServerKind::Heron, cfg)
+                .with_exec_mode(mode)
+                .with_snapshot_reset(snapshot);
+            serde_json::to_string(&c.run_injection(&fl, 0).unwrap()).unwrap()
+        };
+        let fast_seq = run(1, true, ExecMode::Decoded);
+        assert_eq!(
+            fast_seq,
+            run(1, false, ExecMode::Legacy),
+            "fast vs legacy diverged at --jobs 1"
+        );
+        assert_eq!(
+            fast_seq,
+            run(3, true, ExecMode::Decoded),
+            "fast path diverged across parallelism"
+        );
+        assert_eq!(
+            fast_seq,
+            run(3, false, ExecMode::Legacy),
+            "legacy path diverged across parallelism"
+        );
+    }
+
+    #[test]
+    fn snapshot_reset_survives_injection_and_tracing() {
+        // Injected slots patch the image; the fingerprint guard must see a
+        // pristine image again by the next bring_up (the injector restored
+        // it), so every slot after the first still takes the fast path —
+        // and a traced run restores the same bytes an untraced one does.
+        let fl = small_faultload(Edition::Nimbus2000, 5);
+        let c = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config());
+        let plain = c.run_injection(&fl, 0).unwrap();
+        let traced = Campaign::new(Edition::Nimbus2000, ServerKind::Wren, quick_config())
+            .with_trace(TraceConfig::default())
+            .run_injection(&fl, 0)
+            .unwrap();
+        assert_eq!(plain.slots.len(), 5);
+        for (p, t) in plain.slots.iter().zip(&traced.slots) {
+            let mut t_stripped = t.clone();
+            t_stripped.activation = None;
+            assert_eq!(
+                serde_json::to_string(p).unwrap(),
+                serde_json::to_string(&t_stripped).unwrap(),
+                "tracing perturbed a snapshot-reset slot"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! worker threads without changing any result bit.
 //!
 //! The paper's campaign (§3, Fig. 4) is a series of *independent* slots —
-//! each one boots from pristine OS state, injects one fault, exercises the
+//! each one starts from pristine OS state, injects one fault, exercises the
 //! server, and restores. Independence is what makes the campaign
 //! parallelizable; two properties make the parallel run **bit-identical**
 //! to the sequential one:
@@ -20,31 +20,349 @@
 //! slot cursor and each takes the next unclaimed slot, so a slot whose fault
 //! hangs the server (long watchdog waits) doesn't stall a statically
 //! assigned shard. Each worker owns a full stack instance — booted OS,
-//! server process, request generator — built once per worker; OS boots are
-//! cheap because `simos` caches the compiled image per edition.
+//! server process, request generator — built once per worker; resets between
+//! slots are cheap because the stack restores a copy-on-boot snapshot
+//! instead of re-booting.
 //!
-//! [`run_slots_observed`] additionally streams results to an observer **in
-//! slot order** as the completed prefix grows — the hook the persistent
-//! campaign journal (`faultstore`) uses to record progress crash-safely —
-//! and can start mid-range, which is how a resumed campaign executes only
-//! the slots its journal does not already hold.
+//! The single entry point is [`Executor::run`]: an [`ExecPlan`] names the
+//! slots (a contiguous range, or an explicit worklist for resumed
+//! campaigns), and [`ExecOptions`] carries the cross-cutting concerns that
+//! used to be separate functions —
+//!
+//! * `observer` — a [`SlotObserver`] invoked exactly once per slot **in
+//!   plan order** as the completed prefix grows (the hook the persistent
+//!   campaign journal uses to record progress crash-safely),
+//! * `quarantine` — when set, a panicking slot is caught and recorded as
+//!   [`SlotRun::Panicked`] (its worker state is discarded and rebuilt)
+//!   instead of killing the campaign,
+//! * `tracer` — a lightweight [`ExecEvent`] stream for progress reporting,
+//!   emitted from worker threads as slots start and finish.
+//!
+//! The previous generation of entry points (`run_slots`,
+//! `run_slots_observed`, `run_slots_quarantined`) survive as thin
+//! deprecated shims over [`Executor::run`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// How one slot of a run ended.
+#[derive(Clone, Debug)]
+pub enum SlotRun<R> {
+    /// The slot ran to completion.
+    Done(R),
+    /// The slot's code panicked under [`ExecOptions::quarantine`]; the panic
+    /// was caught, the worker's state was discarded (rebuilt before its next
+    /// slot), and the campaign went on. Carries the panic payload's message.
+    Panicked(String),
+}
+
+impl<R> SlotRun<R> {
+    /// The completed result, if the slot was not quarantined.
+    pub fn done(self) -> Option<R> {
+        match self {
+            SlotRun::Done(r) => Some(r),
+            SlotRun::Panicked(_) => None,
+        }
+    }
+}
+
+/// Which slots an [`Executor::run`] call executes.
+#[derive(Clone, Copy, Debug)]
+pub enum ExecPlan<'a> {
+    /// Slots `start..end` (`start` of them assumed already done by an
+    /// earlier, interrupted run).
+    Range {
+        /// First slot to execute.
+        start: usize,
+        /// One past the last slot to execute.
+        end: usize,
+    },
+    /// An explicit list of slot indices (ascending for a resumed campaign:
+    /// quarantined slots to re-attempt plus the un-run tail).
+    Worklist(&'a [usize]),
+}
+
+/// Progress events streamed to [`ExecOptions::tracer`] from worker threads.
+///
+/// Unlike the observer, tracer events are **not** reordered: they fire live,
+/// in completion order, which is what a progress display wants.
+#[derive(Clone, Copy, Debug)]
+pub enum ExecEvent<'a> {
+    /// A worker claimed `slot` and is about to run it.
+    SlotStarted {
+        /// The slot index.
+        slot: usize,
+    },
+    /// `slot` ran to completion.
+    SlotFinished {
+        /// The slot index.
+        slot: usize,
+    },
+    /// `slot` panicked and was quarantined.
+    SlotQuarantined {
+        /// The slot index.
+        slot: usize,
+        /// The panic payload's message.
+        message: &'a str,
+    },
+}
+
+/// Ordered per-slot completion hook for [`Executor::run`].
+///
+/// Called exactly once per executed slot, **in plan order** — the executor
+/// parks out-of-order completions in a reorder buffer and drains the
+/// contiguous prefix as it grows, so the observer sees exactly the records
+/// an append-only journal can replay after a crash: a gap-free prefix.
+///
+/// The observer runs under the reorder lock: keep it short (serialize +
+/// append + fsync is the intended use). Any `FnMut(usize, &SlotRun<R>)`
+/// closure is an observer via the blanket impl.
+pub trait SlotObserver<R> {
+    /// Observes slot `slot`'s outcome.
+    fn on_slot(&mut self, slot: usize, result: &SlotRun<R>);
+}
+
+impl<R, F: FnMut(usize, &SlotRun<R>)> SlotObserver<R> for F {
+    fn on_slot(&mut self, slot: usize, result: &SlotRun<R>) {
+        self(slot, result)
+    }
+}
+
+/// Cross-cutting options for one [`Executor::run`] call.
+///
+/// `ExecOptions::default()` is a plain run: no observer, panics propagate,
+/// no tracing.
+pub struct ExecOptions<'a, R> {
+    /// Ordered completion hook (see [`SlotObserver`]).
+    pub observer: Option<&'a mut (dyn SlotObserver<R> + Send)>,
+    /// Catch per-slot panics as [`SlotRun::Panicked`] instead of
+    /// propagating them. A panic also discards the worker's private state,
+    /// so one quarantined slot cannot contaminate later ones.
+    pub quarantine: bool,
+    /// Live progress stream (see [`ExecEvent`]); called from worker
+    /// threads, in completion order.
+    pub tracer: Option<&'a (dyn Fn(ExecEvent<'_>) + Sync)>,
+}
+
+// Derived `Default` would demand `R: Default`; the fields need no such
+// bound, so spell the impl out.
+impl<R> Default for ExecOptions<'_, R> {
+    fn default() -> Self {
+        ExecOptions {
+            observer: None,
+            quarantine: false,
+            tracer: None,
+        }
+    }
+}
+
+/// The campaign slot executor: a parallelism degree plus [`Executor::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    parallelism: usize,
+}
+
+/// Reorder buffer shared by the workers: results parked by plan position,
+/// the index of the first position not yet observed, and the observer
+/// itself (kept inside the lock so ordered delivery needs no second one).
+struct Reorder<'a, R> {
+    /// `out[pos]` holds the plan's `pos`-th result once it finishes.
+    out: Vec<Option<SlotRun<R>>>,
+    /// Next plan position to hand to the observer (contiguous prefix bound).
+    next: usize,
+    /// Ordered completion hook, if any.
+    observer: Option<&'a mut (dyn SlotObserver<R> + Send)>,
+}
+
+impl<R> Reorder<'_, R> {
+    /// Parks `pos`'s result and drains the contiguous completed prefix in
+    /// order through the observer.
+    fn deposit(&mut self, pos: usize, result: SlotRun<R>, slots: &[usize]) {
+        self.out[pos] = Some(result);
+        while self.next < slots.len() {
+            match self.out[self.next].as_ref() {
+                Some(done) => {
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs.on_slot(slots[self.next], done);
+                    }
+                    self.next += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Executor {
+    /// An executor running up to `parallelism` worker threads (values below
+    /// one behave as one; the degree is further capped by the plan length).
+    pub fn new(parallelism: usize) -> Executor {
+        Executor {
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// The configured parallelism degree.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Runs every slot named by `plan` and returns the outcomes in plan
+    /// order.
+    ///
+    /// `make_worker` builds one worker's private state (it runs on the
+    /// worker's own thread, so the state type needs no `Send`); `run_slot`
+    /// executes one slot against that state. With parallelism one (or a
+    /// single slot) everything runs inline on the caller's thread — same
+    /// code path, no spawning.
+    ///
+    /// Without [`ExecOptions::quarantine`] every returned element is
+    /// [`SlotRun::Done`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `make_worker` and the observer, and — unless
+    /// quarantine is on — from `run_slot`, after all workers have been
+    /// joined.
+    pub fn run<T, R, MW, RS>(
+        &self,
+        plan: ExecPlan<'_>,
+        make_worker: MW,
+        run_slot: RS,
+        options: ExecOptions<'_, R>,
+    ) -> Vec<SlotRun<R>>
+    where
+        MW: Fn() -> T + Sync,
+        RS: Fn(&mut T, usize) -> R + Sync,
+        R: Send,
+    {
+        let owned_range;
+        let slots: &[usize] = match plan {
+            ExecPlan::Range { start, end } => {
+                owned_range = (start.min(end)..end).collect::<Vec<_>>();
+                &owned_range
+            }
+            ExecPlan::Worklist(w) => w,
+        };
+        if slots.is_empty() {
+            return Vec::new();
+        }
+        let ExecOptions {
+            mut observer,
+            quarantine,
+            tracer,
+        } = options;
+
+        let trace = |event: ExecEvent<'_>| {
+            if let Some(t) = tracer {
+                t(event);
+            }
+        };
+        // Worker state lives in an `Option` so a quarantined panic can
+        // poison it: the state is dropped and `make_worker` rebuilds it
+        // before the worker's next slot. `make_worker` itself runs outside
+        // `catch_unwind` — a stack that cannot even be built is a
+        // campaign-level bug, not a per-slot outcome.
+        let run_one = |state: &mut Option<T>, slot: usize| -> SlotRun<R> {
+            let st = state.get_or_insert_with(&make_worker);
+            trace(ExecEvent::SlotStarted { slot });
+            if !quarantine {
+                let r = run_slot(st, slot);
+                trace(ExecEvent::SlotFinished { slot });
+                return SlotRun::Done(r);
+            }
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_slot(st, slot))) {
+                Ok(r) => {
+                    trace(ExecEvent::SlotFinished { slot });
+                    SlotRun::Done(r)
+                }
+                Err(payload) => {
+                    // The slot died mid-flight: its worker state is suspect.
+                    *state = None;
+                    let message = panic_message(payload);
+                    trace(ExecEvent::SlotQuarantined {
+                        slot,
+                        message: &message,
+                    });
+                    SlotRun::Panicked(message)
+                }
+            }
+        };
+
+        let workers = self.parallelism.min(slots.len());
+        if workers == 1 {
+            let mut state: Option<T> = None;
+            return slots
+                .iter()
+                .map(|&slot| {
+                    let r = run_one(&mut state, slot);
+                    if let Some(obs) = observer.as_mut() {
+                        obs.on_slot(slot, &r);
+                    }
+                    r
+                })
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let reorder = Mutex::new(Reorder {
+            out: (0..slots.len()).map(|_| None).collect(),
+            next: 0,
+            observer,
+        });
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut state: Option<T> = None;
+                        loop {
+                            let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                            if pos >= slots.len() {
+                                break;
+                            }
+                            let r = run_one(&mut state, slots[pos]);
+                            reorder.lock().expect("reorder lock").deposit(pos, r, slots);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("campaign worker panicked");
+            }
+        });
+        let buf = reorder.into_inner().expect("reorder lock");
+        debug_assert_eq!(buf.next, slots.len(), "observer saw every slot");
+        buf.out
+            .into_iter()
+            .map(|r| r.expect("every slot produced a result"))
+            .collect()
+    }
+}
+
+/// Unwraps a no-quarantine run, where every slot is [`SlotRun::Done`].
+fn all_done<R>(runs: Vec<SlotRun<R>>) -> Vec<R> {
+    runs.into_iter()
+        .map(|r| match r {
+            SlotRun::Done(v) => v,
+            SlotRun::Panicked(m) => unreachable!("panic escaped quarantine-off run: {m}"),
+        })
+        .collect()
+}
+
 /// Runs `slots` independent slots on up to `parallelism` worker threads and
 /// returns the per-slot outputs in slot order.
-///
-/// `make_worker` builds one worker's private state (it runs on the worker's
-/// own thread, so the state type needs no `Send`); `run_slot` executes one
-/// slot against that state. With `parallelism <= 1` (or a single slot)
-/// everything runs inline on the caller's thread — same code path, no
-/// spawning.
-///
-/// # Panics
-///
-/// Propagates panics from `make_worker` / `run_slot` after all workers have
-/// been joined.
+#[deprecated(note = "use Executor::run with ExecOptions::default()")]
 pub fn run_slots<T, R, MW, RS>(
     parallelism: usize,
     slots: usize,
@@ -56,36 +374,19 @@ where
     RS: Fn(&mut T, usize) -> R + Sync,
     R: Send,
 {
-    run_slots_observed(parallelism, 0, slots, make_worker, run_slot, |_, _| {})
-}
-
-/// Reorder buffer shared by the workers: results parked by slot index, plus
-/// the index of the first slot whose result has not yet been observed.
-struct Reorder<R> {
-    /// `out[i - start]` holds slot `i`'s result once it finishes.
-    out: Vec<Option<R>>,
-    /// Next slot index to hand to the observer (contiguous prefix bound).
-    next: usize,
+    all_done(Executor::new(parallelism).run(
+        ExecPlan::Range {
+            start: 0,
+            end: slots,
+        },
+        make_worker,
+        run_slot,
+        ExecOptions::default(),
+    ))
 }
 
 /// [`run_slots`] with a start offset and an ordered completion observer.
-///
-/// Executes slots `start..slots` (`start` of them are assumed already done
-/// by an earlier, interrupted run) and returns their outputs in slot order.
-/// `observe(i, &result)` is called exactly once per executed slot, **in
-/// increasing slot order** — the executor parks out-of-order completions in
-/// a reorder buffer and drains the contiguous prefix as it grows. The
-/// observer therefore sees exactly the records an append-only journal can
-/// replay after a crash: a gap-free prefix.
-///
-/// The observer runs under the reorder lock: keep it short (serialize +
-/// append + fsync is the intended use). It cannot see results out of order
-/// even when work-stealing completes slot 7 before slot 3.
-///
-/// # Panics
-///
-/// Propagates panics from `make_worker` / `run_slot` / `observe` after all
-/// workers have been joined.
+#[deprecated(note = "use Executor::run with ExecOptions { observer, .. }")]
 pub fn run_slots_observed<T, R, MW, RS, OB>(
     parallelism: usize,
     start: usize,
@@ -100,105 +401,26 @@ where
     OB: Fn(usize, &R) + Sync,
     R: Send,
 {
-    if start >= slots {
-        return Vec::new();
-    }
-    let remaining = slots - start;
-    let workers = parallelism.max(1).min(remaining);
-    if workers == 1 {
-        let mut state = make_worker();
-        return (start..slots)
-            .map(|i| {
-                let r = run_slot(&mut state, i);
-                observe(i, &r);
-                r
-            })
-            .collect();
-    }
-
-    let cursor = AtomicUsize::new(start);
-    let reorder = Mutex::new(Reorder {
-        out: (0..remaining).map(|_| None).collect(),
-        next: start,
-    });
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = make_worker();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= slots {
-                            break;
-                        }
-                        let r = run_slot(&mut state, i);
-                        let mut buf = reorder.lock().expect("reorder lock");
-                        buf.out[i - start] = Some(r);
-                        // Drain the contiguous completed prefix in order.
-                        while buf.next < slots {
-                            match buf.out[buf.next - start].as_ref() {
-                                Some(done) => {
-                                    observe(buf.next, done);
-                                    buf.next += 1;
-                                }
-                                None => break,
-                            }
-                        }
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("campaign worker panicked");
+    let mut adapter = |slot: usize, r: &SlotRun<R>| {
+        if let SlotRun::Done(v) = r {
+            observe(slot, v);
         }
-    });
-    let buf = reorder.into_inner().expect("reorder lock");
-    debug_assert_eq!(buf.next, slots, "observer saw every slot");
-    buf.out
-        .into_iter()
-        .map(|r| r.expect("every slot produced a result"))
-        .collect()
-}
-
-/// How one slot of a panic-isolated run ([`run_slots_quarantined`]) ended.
-#[derive(Clone, Debug)]
-pub enum SlotRun<R> {
-    /// The slot ran to completion.
-    Done(R),
-    /// The slot's code panicked; the panic was caught, the worker's state
-    /// was discarded (rebuilt before its next slot), and the campaign went
-    /// on. Carries the panic payload's message.
-    Panicked(String),
-}
-
-/// Extracts a printable message from a caught panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
+    };
+    all_done(Executor::new(parallelism).run(
+        ExecPlan::Range { start, end: slots },
+        make_worker,
+        run_slot,
+        ExecOptions {
+            observer: Some(&mut adapter),
+            ..ExecOptions::default()
+        },
+    ))
 }
 
 /// [`run_slots_observed`] hardened for pathological slots, over an explicit
-/// worklist: each `run_slot` call runs under `catch_unwind`, so one
-/// panicking slot is recorded as [`SlotRun::Panicked`] instead of killing
-/// the whole campaign and throwing every other slot's work away.
-///
-/// `worklist` names the slot indices to execute (ascending for a resumed
-/// campaign: quarantined slots to re-attempt plus the un-run tail). Results
-/// come back in worklist order, and `observe` fires once per worklist entry
-/// in that same order (the reorder buffer of [`run_slots_observed`], keyed
-/// by worklist position).
-///
-/// A panic poisons the worker's private state along with the slot: the
-/// state is dropped and `make_worker` builds a fresh one before the
-/// worker's next slot, so one quarantined slot cannot contaminate later
-/// ones. Panics from `make_worker` itself (or the observer) still
-/// propagate — a stack that cannot even be built is a campaign-level bug,
-/// not a per-slot outcome.
+/// worklist: one panicking slot is recorded as [`SlotRun::Panicked`]
+/// instead of killing the whole campaign.
+#[deprecated(note = "use Executor::run with ExecOptions { quarantine: true, .. }")]
 pub fn run_slots_quarantined<T, R, MW, RS, OB>(
     parallelism: usize,
     worklist: &[usize],
@@ -212,79 +434,21 @@ where
     OB: Fn(usize, &SlotRun<R>) + Sync,
     R: Send,
 {
-    let run_guarded = |state: &mut Option<T>, slot: usize| -> SlotRun<R> {
-        let st = state.get_or_insert_with(&make_worker);
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_slot(st, slot))) {
-            Ok(r) => SlotRun::Done(r),
-            Err(payload) => {
-                // The slot died mid-flight: its worker state is suspect.
-                *state = None;
-                SlotRun::Panicked(panic_message(payload))
-            }
-        }
-    };
-
-    if worklist.is_empty() {
-        return Vec::new();
-    }
-    let workers = parallelism.max(1).min(worklist.len());
-    if workers == 1 {
-        let mut state: Option<T> = None;
-        return worklist
-            .iter()
-            .map(|&slot| {
-                let r = run_guarded(&mut state, slot);
-                observe(slot, &r);
-                r
-            })
-            .collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let reorder = Mutex::new(Reorder {
-        out: (0..worklist.len()).map(|_| None).collect(),
-        next: 0,
-    });
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state: Option<T> = None;
-                    loop {
-                        let pos = cursor.fetch_add(1, Ordering::Relaxed);
-                        if pos >= worklist.len() {
-                            break;
-                        }
-                        let r = run_guarded(&mut state, worklist[pos]);
-                        let mut buf = reorder.lock().expect("reorder lock");
-                        buf.out[pos] = Some(r);
-                        // Drain the contiguous completed prefix in order.
-                        while buf.next < worklist.len() {
-                            match buf.out[buf.next].as_ref() {
-                                Some(done) => {
-                                    observe(worklist[buf.next], done);
-                                    buf.next += 1;
-                                }
-                                None => break,
-                            }
-                        }
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("campaign worker panicked");
-        }
-    });
-    let buf = reorder.into_inner().expect("reorder lock");
-    debug_assert_eq!(buf.next, worklist.len(), "observer saw every slot");
-    buf.out
-        .into_iter()
-        .map(|r| r.expect("every slot produced a result"))
-        .collect()
+    let mut adapter = |slot: usize, r: &SlotRun<R>| observe(slot, r);
+    Executor::new(parallelism).run(
+        ExecPlan::Worklist(worklist),
+        make_worker,
+        run_slot,
+        ExecOptions {
+            observer: Some(&mut adapter),
+            quarantine: true,
+            ..ExecOptions::default()
+        },
+    )
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::sync::Mutex;
@@ -389,5 +553,141 @@ mod tests {
         let out: Vec<usize> =
             run_slots_observed(4, 12, 9, || (), |(), i| i, |_, _| panic!("no slots"));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unified_run_executes_a_worklist_with_observer_in_list_order() {
+        for parallelism in [1, 4] {
+            let worklist = [2usize, 3, 5, 8, 13];
+            let seen = Mutex::new(Vec::new());
+            let mut obs = |slot: usize, r: &SlotRun<usize>| {
+                if let SlotRun::Done(v) = r {
+                    seen.lock().unwrap().push((slot, *v));
+                }
+            };
+            let runs = Executor::new(parallelism).run(
+                ExecPlan::Worklist(&worklist),
+                || (),
+                |(), i| i * 10,
+                ExecOptions {
+                    observer: Some(&mut obs),
+                    ..ExecOptions::default()
+                },
+            );
+            let values: Vec<_> = runs.into_iter().filter_map(SlotRun::done).collect();
+            assert_eq!(values, vec![20, 30, 50, 80, 130]);
+            assert_eq!(
+                seen.into_inner().unwrap(),
+                worklist.iter().map(|&s| (s, s * 10)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_catches_panics_and_rebuilds_worker_state() {
+        for parallelism in [1, 3] {
+            let worklist: Vec<usize> = (0..12).collect();
+            let runs = Executor::new(parallelism).run(
+                ExecPlan::Worklist(&worklist),
+                || 0usize,
+                |used, i| {
+                    *used += 1;
+                    if i == 5 {
+                        panic!("slot five explodes");
+                    }
+                    // A panic must have reset the counter: state built
+                    // after the quarantined slot starts over from zero.
+                    *used
+                },
+                ExecOptions {
+                    quarantine: true,
+                    ..ExecOptions::default()
+                },
+            );
+            assert_eq!(runs.len(), 12);
+            match &runs[5] {
+                SlotRun::Panicked(m) => assert!(m.contains("slot five explodes")),
+                SlotRun::Done(_) => panic!("slot 5 must be quarantined"),
+            }
+            assert_eq!(
+                runs.iter()
+                    .filter(|r| matches!(r, SlotRun::Panicked(_)))
+                    .count(),
+                1
+            );
+            if parallelism == 1 {
+                // Deterministic single-worker schedule: slot 6 runs on a
+                // fresh state, so its counter restarts at one.
+                assert!(matches!(runs[6], SlotRun::Done(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn without_quarantine_a_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            Executor::new(2).run(
+                ExecPlan::Range { start: 0, end: 8 },
+                || (),
+                |(), i| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                    i
+                },
+                ExecOptions::<usize>::default(),
+            )
+        });
+        assert!(caught.is_err(), "panic must escape a quarantine-off run");
+    }
+
+    #[test]
+    fn tracer_sees_started_finished_and_quarantined_events() {
+        let events = Mutex::new(Vec::new());
+        let tracer = |e: ExecEvent<'_>| {
+            events.lock().unwrap().push(match e {
+                ExecEvent::SlotStarted { slot } => format!("start {slot}"),
+                ExecEvent::SlotFinished { slot } => format!("finish {slot}"),
+                ExecEvent::SlotQuarantined { slot, message } => format!("dead {slot}: {message}"),
+            });
+        };
+        let runs = Executor::new(1).run(
+            ExecPlan::Range { start: 0, end: 3 },
+            || (),
+            |(), i| {
+                if i == 1 {
+                    panic!("one");
+                }
+                i
+            },
+            ExecOptions {
+                quarantine: true,
+                tracer: Some(&tracer),
+                ..ExecOptions::default()
+            },
+        );
+        assert_eq!(runs.len(), 3);
+        assert_eq!(
+            events.into_inner().unwrap(),
+            vec![
+                "start 0".to_string(),
+                "finish 0".to_string(),
+                "start 1".to_string(),
+                "dead 1: one".to_string(),
+                "start 2".to_string(),
+                "finish 2".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_worklist_runs_nothing() {
+        let runs = Executor::new(4).run(
+            ExecPlan::Worklist(&[]),
+            || (),
+            |(), i| i,
+            ExecOptions::<usize>::default(),
+        );
+        assert!(runs.is_empty());
     }
 }

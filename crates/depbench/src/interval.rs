@@ -444,6 +444,7 @@ mod tests {
     /// up to a configured number of restarts — the KCP "restart storm"
     /// pattern, with an exact restart budget so tests can sit right on the
     /// storm threshold.
+    #[derive(Clone)]
     struct StormServer {
         state: ServerState,
         stats: webserver::ServerStats,
@@ -486,6 +487,9 @@ mod tests {
         }
         fn stats(&self) -> webserver::ServerStats {
             self.stats
+        }
+        fn clone_box(&self) -> Box<dyn WebServer> {
+            Box::new(self.clone())
         }
     }
 

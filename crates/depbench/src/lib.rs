@@ -12,9 +12,11 @@
 //! * [`campaign`] — the slot structure of Fig. 4: one fault per slot,
 //!   inject → exercise → remove → rest, plus baseline and injector
 //!   profile-mode runs for the intrusiveness evaluation (Table 4);
-//! * [`executor`] — the parallel campaign engine: shards the independent
-//!   slots over worker threads with per-slot derived seeding, keeping
-//!   results bit-identical to the sequential run;
+//! * [`executor`] — the parallel campaign engine behind the unified
+//!   [`executor::Executor::run`] entry point: shards the independent slots
+//!   over worker threads with per-slot derived seeding, an ordered
+//!   slot observer, optional panic quarantine and live progress tracing,
+//!   keeping results bit-identical to the sequential run;
 //! * [`profilephase`] — the faultload fine-tuning of §2.4: drive all four
 //!   servers with the workload, trace their OS-API usage, intersect
 //!   (Table 2);
@@ -43,6 +45,7 @@ pub use campaign::{
     CampaignResult, QuarantinedSlot, SlotActivation, SlotError, SlotOutcome, SlotResult,
     TraceConfig, TypeActivation,
 };
+pub use executor::{ExecEvent, ExecOptions, ExecPlan, Executor, SlotObserver, SlotRun};
 pub use interval::{IntervalConfig, WatchdogCounts};
 pub use metrics::{
     aggregate_metrics, ConvergenceConfig, DependabilityMetrics, MetricsCi, MetricsSummary,
@@ -53,3 +56,4 @@ pub use opfaults::{
 };
 pub use profilephase::{profile_servers, ProfilePhaseConfig};
 pub use recovery::{AvailabilityMetrics, FailureClass, RecoveryPolicy, RepairAction, RepairPlan};
+pub use simos::ExecMode;

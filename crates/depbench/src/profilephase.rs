@@ -70,7 +70,7 @@ pub fn profile_servers(
         );
         let mut trace = ApiTrace::new();
         for (api, count) in os.api_counts() {
-            trace.record(api.symbol(), *count);
+            trace.record(api.symbol(), count);
         }
         set.add_trace(kind.name(), trace);
     }

@@ -151,10 +151,30 @@ impl FaultMapCache {
     /// Loads a cached map if it exists, parses and carries the fingerprint
     /// the key demands. Any failure is a miss, never an error: the cache
     /// self-heals by rescanning and rewriting.
+    ///
+    /// A fingerprint mismatch on an otherwise healthy entry is the one
+    /// self-healing case worth a warning: the entry re-scans on *every*
+    /// lookup (the rewrite lands under the same file name and mismatches
+    /// again next time), and silently churning cache is indistinguishable
+    /// from a working one. The warning carries both fingerprints so the
+    /// stale build is identifiable.
     fn load_valid(&self, path: &Path, key: &CacheKey) -> Option<Faultload> {
         let json = std::fs::read_to_string(path).ok()?;
         let faultload = Faultload::from_json(&json).ok()?;
-        (faultload.fingerprint == Some(key.image_fingerprint)).then_some(faultload)
+        if faultload.fingerprint != Some(key.image_fingerprint) {
+            eprintln!(
+                "warning: fault-map cache entry {} was generated from a different build \
+                 (cached fingerprint {}, booted image fingerprint {:#018x}); re-scanning",
+                path.display(),
+                match faultload.fingerprint {
+                    Some(fp) => format!("{fp:#018x}"),
+                    None => "absent".to_string(),
+                },
+                key.image_fingerprint,
+            );
+            return None;
+        }
+        Some(faultload)
     }
 
     /// Write-to-temp-then-rename, so a concurrent reader (or a crash) never

@@ -9,10 +9,19 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 use crate::isa::{DecodeError, Instr};
+
+/// Process-wide instance-id allocator. Ids start at 1 so 0 can mean "no
+/// image" in caches.
+static NEXT_IMAGE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_image_id() -> u64 {
+    NEXT_IMAGE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Metadata for one linked function.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -103,13 +112,91 @@ impl fmt::Display for ImageError {
 impl std::error::Error for ImageError {}
 
 /// An executable image: encoded words plus function symbols.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Every image additionally carries a process-unique *instance id* and an
+/// append-only *patch log* of word addresses mutated by
+/// [`CodeImage::apply`] / [`CodeImage::revert`]. Together they let a
+/// pre-decoded instruction cache ([`crate::DecodedCache`]) validate itself
+/// cheaply: same id + same log length ⇒ nothing changed; same id + longer
+/// log ⇒ re-decode only the logged addresses; different id ⇒ different
+/// image, decode from scratch. Neither field is part of the image's
+/// *content*: clones and deserialized copies get a fresh identity, and
+/// equality/serialization ignore both.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct CodeImage {
     name: String,
     words: Vec<u64>,
     funcs: Vec<FuncInfo>,
     by_name: BTreeMap<String, usize>,
+    #[serde(skip, default = "fresh_image_id")]
+    id: u64,
+    #[serde(skip)]
+    patch_log: Vec<u32>,
+    /// Memoized [`CodeImage::fingerprint`]; `0` = not yet computed.
+    /// Invalidated by `apply`/`revert`. Atomic so `fingerprint(&self)` can
+    /// fill it behind a shared reference.
+    #[serde(skip)]
+    fp_cache: FpCache,
 }
+
+/// Per-word contribution to [`CodeImage::fingerprint`]: a splitmix64-style
+/// finalizer over the `(addr, word)` pair. Contributions combine by wrapping
+/// addition, which makes the fingerprint position-sensitive yet
+/// order-independent — and therefore incrementally updatable on patch and
+/// revert (subtract the old word's mix, add the new one's).
+fn fp_mix(addr: u32, word: u64) -> u64 {
+    let mut z = word ^ u64::from(addr).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Memo cell for [`CodeImage::fingerprint`] (`0` = not computed). The field
+/// is `#[serde(skip)]` — the impls exist only because the derive still
+/// requires the traits on skipped fields, and just round-trip the raw value.
+#[derive(Debug, Default)]
+struct FpCache(AtomicU64);
+
+impl Serialize for FpCache {
+    fn to_value(&self) -> serde::Value {
+        self.0.load(Ordering::Relaxed).to_value()
+    }
+}
+
+impl Deserialize for FpCache {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        u64::from_value(v).map(|n| FpCache(AtomicU64::new(n)))
+    }
+}
+
+impl Clone for CodeImage {
+    fn clone(&self) -> CodeImage {
+        CodeImage {
+            name: self.name.clone(),
+            words: self.words.clone(),
+            funcs: self.funcs.clone(),
+            by_name: self.by_name.clone(),
+            // A clone is a new identity: decoded caches keyed on the
+            // original must not claim to describe the copy. The fingerprint
+            // is content-derived, so the memo carries over.
+            id: fresh_image_id(),
+            patch_log: Vec::new(),
+            fp_cache: FpCache(AtomicU64::new(self.fp_cache.0.load(Ordering::Relaxed))),
+        }
+    }
+}
+
+impl PartialEq for CodeImage {
+    fn eq(&self, other: &CodeImage) -> bool {
+        // Identity and patch history are bookkeeping, not content.
+        self.name == other.name
+            && self.words == other.words
+            && self.funcs == other.funcs
+            && self.by_name == other.by_name
+    }
+}
+
+impl Eq for CodeImage {}
 
 impl CodeImage {
     /// Builds an image from decoded instructions and function extents.
@@ -139,7 +226,25 @@ impl CodeImage {
             words,
             funcs,
             by_name,
+            id: fresh_image_id(),
+            patch_log: Vec::new(),
+            fp_cache: FpCache::default(),
         })
+    }
+
+    /// Process-unique identity of this image *instance*. Changes on clone
+    /// and deserialize; used by decoded-instruction caches to tell "same
+    /// image I decoded before" from "a different image with equal content".
+    pub fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Append-only log of word addresses mutated since link time, in
+    /// mutation order (an address patched and reverted appears twice). A
+    /// decoded cache that has consumed a prefix of this log only needs to
+    /// re-decode the suffix.
+    pub fn patch_log(&self) -> &[u32] {
+        &self.patch_log
     }
 
     /// Image name (e.g. the OS edition that produced it).
@@ -152,16 +257,29 @@ impl CodeImage {
         &self.words
     }
 
-    /// FNV-1a fingerprint of the code words — lets faultload artifacts
+    /// Content fingerprint of the code words — lets faultload artifacts
     /// detect that they were generated from a different build of the target.
+    ///
+    /// The hash is an order-independent sum of per-`(addr, word)` mixes, so
+    /// [`apply`](CodeImage::apply) and [`revert`](CodeImage::revert) keep it
+    /// current incrementally (add the new word's mix, subtract the old
+    /// one's) instead of invalidating it. The snapshot-restore guard calls
+    /// this once per campaign slot; with the incremental update the full
+    /// O(image) walk runs once per image lifetime, not once per slot.
+    ///
+    /// Memoized with 0 as the "unknown" sentinel: an image whose true
+    /// fingerprint is exactly 0 (probability 2⁻⁶⁴) just recomputes.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &w in &self.words {
-            for b in w.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
+        let cached = self.fp_cache.0.load(Ordering::Relaxed);
+        if cached != 0 {
+            return cached;
         }
+        let h = self
+            .words
+            .iter()
+            .enumerate()
+            .fold(0u64, |h, (addr, &w)| h.wrapping_add(fp_mix(addr as u32, w)));
+        self.fp_cache.0.store(h, Ordering::Relaxed);
         h
     }
 
@@ -236,8 +354,11 @@ impl CodeImage {
         }
         let mut entries = Vec::with_capacity(patches.len());
         for p in patches {
-            entries.push((p.addr, self.words[p.addr as usize]));
+            let old = self.words[p.addr as usize];
+            entries.push((p.addr, old));
             self.words[p.addr as usize] = p.new_word;
+            self.patch_log.push(p.addr);
+            self.fp_update(p.addr, old, p.new_word);
         }
         Ok(PatchSet { entries })
     }
@@ -246,8 +367,26 @@ impl CodeImage {
     /// patch sets unwind correctly).
     pub fn revert(&mut self, undo: &PatchSet) {
         for &(addr, old) in undo.entries.iter().rev() {
+            let new = self.words[addr as usize];
             self.words[addr as usize] = old;
+            self.patch_log.push(addr);
+            self.fp_update(addr, new, old);
         }
+    }
+
+    /// Incrementally moves the memoized fingerprint from the state where
+    /// `words[addr] == old` to the state where it is `new`. A no-op when the
+    /// fingerprint was never computed (sentinel 0); if the update lands
+    /// exactly on 0 the memo is simply dropped and the next
+    /// [`fingerprint`](CodeImage::fingerprint) call recomputes.
+    fn fp_update(&mut self, addr: u32, old: u64, new: u64) {
+        let cached = *self.fp_cache.0.get_mut();
+        if cached == 0 {
+            return;
+        }
+        *self.fp_cache.0.get_mut() = cached
+            .wrapping_sub(fp_mix(addr, old))
+            .wrapping_add(fp_mix(addr, new));
     }
 
     /// Disassembles the whole image, one instruction per line, with function
@@ -363,6 +502,30 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_incremental_update_matches_cold_recompute() {
+        let patch = Patch {
+            addr: 1,
+            new_word: Instr::nop().encode(),
+        };
+
+        // Warm path: memo computed before the patch, then updated
+        // incrementally by apply/revert.
+        let mut warm = toy_image();
+        let fp0 = warm.fingerprint();
+        let undo = warm.apply(&[patch]).unwrap();
+        let fp_patched_warm = warm.fingerprint();
+
+        // Cold path: patch first (memo still unset, so no incremental
+        // update), then compute from scratch.
+        let mut cold = toy_image();
+        cold.apply(&[patch]).unwrap();
+        assert_eq!(fp_patched_warm, cold.fingerprint());
+
+        warm.revert(&undo);
+        assert_eq!(warm.fingerprint(), fp0, "revert restores the memo too");
+    }
+
+    #[test]
     fn apply_and_revert_restore_exact_image() {
         let mut img = toy_image();
         let before = img.words().to_vec();
@@ -433,6 +596,47 @@ mod tests {
         let dis = img.disassemble();
         assert!(dis.contains("--- one"));
         assert!(dis.contains("ldi r1, 1"));
+    }
+
+    #[test]
+    fn instance_id_is_unique_and_ignored_by_equality() {
+        let a = toy_image();
+        let b = toy_image();
+        assert_ne!(a.instance_id(), b.instance_id());
+        assert_eq!(a, b, "identity does not participate in equality");
+        let c = a.clone();
+        assert_ne!(
+            a.instance_id(),
+            c.instance_id(),
+            "clones are new identities"
+        );
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn patch_log_records_every_mutation_in_order() {
+        let mut img = toy_image();
+        assert!(img.patch_log().is_empty());
+        let undo = img
+            .apply(&[
+                Patch {
+                    addr: 2,
+                    new_word: Instr::nop().encode(),
+                },
+                Patch {
+                    addr: 0,
+                    new_word: Instr::nop().encode(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(img.patch_log(), &[2, 0]);
+        img.revert(&undo);
+        // Revert unwinds in reverse order and logs what it touched.
+        assert_eq!(img.patch_log(), &[2, 0, 0, 2]);
+        assert!(
+            img.clone().patch_log().is_empty(),
+            "clones start with a clean history"
+        );
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //! * [`asm`] — a small text assembler used in tests and examples,
 //! * [`mem`] — the word-addressed data memory,
 //! * [`vm`] — the trapping interpreter with an instruction budget (budget
-//!   exhaustion models hangs caused by injected faults).
+//!   exhaustion models hangs caused by injected faults) and two dispatch
+//!   engines ([`ExecMode`]: pre-decoded — the fast default — and legacy
+//!   decode-per-step),
+//! * [`decoded`] — the pre-decoded instruction cache behind
+//!   [`ExecMode::Decoded`], invalidated per patched line by the image's
+//!   patch log.
 //!
 //! # Example
 //!
@@ -40,12 +45,16 @@
 //! ```
 
 pub mod asm;
+pub mod decoded;
 pub mod image;
 pub mod isa;
 pub mod mem;
 pub mod vm;
 
+pub use decoded::{DecodedCache, DecodedOp};
 pub use image::{CodeImage, FuncInfo, Patch, PatchSet};
 pub use isa::{DecodeError, Instr, Opcode, Reg};
 pub use mem::Memory;
-pub use vm::{CallError, CallOutcome, HcallHandler, NoHcalls, Trap, Vm, VmConfig, Watchpoint};
+pub use vm::{
+    CallError, CallOutcome, ExecMode, HcallHandler, NoHcalls, Trap, Vm, VmConfig, Watchpoint,
+};

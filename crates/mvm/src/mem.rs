@@ -94,7 +94,20 @@ impl Memory {
     ///
     /// Returns [`MemError`] if any cell of the range is out of bounds.
     pub fn read_block(&self, addr: i64, len: usize) -> Result<Vec<i64>, MemError> {
-        (0..len as i64).map(|i| self.read(addr + i)).collect()
+        match self.block(addr, len) {
+            Some(cells) => Ok(cells.to_vec()),
+            // Out of bounds somewhere: re-walk cell by cell so the error
+            // carries the exact first faulting address.
+            None => (0..len as i64).map(|i| self.read(addr + i)).collect(),
+        }
+    }
+
+    /// Borrows a contiguous in-bounds region, or `None` if any cell of the
+    /// range falls outside memory — the zero-copy path for device I/O.
+    pub fn block(&self, addr: i64, len: usize) -> Option<&[i64]> {
+        let start = usize::try_from(addr).ok()?;
+        let end = start.checked_add(len)?;
+        self.cells.get(start..end)
     }
 
     /// Writes a contiguous region into memory.
@@ -105,6 +118,17 @@ impl Memory {
     /// stay written (the VM traps immediately after, so partial writes model
     /// real wild-store behaviour).
     pub fn write_block(&mut self, addr: i64, values: &[i64]) -> Result<(), MemError> {
+        let fast = usize::try_from(addr)
+            .ok()
+            .and_then(|start| start.checked_add(values.len()).map(|end| (start, end)))
+            .and_then(|(start, end)| self.cells.get_mut(start..end));
+        if let Some(dst) = fast {
+            dst.copy_from_slice(values);
+            return Ok(());
+        }
+        // Out of bounds somewhere: write cell by cell so earlier cells stay
+        // written and the error carries the first faulting address (the VM
+        // traps right after, modelling a real wild store).
         for (i, &v) in values.iter().enumerate() {
             self.write(addr + i as i64, v)?;
         }
@@ -144,6 +168,32 @@ impl Memory {
     /// Zeroes every cell (fresh boot of the substrate).
     pub fn clear(&mut self) {
         self.cells.fill(0);
+    }
+
+    /// Overwrites this memory with the contents of `other`, reusing the
+    /// existing allocation — the snapshot-restore fast path.
+    ///
+    /// Copies chunk-wise, skipping chunks that already match: a slot's
+    /// working set is a small fraction of the address space, so most of the
+    /// restore is sequential compares (memcmp speed) rather than writes,
+    /// which keeps restore cheaper than zero-fill-plus-reboot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two memories differ in size (snapshots only ever
+    /// restore onto the memory they were taken from).
+    pub fn copy_from(&mut self, other: &Memory) {
+        assert_eq!(
+            self.cells.len(),
+            other.cells.len(),
+            "snapshot restore across different memory sizes"
+        );
+        const CHUNK: usize = 64; // cells — 512 B per compared block
+        for (dst, src) in self.cells.chunks_mut(CHUNK).zip(other.cells.chunks(CHUNK)) {
+            if dst != src {
+                dst.copy_from_slice(src);
+            }
+        }
     }
 }
 
@@ -200,6 +250,24 @@ mod tests {
         m.write(2, 9).unwrap();
         m.clear();
         assert_eq!(m.read(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn copy_from_restores_exact_contents() {
+        let mut snap = Memory::new(4);
+        snap.write(1, 7).unwrap();
+        let mut m = Memory::new(4);
+        m.write(0, -1).unwrap();
+        m.copy_from(&snap);
+        assert_eq!(m.read(0).unwrap(), 0);
+        assert_eq!(m.read(1).unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different memory sizes")]
+    fn copy_from_rejects_size_mismatch() {
+        let mut m = Memory::new(4);
+        m.copy_from(&Memory::new(5));
     }
 
     proptest! {

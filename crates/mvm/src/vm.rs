@@ -7,11 +7,21 @@
 //! fault injection — exhaustion of the instruction *budget*, which is how an
 //! injected fault that produces an infinite loop manifests as a detectable
 //! hang instead of wedging the benchmark harness.
+//!
+//! Two dispatch engines implement identical semantics, selected by
+//! [`ExecMode`]: the **decoded** engine (default) runs over a pre-decoded
+//! instruction cache ([`DecodedCache`]) that is invalidated per patched
+//! line by the image's patch log, and the **legacy** engine re-decodes each
+//! word on every step. The legacy engine is kept as the A/B timing and
+//! semantics reference (`--no-predecode` in the benchmark CLI); both paths
+//! drive the same observers (profiling, watchpoints), so campaign metrics
+//! are byte-identical across engines.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::decoded::{AluKind, DecodedCache, DecodedOp};
 use crate::image::CodeImage;
 use crate::isa::{Opcode, Reg};
 use crate::mem::Memory;
@@ -166,11 +176,29 @@ pub struct Watchpoint {
     pub hits: u64,
 }
 
-/// The interpreter. Stateless between calls except for configuration and
-/// cumulative instruction counts.
+/// Which dispatch engine [`Vm::call`] uses.
+///
+/// A typed mode instead of boolean knobs: both engines implement the same
+/// semantics, so the mode is pure engineering (throughput vs simplicity)
+/// and deliberately stays out of campaign configuration hashes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Dispatch over a pre-decoded op cache ([`DecodedCache`]) — the fast
+    /// default. Injection apply/undo invalidates only the patched lines.
+    #[default]
+    Decoded,
+    /// Decode every instruction word on every step, as the original
+    /// interpreter did. The A/B reference behind `--no-predecode`.
+    Legacy,
+}
+
+/// The interpreter. Stateless between calls except for configuration,
+/// cumulative instruction counts and the pre-decoded instruction cache.
 #[derive(Clone, Debug)]
 pub struct Vm {
     config: VmConfig,
+    mode: ExecMode,
+    cache: DecodedCache,
     total_executed: u64,
     profile: Option<Vec<u64>>,
     watch: Option<Watchpoint>,
@@ -188,14 +216,33 @@ impl Vm {
         Vm::with_config(VmConfig::default())
     }
 
-    /// Creates a VM with an explicit configuration.
+    /// Creates a VM with an explicit configuration and the default
+    /// (decoded) dispatch engine.
     pub fn with_config(config: VmConfig) -> Vm {
+        Vm::with_mode(config, ExecMode::default())
+    }
+
+    /// Creates a VM with an explicit configuration and dispatch engine.
+    pub fn with_mode(config: VmConfig, mode: ExecMode) -> Vm {
         Vm {
             config,
+            mode,
+            cache: DecodedCache::new(),
             total_executed: 0,
             profile: None,
             watch: None,
         }
+    }
+
+    /// The active dispatch engine.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Switches the dispatch engine, dropping any decoded cache.
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+        self.cache = DecodedCache::new();
     }
 
     /// The active configuration.
@@ -259,6 +306,35 @@ impl Vm {
         func: &str,
         args: &[i64],
     ) -> Result<CallOutcome, CallError> {
+        let entry = image
+            .func(func)
+            .ok_or_else(|| CallError::UnknownFunction(func.to_string()))?
+            .entry;
+        self.call_entry(image, mem, hcalls, entry, args)
+    }
+
+    /// [`Vm::call`] with a pre-resolved entry address (from
+    /// [`CodeImage::func`]). Callers that invoke the same functions millions
+    /// of times per campaign resolve the symbol once and skip the per-call
+    /// name lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on any abnormal event — including
+    /// [`Trap::BadInstruction`] when `entry` lies outside the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 8 arguments are supplied or memory is smaller than
+    /// the configured stack.
+    pub fn call_entry<H: HcallHandler>(
+        &mut self,
+        image: &CodeImage,
+        mem: &mut Memory,
+        hcalls: &mut H,
+        entry: u32,
+        args: &[i64],
+    ) -> Result<CallOutcome, CallError> {
         assert!(args.len() <= 8, "ABI passes at most 8 register arguments");
         assert!(
             mem.len() >= self.config.stack_cells,
@@ -266,10 +342,6 @@ impl Vm {
             mem.len(),
             self.config.stack_cells
         );
-        let entry = image
-            .func(func)
-            .ok_or_else(|| CallError::UnknownFunction(func.to_string()))?
-            .entry;
 
         let mut regs = [0i64; 32];
         for (i, &a) in args.iter().enumerate() {
@@ -283,173 +355,532 @@ impl Vm {
         mem.write(sp, RETURN_SENTINEL).expect("stack in bounds");
         regs[Reg::SP.index()] = sp;
 
-        let mut pc: u32 = entry;
-        let mut executed: u64 = 0;
         let budget = self.config.budget;
-
-        let outcome = loop {
-            if executed >= budget {
-                break Err(Trap::BudgetExhausted { executed });
+        let (outcome, executed) = match self.mode {
+            ExecMode::Decoded => {
+                // The cache is moved out for the duration of the loop so the
+                // dispatch can borrow the decoded ops and the observers
+                // (profile, watchpoint) from `self` at the same time.
+                let mut cache = std::mem::take(&mut self.cache);
+                cache.sync(image);
+                let r = exec_decoded(
+                    cache.ops(),
+                    mem,
+                    hcalls,
+                    &mut regs,
+                    entry,
+                    stack_limit,
+                    budget,
+                    self.profile.as_deref_mut(),
+                    self.watch.as_mut(),
+                );
+                self.cache = cache;
+                r
             }
-            let instr = match image.instr_at(pc) {
-                Ok(i) => i,
-                Err(_) => break Err(Trap::BadInstruction { at: pc }),
-            };
-            executed += 1;
-            if let Some(counts) = self.profile.as_mut() {
-                if let Some(slot) = counts.get_mut(pc as usize) {
-                    *slot += 1;
-                }
-            }
-            if let Some(w) = self.watch.as_mut() {
-                if w.pc == pc {
-                    w.hits += 1;
-                }
-            }
-
-            macro_rules! reg {
-                ($r:expr) => {
-                    regs[$r.index()]
-                };
-            }
-            macro_rules! set {
-                ($r:expr, $v:expr) => {{
-                    let r = $r;
-                    if r != Reg::ZERO {
-                        regs[r.index()] = $v;
-                    }
-                }};
-            }
-            macro_rules! jump_to {
-                ($t:expr) => {{
-                    let t = $t;
-                    if t < 0 || t as usize >= image.len() {
-                        break Err(Trap::BadJump { at: pc, target: t });
-                    }
-                    pc = t as u32;
-                    continue;
-                }};
-            }
-
-            match instr.op {
-                Opcode::Nop => {}
-                Opcode::Halt => {
-                    break Ok(CallOutcome {
-                        return_value: regs[Reg::RV.index()],
-                        executed,
-                    })
-                }
-                Opcode::Mov => set!(instr.rd, reg!(instr.rs1)),
-                Opcode::Ldi => set!(instr.rd, instr.imm as i64),
-                Opcode::Add => set!(instr.rd, reg!(instr.rs1).wrapping_add(reg!(instr.rs2))),
-                Opcode::Sub => set!(instr.rd, reg!(instr.rs1).wrapping_sub(reg!(instr.rs2))),
-                Opcode::Mul => set!(instr.rd, reg!(instr.rs1).wrapping_mul(reg!(instr.rs2))),
-                Opcode::Div => {
-                    let d = reg!(instr.rs2);
-                    if d == 0 {
-                        break Err(Trap::DivideByZero { at: pc });
-                    }
-                    set!(instr.rd, reg!(instr.rs1).wrapping_div(d));
-                }
-                Opcode::Mod => {
-                    let d = reg!(instr.rs2);
-                    if d == 0 {
-                        break Err(Trap::DivideByZero { at: pc });
-                    }
-                    set!(instr.rd, reg!(instr.rs1).wrapping_rem(d));
-                }
-                Opcode::And => set!(instr.rd, reg!(instr.rs1) & reg!(instr.rs2)),
-                Opcode::Or => set!(instr.rd, reg!(instr.rs1) | reg!(instr.rs2)),
-                Opcode::Xor => set!(instr.rd, reg!(instr.rs1) ^ reg!(instr.rs2)),
-                Opcode::Shl => set!(instr.rd, reg!(instr.rs1) << (reg!(instr.rs2) & 63)),
-                Opcode::Shr => set!(instr.rd, reg!(instr.rs1) >> (reg!(instr.rs2) & 63)),
-                Opcode::Not => set!(instr.rd, !reg!(instr.rs1)),
-                Opcode::Addi => set!(instr.rd, reg!(instr.rs1).wrapping_add(instr.imm as i64)),
-                Opcode::Muli => set!(instr.rd, reg!(instr.rs1).wrapping_mul(instr.imm as i64)),
-                Opcode::Cmpeq => set!(instr.rd, (reg!(instr.rs1) == reg!(instr.rs2)) as i64),
-                Opcode::Cmpne => set!(instr.rd, (reg!(instr.rs1) != reg!(instr.rs2)) as i64),
-                Opcode::Cmplt => set!(instr.rd, (reg!(instr.rs1) < reg!(instr.rs2)) as i64),
-                Opcode::Cmple => set!(instr.rd, (reg!(instr.rs1) <= reg!(instr.rs2)) as i64),
-                Opcode::Ld => {
-                    let addr = reg!(instr.rs1).wrapping_add(instr.imm as i64);
-                    match mem.read(addr) {
-                        Ok(v) => set!(instr.rd, v),
-                        Err(_) => break Err(Trap::BadMemory { at: pc, addr }),
-                    }
-                }
-                Opcode::St => {
-                    let addr = reg!(instr.rs1).wrapping_add(instr.imm as i64);
-                    if mem.write(addr, reg!(instr.rs2)).is_err() {
-                        break Err(Trap::BadMemory { at: pc, addr });
-                    }
-                }
-                Opcode::Jmp => jump_to!(instr.imm as u32 as i64),
-                Opcode::Beqz => {
-                    if reg!(instr.rs1) == 0 {
-                        jump_to!(instr.imm as u32 as i64);
-                    }
-                }
-                Opcode::Bnez => {
-                    if reg!(instr.rs1) != 0 {
-                        jump_to!(instr.imm as u32 as i64);
-                    }
-                }
-                Opcode::Call => {
-                    let sp = regs[Reg::SP.index()] - 1;
-                    if sp < stack_limit {
-                        break Err(Trap::BadMemory { at: pc, addr: sp });
-                    }
-                    if mem.write(sp, pc as i64 + 1).is_err() {
-                        break Err(Trap::BadMemory { at: pc, addr: sp });
-                    }
-                    regs[Reg::SP.index()] = sp;
-                    jump_to!(instr.imm as u32 as i64);
-                }
-                Opcode::Ret => {
-                    let sp = regs[Reg::SP.index()];
-                    let ra = match mem.read(sp) {
-                        Ok(v) => v,
-                        Err(_) => break Err(Trap::BadMemory { at: pc, addr: sp }),
-                    };
-                    regs[Reg::SP.index()] = sp + 1;
-                    if ra == RETURN_SENTINEL {
-                        break Ok(CallOutcome {
-                            return_value: regs[Reg::RV.index()],
-                            executed,
-                        });
-                    }
-                    jump_to!(ra);
-                }
-                Opcode::Push => {
-                    let sp = regs[Reg::SP.index()] - 1;
-                    if sp < stack_limit || mem.write(sp, reg!(instr.rs1)).is_err() {
-                        break Err(Trap::BadMemory { at: pc, addr: sp });
-                    }
-                    regs[Reg::SP.index()] = sp;
-                }
-                Opcode::Pop => {
-                    let sp = regs[Reg::SP.index()];
-                    match mem.read(sp) {
-                        Ok(v) => {
-                            set!(instr.rd, v);
-                            regs[Reg::SP.index()] = sp + 1;
-                        }
-                        Err(_) => break Err(Trap::BadMemory { at: pc, addr: sp }),
-                    }
-                }
-                Opcode::Hcall => {
-                    if let Err(t) = hcalls.hcall(instr.imm, pc, &mut regs, mem) {
-                        break Err(t);
-                    }
-                    regs[Reg::ZERO.index()] = 0; // keep r0 hard-zero across handlers
-                }
-            }
-            pc += 1;
+            ExecMode::Legacy => exec_legacy(
+                image,
+                mem,
+                hcalls,
+                &mut regs,
+                entry,
+                stack_limit,
+                budget,
+                self.profile.as_deref_mut(),
+                self.watch.as_mut(),
+            ),
         };
 
         self.total_executed += executed;
         outcome.map_err(CallError::Trap)
     }
+}
+
+/// The original decode-on-every-step dispatch loop ([`ExecMode::Legacy`]).
+///
+/// Kept verbatim as the semantics reference: the decoded engine must match
+/// it trap for trap, count for count.
+#[allow(clippy::too_many_arguments)]
+fn exec_legacy<H: HcallHandler>(
+    image: &CodeImage,
+    mem: &mut Memory,
+    hcalls: &mut H,
+    regs: &mut [i64; 32],
+    entry: u32,
+    stack_limit: i64,
+    budget: u64,
+    mut profile: Option<&mut [u64]>,
+    mut watch: Option<&mut Watchpoint>,
+) -> (Result<CallOutcome, Trap>, u64) {
+    let mut pc: u32 = entry;
+    let mut executed: u64 = 0;
+
+    let outcome = loop {
+        if executed >= budget {
+            break Err(Trap::BudgetExhausted { executed });
+        }
+        let instr = match image.instr_at(pc) {
+            Ok(i) => i,
+            Err(_) => break Err(Trap::BadInstruction { at: pc }),
+        };
+        executed += 1;
+        if let Some(counts) = profile.as_deref_mut() {
+            if let Some(slot) = counts.get_mut(pc as usize) {
+                *slot += 1;
+            }
+        }
+        if let Some(w) = watch.as_deref_mut() {
+            if w.pc == pc {
+                w.hits += 1;
+            }
+        }
+
+        macro_rules! reg {
+            ($r:expr) => {
+                regs[$r.index()]
+            };
+        }
+        macro_rules! set {
+            ($r:expr, $v:expr) => {{
+                let r = $r;
+                if r != Reg::ZERO {
+                    regs[r.index()] = $v;
+                }
+            }};
+        }
+        macro_rules! jump_to {
+            ($t:expr) => {{
+                let t = $t;
+                if t < 0 || t as usize >= image.len() {
+                    break Err(Trap::BadJump { at: pc, target: t });
+                }
+                pc = t as u32;
+                continue;
+            }};
+        }
+
+        match instr.op {
+            Opcode::Nop => {}
+            Opcode::Halt => {
+                break Ok(CallOutcome {
+                    return_value: regs[Reg::RV.index()],
+                    executed,
+                })
+            }
+            Opcode::Mov => set!(instr.rd, reg!(instr.rs1)),
+            Opcode::Ldi => set!(instr.rd, instr.imm as i64),
+            Opcode::Add => set!(instr.rd, reg!(instr.rs1).wrapping_add(reg!(instr.rs2))),
+            Opcode::Sub => set!(instr.rd, reg!(instr.rs1).wrapping_sub(reg!(instr.rs2))),
+            Opcode::Mul => set!(instr.rd, reg!(instr.rs1).wrapping_mul(reg!(instr.rs2))),
+            Opcode::Div => {
+                let d = reg!(instr.rs2);
+                if d == 0 {
+                    break Err(Trap::DivideByZero { at: pc });
+                }
+                set!(instr.rd, reg!(instr.rs1).wrapping_div(d));
+            }
+            Opcode::Mod => {
+                let d = reg!(instr.rs2);
+                if d == 0 {
+                    break Err(Trap::DivideByZero { at: pc });
+                }
+                set!(instr.rd, reg!(instr.rs1).wrapping_rem(d));
+            }
+            Opcode::And => set!(instr.rd, reg!(instr.rs1) & reg!(instr.rs2)),
+            Opcode::Or => set!(instr.rd, reg!(instr.rs1) | reg!(instr.rs2)),
+            Opcode::Xor => set!(instr.rd, reg!(instr.rs1) ^ reg!(instr.rs2)),
+            Opcode::Shl => set!(instr.rd, reg!(instr.rs1) << (reg!(instr.rs2) & 63)),
+            Opcode::Shr => set!(instr.rd, reg!(instr.rs1) >> (reg!(instr.rs2) & 63)),
+            Opcode::Not => set!(instr.rd, !reg!(instr.rs1)),
+            Opcode::Addi => set!(instr.rd, reg!(instr.rs1).wrapping_add(instr.imm as i64)),
+            Opcode::Muli => set!(instr.rd, reg!(instr.rs1).wrapping_mul(instr.imm as i64)),
+            Opcode::Cmpeq => set!(instr.rd, (reg!(instr.rs1) == reg!(instr.rs2)) as i64),
+            Opcode::Cmpne => set!(instr.rd, (reg!(instr.rs1) != reg!(instr.rs2)) as i64),
+            Opcode::Cmplt => set!(instr.rd, (reg!(instr.rs1) < reg!(instr.rs2)) as i64),
+            Opcode::Cmple => set!(instr.rd, (reg!(instr.rs1) <= reg!(instr.rs2)) as i64),
+            Opcode::Ld => {
+                let addr = reg!(instr.rs1).wrapping_add(instr.imm as i64);
+                match mem.read(addr) {
+                    Ok(v) => set!(instr.rd, v),
+                    Err(_) => break Err(Trap::BadMemory { at: pc, addr }),
+                }
+            }
+            Opcode::St => {
+                let addr = reg!(instr.rs1).wrapping_add(instr.imm as i64);
+                if mem.write(addr, reg!(instr.rs2)).is_err() {
+                    break Err(Trap::BadMemory { at: pc, addr });
+                }
+            }
+            Opcode::Jmp => jump_to!(instr.imm as u32 as i64),
+            Opcode::Beqz => {
+                if reg!(instr.rs1) == 0 {
+                    jump_to!(instr.imm as u32 as i64);
+                }
+            }
+            Opcode::Bnez => {
+                if reg!(instr.rs1) != 0 {
+                    jump_to!(instr.imm as u32 as i64);
+                }
+            }
+            Opcode::Call => {
+                let sp = regs[Reg::SP.index()] - 1;
+                if sp < stack_limit {
+                    break Err(Trap::BadMemory { at: pc, addr: sp });
+                }
+                if mem.write(sp, pc as i64 + 1).is_err() {
+                    break Err(Trap::BadMemory { at: pc, addr: sp });
+                }
+                regs[Reg::SP.index()] = sp;
+                jump_to!(instr.imm as u32 as i64);
+            }
+            Opcode::Ret => {
+                let sp = regs[Reg::SP.index()];
+                let ra = match mem.read(sp) {
+                    Ok(v) => v,
+                    Err(_) => break Err(Trap::BadMemory { at: pc, addr: sp }),
+                };
+                regs[Reg::SP.index()] = sp + 1;
+                if ra == RETURN_SENTINEL {
+                    break Ok(CallOutcome {
+                        return_value: regs[Reg::RV.index()],
+                        executed,
+                    });
+                }
+                jump_to!(ra);
+            }
+            Opcode::Push => {
+                let sp = regs[Reg::SP.index()] - 1;
+                if sp < stack_limit || mem.write(sp, reg!(instr.rs1)).is_err() {
+                    break Err(Trap::BadMemory { at: pc, addr: sp });
+                }
+                regs[Reg::SP.index()] = sp;
+            }
+            Opcode::Pop => {
+                let sp = regs[Reg::SP.index()];
+                match mem.read(sp) {
+                    Ok(v) => {
+                        set!(instr.rd, v);
+                        regs[Reg::SP.index()] = sp + 1;
+                    }
+                    Err(_) => break Err(Trap::BadMemory { at: pc, addr: sp }),
+                }
+            }
+            Opcode::Hcall => {
+                if let Err(t) = hcalls.hcall(instr.imm, pc, regs, mem) {
+                    break Err(t);
+                }
+                regs[Reg::ZERO.index()] = 0; // keep r0 hard-zero across handlers
+            }
+        }
+        pc += 1;
+    };
+
+    (outcome, executed)
+}
+
+/// The pre-decoded dispatch loop ([`ExecMode::Decoded`]).
+///
+/// Semantically identical to [`exec_legacy`], instruction by instruction:
+/// same trap kinds at the same addresses, same executed counts, same
+/// observer (profile/watchpoint) updates. The only difference is that all
+/// decode work happened in [`DecodedCache::sync`].
+#[allow(clippy::too_many_arguments)]
+fn exec_decoded<H: HcallHandler>(
+    ops: &[DecodedOp],
+    mem: &mut Memory,
+    hcalls: &mut H,
+    regs: &mut [i64; 32],
+    entry: u32,
+    stack_limit: i64,
+    budget: u64,
+    profile: Option<&mut [u64]>,
+    watch: Option<&mut Watchpoint>,
+) -> (Result<CallOutcome, Trap>, u64) {
+    // Monomorphize the hot loop over observer presence: a campaign slot runs
+    // with at most a watchpoint armed, and at interpreter speeds even the
+    // absent profiler's per-step `Option` check is measurable. Each variant
+    // compiles to a loop that only tests the observers it actually has.
+    match (profile, watch) {
+        (None, None) => exec_decoded_mono::<H, false, false>(
+            ops,
+            mem,
+            hcalls,
+            regs,
+            entry,
+            stack_limit,
+            budget,
+            None,
+            None,
+        ),
+        (None, w @ Some(_)) => exec_decoded_mono::<H, false, true>(
+            ops,
+            mem,
+            hcalls,
+            regs,
+            entry,
+            stack_limit,
+            budget,
+            None,
+            w,
+        ),
+        (p @ Some(_), None) => exec_decoded_mono::<H, true, false>(
+            ops,
+            mem,
+            hcalls,
+            regs,
+            entry,
+            stack_limit,
+            budget,
+            p,
+            None,
+        ),
+        (p @ Some(_), w @ Some(_)) => exec_decoded_mono::<H, true, true>(
+            ops,
+            mem,
+            hcalls,
+            regs,
+            entry,
+            stack_limit,
+            budget,
+            p,
+            w,
+        ),
+    }
+}
+
+/// One observer-specialized instantiation of the decoded dispatch loop.
+/// `PROFILE`/`WATCH` mirror whether the corresponding `Option` is `Some`;
+/// the flags are compile-time so the dead observer code folds away.
+#[allow(clippy::too_many_arguments)]
+fn exec_decoded_mono<H: HcallHandler, const PROFILE: bool, const WATCH: bool>(
+    ops: &[DecodedOp],
+    mem: &mut Memory,
+    hcalls: &mut H,
+    regs: &mut [i64; 32],
+    entry: u32,
+    stack_limit: i64,
+    budget: u64,
+    profile: Option<&mut [u64]>,
+    watch: Option<&mut Watchpoint>,
+) -> (Result<CallOutcome, Trap>, u64) {
+    let code_len = ops.len();
+    let mut pc: u32 = entry;
+    let mut executed: u64 = 0;
+    let mut no_counts: [u64; 0] = [];
+    let counts: &mut [u64] = match profile {
+        Some(p) if PROFILE => p,
+        _ => &mut no_counts,
+    };
+    // The watchpoint runs as two locals so the loop never dereferences the
+    // `Option`; the hit count is written back once on exit.
+    let (watch_pc, mut watch_hits) = match &watch {
+        Some(w) if WATCH => (w.pc, w.hits),
+        _ => (u32::MAX, 0),
+    };
+
+    let outcome = loop {
+        if executed >= budget {
+            break Err(Trap::BudgetExhausted { executed });
+        }
+        // Falling past the end of the image traps *before* counting, exactly
+        // like the legacy lazy decode. An unpatchable word does too, via the
+        // `Invalid` match arm below (which unwinds the optimistic count).
+        let Some(&op) = ops.get(pc as usize) else {
+            break Err(Trap::BadInstruction { at: pc });
+        };
+        executed += 1;
+        if PROFILE {
+            if let Some(slot) = counts.get_mut(pc as usize) {
+                *slot += 1;
+            }
+        }
+        if WATCH && pc == watch_pc {
+            watch_hits += 1;
+        }
+
+        // Register indices come from `DecodedOp` as raw `u8`s; the `& 31`
+        // mask lets the optimizer elide the bounds check on the 32-entry
+        // file without unsafe code.
+        macro_rules! reg {
+            ($r:expr) => {
+                regs[($r & 31) as usize]
+            };
+        }
+        macro_rules! set {
+            ($r:expr, $v:expr) => {{
+                let r = $r;
+                if r != 0 {
+                    regs[(r & 31) as usize] = $v;
+                }
+            }};
+        }
+        // Branch targets are pre-zero-extended `u32`s, so only the upper
+        // bound needs checking (the legacy `t < 0` arm is unreachable).
+        macro_rules! jump_to_u32 {
+            ($t:expr) => {{
+                let t = $t;
+                if t as usize >= code_len {
+                    break Err(Trap::BadJump {
+                        at: pc,
+                        target: t as i64,
+                    });
+                }
+                pc = t;
+                continue;
+            }};
+        }
+        // Return addresses come from memory as full `i64`s.
+        macro_rules! jump_to {
+            ($t:expr) => {{
+                let t = $t;
+                if t < 0 || t as usize >= code_len {
+                    break Err(Trap::BadJump { at: pc, target: t });
+                }
+                pc = t as u32;
+                continue;
+            }};
+        }
+
+        match op {
+            DecodedOp::Nop => {}
+            DecodedOp::Halt => {
+                break Ok(CallOutcome {
+                    return_value: regs[Reg::RV.index()],
+                    executed,
+                })
+            }
+            DecodedOp::Mov { rd, rs1 } => set!(rd, reg!(rs1)),
+            DecodedOp::Ldi { rd, imm } => set!(rd, imm),
+            DecodedOp::Alu { kind, rd, rs1, rs2 } => {
+                let a = reg!(rs1);
+                let b = reg!(rs2);
+                let v = match kind {
+                    AluKind::Add => a.wrapping_add(b),
+                    AluKind::Sub => a.wrapping_sub(b),
+                    AluKind::Mul => a.wrapping_mul(b),
+                    AluKind::Div => {
+                        if b == 0 {
+                            break Err(Trap::DivideByZero { at: pc });
+                        }
+                        a.wrapping_div(b)
+                    }
+                    AluKind::Mod => {
+                        if b == 0 {
+                            break Err(Trap::DivideByZero { at: pc });
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    AluKind::And => a & b,
+                    AluKind::Or => a | b,
+                    AluKind::Xor => a ^ b,
+                    AluKind::Shl => a << (b & 63),
+                    AluKind::Shr => a >> (b & 63),
+                    AluKind::Cmpeq => (a == b) as i64,
+                    AluKind::Cmpne => (a != b) as i64,
+                    AluKind::Cmplt => (a < b) as i64,
+                    AluKind::Cmple => (a <= b) as i64,
+                };
+                set!(rd, v);
+            }
+            DecodedOp::Not { rd, rs1 } => set!(rd, !reg!(rs1)),
+            DecodedOp::Addi { rd, rs1, imm } => set!(rd, reg!(rs1).wrapping_add(imm)),
+            DecodedOp::Muli { rd, rs1, imm } => set!(rd, reg!(rs1).wrapping_mul(imm)),
+            DecodedOp::Ld { rd, rs1, imm } => {
+                let addr = reg!(rs1).wrapping_add(imm);
+                match mem.read(addr) {
+                    Ok(v) => set!(rd, v),
+                    Err(_) => break Err(Trap::BadMemory { at: pc, addr }),
+                }
+            }
+            DecodedOp::St { rs1, rs2, imm } => {
+                let addr = reg!(rs1).wrapping_add(imm);
+                if mem.write(addr, reg!(rs2)).is_err() {
+                    break Err(Trap::BadMemory { at: pc, addr });
+                }
+            }
+            DecodedOp::Jmp { target } => jump_to_u32!(target),
+            DecodedOp::Beqz { rs1, target } => {
+                if reg!(rs1) == 0 {
+                    jump_to_u32!(target);
+                }
+            }
+            DecodedOp::Bnez { rs1, target } => {
+                if reg!(rs1) != 0 {
+                    jump_to_u32!(target);
+                }
+            }
+            DecodedOp::Call { target } => {
+                let sp = regs[Reg::SP.index()] - 1;
+                if sp < stack_limit {
+                    break Err(Trap::BadMemory { at: pc, addr: sp });
+                }
+                if mem.write(sp, pc as i64 + 1).is_err() {
+                    break Err(Trap::BadMemory { at: pc, addr: sp });
+                }
+                regs[Reg::SP.index()] = sp;
+                jump_to_u32!(target);
+            }
+            DecodedOp::Ret => {
+                let sp = regs[Reg::SP.index()];
+                let ra = match mem.read(sp) {
+                    Ok(v) => v,
+                    Err(_) => break Err(Trap::BadMemory { at: pc, addr: sp }),
+                };
+                regs[Reg::SP.index()] = sp + 1;
+                if ra == RETURN_SENTINEL {
+                    break Ok(CallOutcome {
+                        return_value: regs[Reg::RV.index()],
+                        executed,
+                    });
+                }
+                jump_to!(ra);
+            }
+            DecodedOp::Push { rs1 } => {
+                let sp = regs[Reg::SP.index()] - 1;
+                if sp < stack_limit || mem.write(sp, reg!(rs1)).is_err() {
+                    break Err(Trap::BadMemory { at: pc, addr: sp });
+                }
+                regs[Reg::SP.index()] = sp;
+            }
+            DecodedOp::Pop { rd } => {
+                let sp = regs[Reg::SP.index()];
+                match mem.read(sp) {
+                    Ok(v) => {
+                        set!(rd, v);
+                        regs[Reg::SP.index()] = sp + 1;
+                    }
+                    Err(_) => break Err(Trap::BadMemory { at: pc, addr: sp }),
+                }
+            }
+            DecodedOp::Hcall { n } => {
+                if let Err(t) = hcalls.hcall(n, pc, regs, mem) {
+                    break Err(t);
+                }
+                regs[Reg::ZERO.index()] = 0; // keep r0 hard-zero across handlers
+            }
+            DecodedOp::Invalid => {
+                // The legacy engine's lazy decode fails *before* counting or
+                // observing; unwind the optimistic bookkeeping to match.
+                executed -= 1;
+                if PROFILE {
+                    if let Some(slot) = counts.get_mut(pc as usize) {
+                        *slot -= 1;
+                    }
+                }
+                if WATCH && pc == watch_pc {
+                    watch_hits -= 1;
+                }
+                break Err(Trap::BadInstruction { at: pc });
+            }
+        }
+        pc += 1;
+    };
+
+    if let Some(w) = watch {
+        if WATCH {
+            w.hits = watch_hits;
+        }
+    }
+    (outcome, executed)
 }
 
 /// Errors from [`Vm::call`].
@@ -841,5 +1272,191 @@ mod tests {
         vm.call(&image, &mut mem, &mut NoHcalls, "main", &[5])
             .unwrap();
         assert_eq!(vm.watchpoint().unwrap().hits, 0);
+    }
+
+    /// Runs `func` under both engines against fresh memory and returns the
+    /// two results plus the final memory images for comparison.
+    fn run_both(
+        src: &str,
+        func: &str,
+        args: &[i64],
+    ) -> [(Result<CallOutcome, CallError>, Vec<i64>); 2] {
+        let image = assemble(src).expect("assembles");
+        [ExecMode::Decoded, ExecMode::Legacy].map(|mode| {
+            let mut mem = Memory::new(8192);
+            let mut vm = Vm::with_mode(VmConfig::default(), mode);
+            assert_eq!(vm.mode(), mode);
+            let out = vm.call(&image, &mut mem, &mut NoHcalls, func, args);
+            let cells: Vec<i64> = (0..mem.len() as i64)
+                .map(|a| mem.read(a).unwrap())
+                .collect();
+            (out, cells)
+        })
+    }
+
+    #[test]
+    fn decoded_and_legacy_engines_agree_trap_for_trap() {
+        let programs: &[(&str, &str, &[i64])] = &[
+            (
+                r#"
+                .func main
+                    add r1, r2, r3
+                    ret
+                "#,
+                "main",
+                &[20, 22],
+            ),
+            (COUNTDOWN, "main", &[7]),
+            (
+                r#"
+                .func main
+                    div r1, r2, r3
+                    ret
+                "#,
+                "main",
+                &[1, 0],
+            ),
+            (
+                r#"
+                .func main
+                    ldi r10, -500
+                    ld r1, [r10+0]
+                    ret
+                "#,
+                "main",
+                &[],
+            ),
+            (
+                r#"
+                .func main
+                    jmp 999999
+                "#,
+                "main",
+                &[],
+            ),
+            (
+                r#"
+                .func main
+                    call main
+                "#,
+                "main",
+                &[],
+            ),
+            (
+                r#"
+                .func main
+                    ldi r10, 9
+                    push r10
+                    st [r10+200], r10
+                    pop r1
+                    halt
+                "#,
+                "main",
+                &[],
+            ),
+        ];
+        for (src, func, args) in programs {
+            let [(d_out, d_mem), (l_out, l_mem)] = run_both(src, func, args);
+            assert_eq!(d_out, l_out, "outcome diverged for {func} in:\n{src}");
+            assert_eq!(d_mem, l_mem, "memory diverged for {func} in:\n{src}");
+        }
+    }
+
+    #[test]
+    fn decoded_engine_tracks_patches_across_calls() {
+        // The same Vm (and thus the same decoded cache) must see
+        // injections and their undo on the image it already decoded.
+        let mut image = assemble(
+            r#"
+            .func main
+                ldi r1, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        let fresh = vm
+            .call(&image, &mut mem, &mut NoHcalls, "main", &[])
+            .unwrap();
+        assert_eq!(fresh.return_value, 1);
+
+        let undo = image
+            .apply(&[crate::Patch {
+                addr: 0,
+                new_word: crate::Instr::ldi(Reg::RV, 42).encode(),
+            }])
+            .unwrap();
+        let faulty = vm
+            .call(&image, &mut mem, &mut NoHcalls, "main", &[])
+            .unwrap();
+        assert_eq!(faulty.return_value, 42, "cache picked up the injection");
+
+        image.revert(&undo);
+        let restored = vm
+            .call(&image, &mut mem, &mut NoHcalls, "main", &[])
+            .unwrap();
+        assert_eq!(restored.return_value, 1, "cache picked up the undo");
+    }
+
+    #[test]
+    fn decoded_engine_traps_on_undecodable_patch() {
+        let mut image = assemble(
+            r#"
+            .func main
+                ldi r1, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        image
+            .apply(&[crate::Patch {
+                addr: 0,
+                new_word: u64::MAX,
+            }])
+            .unwrap();
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        let err = vm
+            .call(&image, &mut mem, &mut NoHcalls, "main", &[])
+            .unwrap_err();
+        assert_eq!(err.trap(), Some(Trap::BadInstruction { at: 0 }));
+        assert_eq!(vm.total_executed(), 0, "trap fires before counting");
+    }
+
+    #[test]
+    fn observers_behave_identically_in_both_modes() {
+        let image = assemble(COUNTDOWN).expect("assembles");
+        let profiles: Vec<Vec<u64>> = [ExecMode::Decoded, ExecMode::Legacy]
+            .into_iter()
+            .map(|mode| {
+                let mut mem = Memory::new(8192);
+                let mut vm = Vm::with_mode(VmConfig::default(), mode);
+                vm.enable_profiling(image.len());
+                vm.set_watchpoint(1);
+                vm.call(&image, &mut mem, &mut NoHcalls, "main", &[5])
+                    .unwrap();
+                assert_eq!(vm.watchpoint(), Some(Watchpoint { pc: 1, hits: 5 }));
+                vm.profile().unwrap().to_vec()
+            })
+            .collect();
+        assert_eq!(profiles[0], profiles[1]);
+        assert_eq!(profiles[0][1], 5, "loop body counted per iteration");
+    }
+
+    #[test]
+    fn set_mode_switches_engines_in_place() {
+        let image = assemble(COUNTDOWN).expect("assembles");
+        let mut mem = Memory::new(8192);
+        let mut vm = Vm::new();
+        assert_eq!(vm.mode(), ExecMode::Decoded);
+        let a = vm
+            .call(&image, &mut mem, &mut NoHcalls, "main", &[4])
+            .unwrap();
+        vm.set_mode(ExecMode::Legacy);
+        let b = vm
+            .call(&image, &mut mem, &mut NoHcalls, "main", &[4])
+            .unwrap();
+        assert_eq!(a, b);
     }
 }

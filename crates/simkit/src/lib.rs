@@ -35,6 +35,6 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use rate::RateTracker;
-pub use rng::SimRng;
+pub use rng::{SimRng, ZipfTable};
 pub use stats::{OnlineStats, Percentiles, RateMeter};
 pub use time::{SimDuration, SimTime};

@@ -172,23 +172,35 @@ impl SimRng {
     /// A Zipf-like sample over `[0, n)` with exponent `s` — used by the
     /// SPECWeb-like file-set popularity model.
     ///
+    /// Callers drawing from the same distribution millions of times should
+    /// build a [`ZipfTable`] once and use [`SimRng::zipf_from`] — same
+    /// samples, none of the per-call `powf` work.
+    ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn zipf(&mut self, n: usize, s: f64) -> usize {
-        assert!(n > 0, "zipf() over empty support");
-        // Inverse-CDF over the finite harmonic mass. n is small (file classes),
-        // so the linear scan is fine and keeps the sampler allocation-free.
-        let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
-        let mut x = self.unit() * h;
-        for k in 1..=n {
-            let w = 1.0 / (k as f64).powf(s);
+        self.zipf_from(&ZipfTable::new(n, s))
+    }
+
+    /// Draws from a precomputed [`ZipfTable`]. Bit-identical to
+    /// [`SimRng::zipf`] with the table's `(n, s)`: the weights, the harmonic
+    /// mass and the inverse-CDF scan order are exactly the ones `zipf`
+    /// produces, and exactly one `u64` is consumed either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn zipf_from(&mut self, table: &ZipfTable) -> usize {
+        assert!(!table.is_empty(), "zipf() over empty support");
+        let mut x = self.unit() * table.h;
+        for (i, &w) in table.weights.iter().enumerate() {
             if x < w {
-                return k - 1;
+                return i;
             }
             x -= w;
         }
-        n - 1
+        table.weights.len() - 1
     }
 
     /// In-place Fisher–Yates shuffle.
@@ -197,6 +209,36 @@ impl SimRng {
             let j = self.index(i + 1);
             xs.swap(i, j);
         }
+    }
+}
+
+/// Precomputed inverse-CDF weights for [`SimRng::zipf_from`].
+///
+/// Holds the exact `1/k^s` weights (and their sum, in summation order) that
+/// [`SimRng::zipf`] recomputes on every draw, so a cached table yields
+/// bit-identical samples.
+#[derive(Clone, Debug)]
+pub struct ZipfTable {
+    weights: Vec<f64>,
+    h: f64,
+}
+
+impl ZipfTable {
+    /// The table for a Zipf distribution over `[0, n)` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> ZipfTable {
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let h: f64 = weights.iter().sum();
+        ZipfTable { weights, h }
+    }
+
+    /// Support size `n`.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the support is empty (drawing from it panics).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
     }
 }
 
@@ -211,6 +253,18 @@ mod tests {
         let mut b = SimRng::seed_from_u64(123);
         for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zipf_from_table_matches_zipf() {
+        for (n, s) in [(1, 1.0), (7, 0.8), (40, 1.0), (200, 1.3)] {
+            let table = ZipfTable::new(n, s);
+            let mut a = SimRng::seed_from_u64(9);
+            let mut b = SimRng::seed_from_u64(9);
+            for _ in 0..500 {
+                assert_eq!(a.zipf(n, s), b.zipf_from(&table));
+            }
         }
     }
 

@@ -208,6 +208,12 @@ impl OsApi {
         }
     }
 
+    /// Dense index of this function in [`OsApi::ALL`] (declaration order) —
+    /// lets per-call bookkeeping use flat arrays instead of maps.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Number of arguments the function takes.
     pub fn arity(self) -> usize {
         match self {

@@ -8,6 +8,7 @@
 //! volume.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use mvm::{HcallHandler, Memory, Reg, Trap};
 
@@ -20,10 +21,16 @@ const DEV_MAX_PATH: usize = 512;
 const IO_BASE_COST: u64 = 20;
 
 /// Host-side file store plus hypercall dispatch.
+///
+/// File contents and the path table live behind [`Arc`]s, so cloning a store
+/// — the heart of snapshot-based campaign slot reset — is a handful of
+/// refcount bumps regardless of how large the served document tree is.
+/// Mutations go through [`Arc::make_mut`], copying only what a slot actually
+/// writes (and only when the content is still shared with a snapshot).
 #[derive(Clone, Debug, Default)]
 pub struct DeviceStore {
-    files: Vec<Vec<i64>>,
-    by_path: BTreeMap<String, usize>,
+    files: Vec<Arc<Vec<i64>>>,
+    by_path: Arc<BTreeMap<String, usize>>,
     cost_units: u64,
     io_ops: u64,
 }
@@ -43,12 +50,12 @@ impl DeviceStore {
     /// Adds (or replaces) a file with cell content; returns its id.
     pub fn add_file_cells(&mut self, path: &str, cells: Vec<i64>) -> usize {
         if let Some(&id) = self.by_path.get(path) {
-            self.files[id] = cells;
+            self.files[id] = Arc::new(cells);
             id
         } else {
             let id = self.files.len();
-            self.files.push(cells);
-            self.by_path.insert(path.to_string(), id);
+            self.files.push(Arc::new(cells));
+            Arc::make_mut(&mut self.by_path).insert(path.to_string(), id);
             id
         }
     }
@@ -76,7 +83,7 @@ impl DeviceStore {
     /// Unlinks `path` (subsequent lookups miss); the content stays stored
     /// and can be re-linked. Returns the file id, if the path existed.
     pub fn unlink(&mut self, path: &str) -> Option<usize> {
-        self.by_path.remove(path)
+        Arc::make_mut(&mut self.by_path).remove(path)
     }
 
     /// (Re-)links `path` to an existing file id.
@@ -86,7 +93,7 @@ impl DeviceStore {
     /// Panics if `id` does not reference a stored file.
     pub fn link(&mut self, path: &str, id: usize) {
         assert!(id < self.files.len(), "file id {id} out of range");
-        self.by_path.insert(path.to_string(), id);
+        Arc::make_mut(&mut self.by_path).insert(path.to_string(), id);
     }
 
     /// Cost units accrued by hypercalls since the last [`take_cost`]
@@ -146,10 +153,13 @@ impl DeviceStore {
             return Ok(0); // EOF
         }
         let n = (file.len() - off).min(len as usize);
-        let chunk = file[off..off + n].to_vec();
         self.cost_units += n as u64;
+        // Bump the refcount instead of copying the chunk: the borrow of
+        // `self.files` ends here, freeing `self` for the cost bookkeeping
+        // while the transfer reads straight from the stored content.
+        let file = Arc::clone(file);
         // A wild destination (possible under injected faults) is a bus error.
-        mem.write_block(dst, &chunk)
+        mem.write_block(dst, &file[off..off + n])
             .map_err(|e| Trap::BadMemory { at, addr: e.addr })?;
         Ok(n as i64)
     }
@@ -161,20 +171,27 @@ impl DeviceStore {
         if off < 0 || len < 0 {
             return Ok(-1);
         }
-        let data = mem
-            .read_block(src, len as usize)
-            .map_err(|e| Trap::BadMemory { at, addr: e.addr })?;
+        let Some(data) = mem.block(src, len as usize) else {
+            // Re-walk cell by cell for the exact first faulting address.
+            let e = mem
+                .read_block(src, len as usize)
+                .expect_err("block() said out of bounds");
+            return Err(Trap::BadMemory { at, addr: e.addr });
+        };
         let Some(file) = usize::try_from(fid)
             .ok()
             .and_then(|id| self.files.get_mut(id))
         else {
             return Ok(-1);
         };
+        // Copy-on-write: contents shared with a snapshot are cloned only
+        // when a slot actually writes to them.
+        let file = Arc::make_mut(file);
         let off = off as usize;
         if file.len() < off + data.len() {
             file.resize(off + data.len(), 0);
         }
-        file[off..off + data.len()].copy_from_slice(&data);
+        file[off..off + data.len()].copy_from_slice(data);
         self.cost_units += data.len() as u64;
         Ok(data.len() as i64)
     }

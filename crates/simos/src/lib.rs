@@ -44,6 +44,8 @@ pub mod source;
 
 pub use api::{Module, OsApi};
 pub use device::DeviceStore;
+pub use mvm::ExecMode;
 pub use os::{
     compile_count, image_fingerprint, reboot_count, CallResult, Edition, Os, OsCallError,
+    OsSnapshot,
 };

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use minic::Program;
-use mvm::{CallError, Memory, Trap, Vm, VmConfig};
+use mvm::{CallError, ExecMode, Memory, Trap, Vm, VmConfig};
 use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 use simtrace::{EventKind, Tracer};
@@ -157,6 +157,23 @@ pub fn image_fingerprint(edition: Edition) -> Result<u64, String> {
     Ok(compiled_program(edition)?.image().fingerprint())
 }
 
+/// Restorable kernel state captured by [`Os::snapshot`]: the data memory
+/// (heap, tables, globals) and the device store, keyed on the image
+/// fingerprint at capture time.
+#[derive(Clone, Debug)]
+pub struct OsSnapshot {
+    mem: Memory,
+    devices: DeviceStore,
+    image_fingerprint: u64,
+}
+
+impl OsSnapshot {
+    /// Fingerprint of the image the snapshot was captured under.
+    pub fn image_fingerprint(&self) -> u64 {
+        self.image_fingerprint
+    }
+}
+
 /// A booted SimOS instance.
 #[derive(Debug)]
 pub struct Os {
@@ -165,7 +182,14 @@ pub struct Os {
     mem: Memory,
     vm: Vm,
     devices: DeviceStore,
-    api_counts: BTreeMap<OsApi, u64>,
+    /// Per-API call counts, indexed by [`OsApi::index`] (flat array: the
+    /// count bump is on the per-call hot path).
+    api_counts: [u64; OsApi::ALL.len()],
+    /// Entry addresses resolved from the image once per API function, so
+    /// the per-call path skips the symbol-table lookup. Function extents
+    /// never move (patches replace words in place), so entries stay valid
+    /// across injection apply/undo.
+    api_entries: [Option<u32>; OsApi::ALL.len()],
     calls_total: u64,
     tracer: Tracer,
     /// Reboots of *this* instance (the global [`reboot_count`] spans all
@@ -206,7 +230,8 @@ impl Os {
                 ..VmConfig::default()
             }),
             devices: DeviceStore::new(),
-            api_counts: BTreeMap::new(),
+            api_counts: [0; OsApi::ALL.len()],
+            api_entries: [None; OsApi::ALL.len()],
             calls_total: 0,
             tracer: Tracer::disabled(),
             reboots: 0,
@@ -267,6 +292,51 @@ impl Os {
         self.reset_state()
     }
 
+    /// Captures the current kernel state — memory and devices — as a
+    /// snapshot restorable by [`Os::restore`]. The snapshot is keyed on the
+    /// image fingerprint at capture time, so it can never be replayed onto
+    /// a different (or still-mutated) build.
+    ///
+    /// Snapshots exist so campaign slot reset can be a memcpy instead of a
+    /// re-boot: capture once after the post-boot warm-up, restore per slot.
+    pub fn snapshot(&self) -> OsSnapshot {
+        OsSnapshot {
+            mem: self.mem.clone(),
+            devices: self.devices.clone(),
+            image_fingerprint: self.program.image().fingerprint(),
+        }
+    }
+
+    /// Restores a [`snapshot`](Os::snapshot): memory is copied back in
+    /// place (no reallocation) and the device store is reset to its
+    /// captured state. Counters, tracer and watch state are untouched —
+    /// restore replaces the *kernel state* a re-boot would rebuild, nothing
+    /// more.
+    ///
+    /// Returns `false` — restoring nothing — when the current image
+    /// fingerprint differs from the one captured, i.e. the image was
+    /// patched (or swapped) since; callers fall back to a full
+    /// [`reset_state`](Os::reset_state).
+    pub fn restore(&mut self, snapshot: &OsSnapshot) -> bool {
+        if self.program.image().fingerprint() != snapshot.image_fingerprint {
+            return false;
+        }
+        self.mem.copy_from(&snapshot.mem);
+        self.devices = snapshot.devices.clone();
+        true
+    }
+
+    /// Switches the VM's dispatch engine (decoded vs legacy); see
+    /// [`ExecMode`].
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.vm.set_mode(mode);
+    }
+
+    /// The VM's active dispatch engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.vm.mode()
+    }
+
     /// The booted edition.
     pub fn edition(&self) -> Edition {
         self.edition
@@ -310,18 +380,30 @@ impl Os {
             "{api} takes {} argument(s)",
             api.arity()
         );
-        *self.api_counts.entry(api).or_insert(0) += 1;
+        self.api_counts[api.index()] += 1;
         self.calls_total += 1;
         if self.tracer.is_enabled() {
             self.tracer.emit(EventKind::ApiEnter { api: api.symbol() });
         }
-        let result = match self.vm.call(
-            self.program.image(),
-            &mut self.mem,
-            &mut self.devices,
-            api.symbol(),
-            args,
-        ) {
+        let entry = match self.api_entries[api.index()] {
+            Some(e) => Ok(e),
+            None => match self.program.image().func(api.symbol()) {
+                Some(f) => {
+                    self.api_entries[api.index()] = Some(f.entry);
+                    Ok(f.entry)
+                }
+                None => Err(CallError::UnknownFunction(api.symbol().to_string())),
+            },
+        };
+        let result = match entry.and_then(|e| {
+            self.vm.call_entry(
+                self.program.image(),
+                &mut self.mem,
+                &mut self.devices,
+                e,
+                args,
+            )
+        }) {
             Ok(out) => {
                 let device_cost = self.devices.take_cost();
                 if device_cost > 0 && self.tracer.is_enabled() {
@@ -488,9 +570,14 @@ impl Os {
     }
 
     /// Per-function call counts since the last [`Os::clear_api_counts`] —
-    /// the raw material of the profiling phase.
-    pub fn api_counts(&self) -> &BTreeMap<OsApi, u64> {
-        &self.api_counts
+    /// the raw material of the profiling phase. Only called functions
+    /// appear, keyed in [`OsApi`] declaration order.
+    pub fn api_counts(&self) -> BTreeMap<OsApi, u64> {
+        OsApi::ALL
+            .iter()
+            .filter(|a| self.api_counts[a.index()] > 0)
+            .map(|&a| (a, self.api_counts[a.index()]))
+            .collect()
     }
 
     /// Total API calls observed.
@@ -500,7 +587,7 @@ impl Os {
 
     /// Resets the API trace.
     pub fn clear_api_counts(&mut self) {
-        self.api_counts.clear();
+        self.api_counts = [0; OsApi::ALL.len()];
         self.calls_total = 0;
     }
 }
@@ -553,6 +640,54 @@ mod tests {
         os.devices_mut()
             .add_file("/web/index.html", b"<html>hi</html>");
         os
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back_memory_and_devices() {
+        let mut os = booted();
+        let before = os.peek_block(0, 64).unwrap();
+        let snap = os.snapshot();
+
+        os.poke(10, -123).unwrap();
+        os.devices_mut().add_file("/web/later.html", b"added");
+        assert!(os.restore(&snap), "fingerprints match");
+        assert_eq!(os.peek_block(0, 64).unwrap(), before);
+        assert!(
+            os.devices().file("/web/later.html").is_none(),
+            "device store rolled back"
+        );
+        assert!(os.devices().file("/web/index.html").is_some());
+    }
+
+    #[test]
+    fn restore_refuses_a_mutated_image() {
+        let mut os = booted();
+        let snap = os.snapshot();
+        let undo = os
+            .image_mut()
+            .apply(&[mvm::Patch {
+                addr: 0,
+                new_word: mvm::Instr::nop().encode(),
+            }])
+            .unwrap();
+        os.poke(10, 55).unwrap();
+        assert!(!os.restore(&snap), "patched image must not restore");
+        assert_eq!(os.peek(10).unwrap(), 55, "refused restore changes nothing");
+        os.image_mut().revert(&undo);
+        assert!(os.restore(&snap), "pristine image restores again");
+        assert_eq!(os.peek(10).unwrap(), snap.mem.read(10).unwrap());
+    }
+
+    #[test]
+    fn exec_mode_is_switchable_and_observation_free() {
+        let mut decoded_os = booted();
+        assert_eq!(decoded_os.exec_mode(), ExecMode::Decoded);
+        let mut legacy_os = booted();
+        legacy_os.set_exec_mode(ExecMode::Legacy);
+        assert_eq!(legacy_os.exec_mode(), ExecMode::Legacy);
+        let decoded = decoded_os.call(OsApi::RtlAllocateHeap, &[16]).unwrap();
+        let legacy = legacy_os.call(OsApi::RtlAllocateHeap, &[16]).unwrap();
+        assert_eq!(decoded, legacy, "engines agree call-for-call");
     }
 
     /// Scratch area for test buffers, well away from kernel structures.

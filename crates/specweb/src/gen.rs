@@ -1,6 +1,8 @@
 //! The operation generator: SPECWeb99's mix over the file set.
 
-use simkit::SimRng;
+use std::sync::Arc;
+
+use simkit::{SimRng, ZipfTable};
 use webserver::{Method, Request};
 
 use crate::fileset::{FileSet, CLASSES, CLASS_WEIGHTS};
@@ -20,24 +22,59 @@ const FILE_ZIPF_S: f64 = 1.0;
 const POST_LEN: u64 = 96;
 
 /// Draws SPECWeb99-like operations against a [`FileSet`].
+///
+/// The file set, the per-class entry indices and the Zipf tables are
+/// immutable and shared behind one [`Arc`]: campaigns clone a fresh
+/// generator per slot, and that clone must not re-allocate a few hundred
+/// path strings every time.
 #[derive(Clone, Debug)]
 pub struct RequestGenerator {
-    fileset: FileSet,
+    shared: Arc<GenShared>,
     post_counter: u64,
+}
+
+/// The immutable part of a [`RequestGenerator`].
+#[derive(Debug)]
+struct GenShared {
+    fileset: FileSet,
+    /// Per-class indices into `fileset.entries()`, in entry order — the
+    /// same order `FileSet::class_entries` yields.
+    class_index: Vec<Vec<usize>>,
+    /// Per-class Zipf tables (bit-identical draws to `rng.zipf(n, s)`).
+    zipf: Vec<ZipfTable>,
 }
 
 impl RequestGenerator {
     /// A generator over `fileset`.
     pub fn new(fileset: FileSet) -> RequestGenerator {
+        let class_index: Vec<Vec<usize>> = (0..CLASSES)
+            .map(|class| {
+                fileset
+                    .entries()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.class == class)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        let zipf = class_index
+            .iter()
+            .map(|idx| ZipfTable::new(idx.len(), FILE_ZIPF_S))
+            .collect();
         RequestGenerator {
-            fileset,
+            shared: Arc::new(GenShared {
+                fileset,
+                class_index,
+                zipf,
+            }),
             post_counter: 0,
         }
     }
 
     /// The underlying file set.
     pub fn fileset(&self) -> &FileSet {
-        &self.fileset
+        &self.shared.fileset
     }
 
     /// Draws the next operation.
@@ -63,9 +100,8 @@ impl RequestGenerator {
         };
         let class = rng.weighted(&CLASS_WEIGHTS);
         debug_assert!(class < CLASSES);
-        let in_class: Vec<&crate::fileset::FileEntry> = self.fileset.class_entries(class).collect();
-        let idx = rng.zipf(in_class.len(), FILE_ZIPF_S);
-        let entry = in_class[idx];
+        let idx = rng.zipf_from(&self.shared.zipf[class]);
+        let entry = &self.shared.fileset.entries()[self.shared.class_index[class][idx]];
         Request {
             method,
             path: entry.dos_path.clone(),

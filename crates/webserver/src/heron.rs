@@ -43,7 +43,7 @@ const STYLE: Style = Style {
 };
 
 /// The Apache-like server. See module docs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Heron {
     state: ServerState,
     bufs: Option<Buffers>,
@@ -265,6 +265,10 @@ impl WebServer for Heron {
 
     fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn WebServer> {
+        Box::new(self.clone())
     }
 }
 

@@ -71,6 +71,17 @@ pub trait WebServer {
 
     /// Cumulative counters.
     fn stats(&self) -> ServerStats;
+
+    /// Clones the server, preserving its full runtime state (buffers, spare,
+    /// counters). Used by the snapshot slot-reset path to duplicate a warm
+    /// post-boot server instead of rebuilding and restarting one per slot.
+    fn clone_box(&self) -> Box<dyn WebServer>;
+}
+
+impl Clone for Box<dyn WebServer> {
+    fn clone(&self) -> Box<dyn WebServer> {
+        self.clone_box()
+    }
 }
 
 /// The four server models, for configuration and reports.

@@ -24,7 +24,7 @@ const STYLE: Style = Style {
 };
 
 /// The Sambar-like profiling server.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Sparrow {
     state: ServerState,
     bufs: Option<Buffers>,
@@ -105,6 +105,10 @@ impl WebServer for Sparrow {
 
     fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn WebServer> {
+        Box::new(self.clone())
     }
 }
 

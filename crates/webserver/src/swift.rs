@@ -23,7 +23,7 @@ const STYLE: Style = Style {
 };
 
 /// The Savant-like profiling server.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Swift {
     state: ServerState,
     bufs: Option<Buffers>,
@@ -113,6 +113,10 @@ impl WebServer for Swift {
 
     fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn WebServer> {
+        Box::new(self.clone())
     }
 }
 

@@ -26,7 +26,7 @@ const STYLE: Style = Style {
 };
 
 /// The Abyss-like server. See module docs.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Wren {
     state: ServerState,
     bufs: Option<Buffers>,
@@ -143,6 +143,10 @@ impl WebServer for Wren {
 
     fn stats(&self) -> ServerStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn WebServer> {
+        Box::new(self.clone())
     }
 }
 
