@@ -30,7 +30,7 @@ fn bench_per_operator(c: &mut Criterion) {
         let name = op.fault_type().acronym();
         group.bench_function(name, |b| {
             b.iter(|| {
-                let scanner = Scanner::with_operators(vec![one_of(name)]);
+                let scanner = Scanner::with_operators(vec![one_of(name)]).unwrap();
                 scanner.scan_image(std::hint::black_box(&image))
             })
         });

@@ -17,7 +17,19 @@
 //!            [--out FILE]    time the fast execution path (pre-decoded
 //!                            dispatch + snapshot slot reset) against the
 //!                            legacy path and write a BENCH_<date>.json
+//! faultbench pack list [--packs SPEC]              show the operator packs
+//! faultbench pack lint <path-or-name>...           validate pack files
+//! faultbench pack accuracy <edition> [--packs SPEC] per-pack precision/recall
 //! ```
+//!
+//! Every scanning command accepts `--packs SPEC`: a comma-separated list of
+//! bundled pack names (`odc-classic`, `odc-extended`), pack `.json` files,
+//! or directories of pack files. The resolved packs replace the built-in
+//! operator library; their content hash flows into `operator_set_hash`, so
+//! store cache entries and stored runs distinguish pack versions. The
+//! bundled `odc-classic` pack reproduces the built-in library byte for
+//! byte — `scan --packs odc-classic` and a plain `scan` emit identical
+//! faultload JSON.
 //!
 //! `campaign --iters N` runs up to N iterations (the historical
 //! `--iterations` spelling still works); with `--ci-target P` the campaign
@@ -59,7 +71,7 @@ use depbench::report::{f, pct, TextTable};
 use depbench::{Campaign, CampaignConfig, DependabilityMetrics, RecoveryPolicy};
 use faultstore::{diff_runs, StoreError};
 use simos::{Edition, Os};
-use swfit_core::{accuracy, Faultload, Scanner};
+use swfit_core::{accuracy, Faultload};
 use webserver::ServerKind;
 
 fn main() -> ExitCode {
@@ -73,9 +85,10 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("accuracy") => cmd_accuracy(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
+        Some("pack") => cmd_pack(&args[1..]),
         _ => {
             eprintln!(
-                "usage: faultbench <scan|profile|campaign|recovery|trace|diff|accuracy|perf> …\n\
+                "usage: faultbench <scan|profile|campaign|recovery|trace|diff|accuracy|perf|pack> …\n\
                  see the module docs (`faultbench.rs`) for details"
             );
             return ExitCode::FAILURE;
@@ -149,6 +162,7 @@ fn mttr_ms(a: &depbench::AvailabilityMetrics) -> String {
 /// the store's fault-map cache when one is open). Honours `--limit`.
 fn load_faultload(
     args: &[String],
+    cli: &CliArgs,
     edition: Edition,
     store: Option<&faultstore::FaultStore>,
 ) -> Result<Faultload, String> {
@@ -159,7 +173,7 @@ fn load_faultload(
         }
         None => {
             let os = Os::boot(edition)?;
-            let scanner = Scanner::standard();
+            let scanner = cli.scanner()?;
             let api: Vec<String> = simos::OsApi::ALL
                 .iter()
                 .map(|f| f.symbol().to_string())
@@ -204,7 +218,7 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     let cli = CliArgs::from_slice(args)?;
     let store = cli.open_store()?;
     let os = Os::boot(edition)?;
-    let scanner = Scanner::standard();
+    let scanner = cli.scanner()?;
     let whole_image = args.iter().any(|a| a == "--all");
     let faultload = match (&store, whole_image) {
         (Some(s), true) => s
@@ -297,7 +311,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         Some(c) => c.max_iters,
         None => cli.iters.or(legacy_iterations).unwrap_or(1),
     };
-    let faultload = load_faultload(args, edition, store.as_ref())?;
+    let faultload = load_faultload(args, &cli, edition, store.as_ref())?;
     eprintln!(
         "campaign: {edition} / {server}, {} faults, up to {max_iterations} iteration(s), {} job(s){}",
         faultload.len(),
@@ -482,7 +496,7 @@ fn cmd_recovery(args: &[String]) -> Result<(), String> {
     let server = parse_server(args.get(1))?;
     let cli = CliArgs::from_slice(args)?;
     let store = cli.open_store()?;
-    let faultload = load_faultload(args, edition, store.as_ref())?;
+    let faultload = load_faultload(args, &cli, edition, store.as_ref())?;
     eprintln!(
         "recovery comparison: {edition} / {server}, {} faults per policy, {} job(s)",
         faultload.len(),
@@ -533,7 +547,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| format!("bad iteration `{v}`")))
         .transpose()?
         .unwrap_or(0);
-    let faultload = load_faultload(args, edition, store.as_ref())?;
+    let faultload = load_faultload(args, &cli, edition, store.as_ref())?;
     if slot >= faultload.len() {
         return Err(format!(
             "--slot {slot} is out of range: the faultload has {} faults",
@@ -606,8 +620,9 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 
 fn cmd_accuracy(args: &[String]) -> Result<(), String> {
     let edition = parse_edition(args.first())?;
+    let cli = CliArgs::from_slice(args)?;
     let os = Os::boot(edition)?;
-    let fl = Scanner::standard().scan_image(os.program().image());
+    let fl = cli.scanner()?.scan_image(os.program().image());
     let report = accuracy::measure(&fl, os.program().constructs());
     let mut table = TextTable::new([
         "type",
@@ -670,7 +685,7 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
     let edition = parse_edition(args.first())?;
     let server = parse_server(args.get(1))?;
     let cli = CliArgs::from_slice(args)?;
-    let faultload = load_faultload(args, edition, None)?;
+    let faultload = load_faultload(args, &cli, edition, None)?;
     // Unlimited faultloads are large; a capped, evenly-sampled slice times
     // the same code paths in a fraction of the wall clock.
     let faultload = match parse_limit(args)? {
@@ -731,5 +746,106 @@ fn cmd_perf(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| format!("BENCH_{date}.json"));
     std::fs::write(&out, body).map_err(|e| format!("writing {out}: {e}"))?;
     println!("campaign throughput: {speedup:.2}x (decoded+snapshot over legacy); wrote {out}");
+    Ok(())
+}
+
+/// Resolves the packs a `pack` subcommand operates on: `--packs SPEC` when
+/// given, the bundled packs otherwise.
+fn resolve_packs(cli: &CliArgs) -> Result<Vec<faultpack::Pack>, String> {
+    match &cli.packs {
+        Some(spec) => faultpack::load_spec(spec).map_err(|e| e.to_string()),
+        None => Ok(faultpack::bundled()),
+    }
+}
+
+/// `faultbench pack {list,lint,accuracy}` — inspect, validate and score
+/// fault-model packs.
+fn cmd_pack(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_pack_list(&args[1..]),
+        Some("lint") => cmd_pack_lint(&args[1..]),
+        Some("accuracy") => cmd_pack_accuracy(&args[1..]),
+        _ => Err("usage: faultbench pack <list|lint|accuracy> …".into()),
+    }
+}
+
+fn cmd_pack_list(args: &[String]) -> Result<(), String> {
+    let cli = CliArgs::from_slice(args)?;
+    let packs = resolve_packs(&cli)?;
+    let mut table = TextTable::new(["pack", "version", "operators", "hash", "description"]);
+    for pack in &packs {
+        table.row([
+            pack.name().to_string(),
+            pack.spec().version.clone(),
+            pack.spec().operators.len().to_string(),
+            format!("{:016x}", pack.hash()),
+            pack.spec().description.clone(),
+        ]);
+    }
+    print!("{}", table.render());
+    let scanner = faultpack::scanner_for(&packs).map_err(|e| e.to_string())?;
+    println!(
+        "combined library: {} operators, operator-set hash {:016x}",
+        scanner.operators().len(),
+        scanner.operator_set_hash()
+    );
+    Ok(())
+}
+
+/// Validates every named pack (bundled name, file, or directory entry),
+/// reporting per-entry verdicts. Any rejection fails the command, so CI can
+/// gate on the exit status.
+fn cmd_pack_lint(args: &[String]) -> Result<(), String> {
+    let entries: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if entries.is_empty() {
+        return Err("usage: faultbench pack lint <path-or-name>…".into());
+    }
+    let mut failures = 0usize;
+    for entry in entries {
+        match faultpack::load_spec(entry) {
+            Ok(packs) => {
+                for pack in &packs {
+                    println!(
+                        "ok   {} ({} operators, hash {:016x})",
+                        pack.name(),
+                        pack.spec().operators.len(),
+                        pack.hash()
+                    );
+                }
+            }
+            Err(e) => {
+                println!("FAIL {entry}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} pack entr(y/ies) failed lint"));
+    }
+    Ok(())
+}
+
+/// Scores every resolved pack independently against the edition's codegen
+/// ground truth: the construct inventory minic emitted while compiling it.
+fn cmd_pack_accuracy(args: &[String]) -> Result<(), String> {
+    let edition = parse_edition(args.first())?;
+    let cli = CliArgs::from_slice(args)?;
+    let packs = resolve_packs(&cli)?;
+    let os = Os::boot(edition)?;
+    let mut table = TextTable::new(["pack", "operators", "faults", "precision", "recall"]);
+    for pack in &packs {
+        let scanner =
+            faultpack::scanner_for(std::slice::from_ref(pack)).map_err(|e| e.to_string())?;
+        let fl = scanner.scan_image(os.program().image());
+        let report = accuracy::measure(&fl, os.program().constructs());
+        table.row([
+            pack.name().to_string(),
+            scanner.operators().len().to_string(),
+            fl.len().to_string(),
+            f(report.overall_precision() * 100.0, 1),
+            f(report.overall_recall() * 100.0, 1),
+        ]);
+    }
+    print!("{}", table.render());
     Ok(())
 }

@@ -24,6 +24,10 @@
 //! --no-predecode run the legacy execution path: decode-per-step VM
 //!                dispatch and full re-boot slot reset (the A/B-timing
 //!                escape hatch; results are bit-identical either way)
+//! --packs SPEC   scan with fault-model packs instead of the built-in
+//!                operator library: comma-separated bundled pack names
+//!                (`odc-classic`, `odc-extended`), pack .json files, or
+//!                directories of pack files
 //! ```
 //!
 //! Unrecognized arguments are left alone — binaries keep their own extra
@@ -31,7 +35,7 @@
 
 use depbench::{Campaign, CampaignConfig, CampaignConfigBuilder, CampaignResult, TraceConfig};
 use faultstore::FaultStore;
-use swfit_core::Faultload;
+use swfit_core::{Faultload, Scanner};
 
 /// The shared flags, parsed from the process arguments.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -57,6 +61,9 @@ pub struct CliArgs {
     /// `--no-predecode`: run campaigns on the legacy execution path —
     /// decode-per-step VM dispatch *and* full re-boot slot reset.
     pub no_predecode: bool,
+    /// `--packs SPEC`: fault-model packs to scan with (see
+    /// [`faultpack::load_spec`]). `None` = the built-in operator library.
+    pub packs: Option<String>,
 }
 
 impl CliArgs {
@@ -137,6 +144,7 @@ impl CliArgs {
         let trace_dir = value_of("--trace-dir")?.map(std::path::PathBuf::from);
         let trace = trace_dir.is_some() || args.iter().any(|a| a == "--trace");
         let no_predecode = args.iter().any(|a| a == "--no-predecode");
+        let packs = value_of("--packs")?.cloned();
         Ok(CliArgs {
             jobs,
             seed,
@@ -147,6 +155,7 @@ impl CliArgs {
             trace,
             trace_dir,
             no_predecode,
+            packs,
         })
     }
 
@@ -196,6 +205,28 @@ impl CliArgs {
             dump_dir: self.trace_dir.clone(),
             ..TraceConfig::default()
         })
+    }
+
+    /// The scanner selected by `--packs`: the built-in operator library
+    /// when the flag is absent, otherwise the combined library of the
+    /// resolved packs. Pack-built scanners carry pack-versioned operator
+    /// content keys, so store cache entries and stored runs from different
+    /// pack versions never collide.
+    ///
+    /// # Errors
+    ///
+    /// Any pack resolution/validation error, stringified for CLI reporting.
+    pub fn scanner(&self) -> Result<Scanner, String> {
+        match &self.packs {
+            None => Ok(Scanner::standard()),
+            Some(spec) => {
+                let packs = faultpack::load_spec(spec).map_err(|e| e.to_string())?;
+                if packs.is_empty() {
+                    return Err(format!("--packs `{spec}` resolved to no packs"));
+                }
+                faultpack::scanner_for(&packs).map_err(|e| e.to_string())
+            }
+        }
     }
 
     /// Opens the `--store` directory, if one was given.
@@ -364,6 +395,35 @@ mod tests {
         assert_eq!(tc.dump_dir.as_deref(), Some(std::path::Path::new("dumps")));
 
         assert!(CliArgs::from_slice(&args(&["--trace-dir"])).is_err());
+    }
+
+    #[test]
+    fn packs_flag_selects_the_scanner_library() {
+        // No flag: the built-in 12-operator library, standard hash.
+        let plain = CliArgs::from_slice(&[]).unwrap();
+        assert_eq!(plain.packs, None);
+        let standard = plain.scanner().unwrap();
+        assert_eq!(
+            standard.operator_set_hash(),
+            Scanner::standard().operator_set_hash()
+        );
+
+        // Bundled pack: same operator count, pack-versioned hash.
+        let packed = CliArgs::from_slice(&args(&["--packs", "odc-classic"])).unwrap();
+        let scanner = packed.scanner().unwrap();
+        assert_eq!(scanner.operators().len(), 12);
+        assert_ne!(
+            scanner.operator_set_hash(),
+            standard.operator_set_hash(),
+            "pack-built scanners must not collide with built-in cache keys"
+        );
+
+        // Unknown packs fail with the resolution error.
+        let bad = CliArgs::from_slice(&args(&["--packs", "no-such-pack"])).unwrap();
+        let err = bad.scanner().err().expect("unknown pack");
+        assert!(err.contains("no-such-pack"), "{err}");
+
+        assert!(CliArgs::from_slice(&args(&["--packs"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! End-to-end parity of the bundled `odc-classic` pack against the built-in
+//! operator library, at the scale the benchmark actually runs: full nimbus
+//! editions, scanner accuracy against codegen ground truth, and an
+//! injection campaign.
+//!
+//! The faultpack crate proves byte-identity on a minic corpus; these tests
+//! prove it end to end — swapping the operator library for the pack changes
+//! *nothing* observable except the operator-set hash (which must change, so
+//! cached fault maps and stored runs distinguish pack versions).
+
+use depbench::{Campaign, CampaignConfig};
+use simos::{Edition, Os};
+use swfit_core::{accuracy, Faultload, Scanner};
+use webserver::ServerKind;
+
+fn pack_scanner() -> Scanner {
+    let pack = faultpack::bundled_pack("odc-classic").expect("bundled pack");
+    faultpack::scanner_for(std::slice::from_ref(&pack)).expect("pack compiles")
+}
+
+#[test]
+fn faultloads_are_byte_identical_on_both_editions() {
+    for edition in [Edition::Nimbus2000, Edition::NimbusXp] {
+        let os = Os::boot(edition).unwrap();
+        let builtin = Scanner::standard().scan_image(os.program().image());
+        let packed = pack_scanner().scan_image(os.program().image());
+        assert_eq!(
+            packed.to_json().unwrap(),
+            builtin.to_json().unwrap(),
+            "{edition}: pack scan diverged from the built-in library"
+        );
+        assert_eq!(packed.counts_by_type(), builtin.counts_by_type());
+    }
+}
+
+#[test]
+fn scanner_accuracy_is_identical_on_both_editions() {
+    for edition in [Edition::Nimbus2000, Edition::NimbusXp] {
+        let os = Os::boot(edition).unwrap();
+        let truth = os.program().constructs();
+        let builtin =
+            accuracy::measure(&Scanner::standard().scan_image(os.program().image()), truth);
+        let packed = accuracy::measure(&pack_scanner().scan_image(os.program().image()), truth);
+        assert_eq!(packed.per_type, builtin.per_type, "{edition}");
+        assert!(
+            (packed.overall_precision() - builtin.overall_precision()).abs() < f64::EPSILON
+                && (packed.overall_recall() - builtin.overall_recall()).abs() < f64::EPSILON,
+            "{edition}: overall precision/recall diverged"
+        );
+    }
+}
+
+#[test]
+fn campaign_results_are_byte_identical() {
+    let edition = Edition::Nimbus2000;
+    let os = Os::boot(edition).unwrap();
+    let api: Vec<String> = simos::OsApi::ALL
+        .iter()
+        .map(|f| f.symbol().to_string())
+        .collect();
+
+    // A small, evenly-sampled slice keeps the test fast while still driving
+    // real injections through both faultloads.
+    let sample = |mut fl: Faultload| {
+        let stride = (fl.len() / 8).max(1);
+        fl.faults = fl.faults.into_iter().step_by(stride).take(8).collect();
+        fl
+    };
+    let builtin = sample(Scanner::standard().scan_functions(os.program().image(), &api));
+    let packed = sample(pack_scanner().scan_functions(os.program().image(), &api));
+    assert_eq!(packed.to_json().unwrap(), builtin.to_json().unwrap());
+
+    let campaign = Campaign::new(edition, ServerKind::Heron, CampaignConfig::default());
+    let a = campaign.run_injection(&builtin, 0).unwrap();
+    let b = campaign.run_injection(&packed, 0).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "campaign metrics must not depend on which library produced the faultload"
+    );
+}
+
+#[test]
+fn only_the_operator_set_hash_distinguishes_the_editions_of_the_library() {
+    assert_ne!(
+        pack_scanner().operator_set_hash(),
+        Scanner::standard().operator_set_hash(),
+        "pack-built scanners must key caches by pack identity"
+    );
+}

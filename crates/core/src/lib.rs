@@ -12,6 +12,9 @@
 //! * [`operators`] — the mutation-operator library: each operator is a
 //!   *search pattern* over decoded machine code plus a *low-level mutation*
 //!   (paper §2.2). Operators never see source code or compiler metadata.
+//! * [`patterns`] — the structural matchers behind those search patterns,
+//!   shared with the declarative `faultpack` operator DSL so pack-defined
+//!   operators behave byte-identically to their hard-coded twins.
 //! * [`scanner`] — step 1 of G-SWFIT: scans a target executable and produces
 //!   the map of fault locations, i.e. the [`faultload::Faultload`].
 //! * [`injector`] — step 2: applies one pre-computed mutation at a time to a
@@ -53,6 +56,7 @@ pub mod funcview;
 pub mod hardware;
 pub mod injector;
 pub mod operators;
+pub mod patterns;
 pub mod profile;
 pub mod scanner;
 pub mod taxonomy;
@@ -62,5 +66,5 @@ pub use hardware::{BitFlip, HardwareFaultload};
 pub use injector::{InjectError, Injector};
 pub use operators::{standard_operators, Mutation, MutationOperator};
 pub use profile::{ApiTrace, ProfileSet};
-pub use scanner::Scanner;
+pub use scanner::{DuplicateOperator, Scanner};
 pub use taxonomy::{FaultNature, FaultType, OdcClass};

@@ -7,20 +7,19 @@
 //! function ([`FuncView`]) looking for the code shape its fault type would
 //! have produced, and emits ready-to-apply [`Mutation`]s (word overwrites).
 //!
-//! Operators are deliberately conservative: when a pattern is ambiguous
-//! (non-contiguous evaluation slice, jumps into a candidate region, missing
-//! canonical prologue) they refuse to match — a missed location only shrinks
-//! the faultload, while a bad mutation would break the "the mutation must
-//! correspond to code the compiler could have generated" premise.
+//! The structural matchers themselves live in [`crate::patterns`]; the
+//! operators here bind each pattern to its mutation action and note text.
+//! The declarative `faultpack` DSL compiles onto the *same* pattern
+//! functions, which is what makes a pack-built operator byte-identical to
+//! its hard-coded twin.
 
 use mvm::{Instr, Opcode, Patch, Reg};
 
 use crate::funcview::FuncView;
+use crate::patterns::{self, nop_range, MLPC_MIN_RUN, MLPC_WINDOW};
 use crate::taxonomy::FaultType;
 
-/// Maximum `if`-body size (instructions) for MIFS/MIA matches; bodies larger
-/// than this are "not a small localized construct" and are skipped.
-pub const MAX_IF_BODY: usize = 24;
+pub use crate::patterns::MAX_IF_BODY;
 
 /// One candidate mutation produced by an operator scan.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,9 +36,27 @@ pub struct Mutation {
 pub trait MutationOperator {
     /// The emulated fault type.
     fn fault_type(&self) -> FaultType;
+
     /// Scans one function and returns every location where the fault can be
     /// emulated.
     fn scan(&self, func: &FuncView) -> Vec<Mutation>;
+
+    /// Unique operator name within a scanner's library. The hard-coded
+    /// library uses the fault-type acronym; pack-defined operators may
+    /// override (several operators can share one fault type).
+    fn name(&self) -> String {
+        self.fault_type().acronym().to_string()
+    }
+
+    /// Stable content identity feeding
+    /// [`Scanner::operator_set_hash`](crate::scanner::Scanner::operator_set_hash).
+    /// For hard-coded operators
+    /// the name suffices — their behaviour only changes with the code
+    /// itself. Pack-compiled operators append the pack content hash so that
+    /// editing a pattern invalidates `faultstore` cache entries.
+    fn content_key(&self) -> String {
+        self.name()
+    }
 }
 
 /// The full operator library for the 12 fault types of Table 1.
@@ -61,224 +78,6 @@ pub fn standard_operators() -> Vec<Box<dyn MutationOperator>> {
 }
 
 // --------------------------------------------------------------------------
-// shared pattern helpers
-// --------------------------------------------------------------------------
-
-fn nop_range(func: &FuncView, start: usize, end: usize) -> Vec<Patch> {
-    (start..end)
-        .map(|i| Patch {
-            addr: func.abs(i),
-            new_word: Instr::nop().encode(),
-        })
-        .collect()
-}
-
-fn is_temp(r: Reg) -> bool {
-    (Reg::T0.index()..Reg::T0.index() + 16).contains(&r.index())
-}
-
-/// A recognized `if (cond) { body }` shape (no `else`).
-#[derive(Clone, Copy, Debug)]
-struct IfSite {
-    /// Relative index of the first condition-evaluation instruction.
-    cond_start: usize,
-    /// Relative index of the `beqz`.
-    branch: usize,
-    /// Relative index one past the body (the branch target).
-    end: usize,
-}
-
-/// Resolves a branch target to a relative body-end index (the target may be
-/// exactly one past the function end).
-fn target_rel(func: &FuncView, instr: &Instr) -> Option<usize> {
-    let t = instr.target()?;
-    func.rel(t)
-        .or((t == func.entry + func.len() as u32).then_some(func.len()))
-}
-
-/// Finds every `if`-without-`else` pattern: `eval cond; beqz over body`,
-/// where the body is small, ends without a `jmp` (which would indicate an
-/// `else` arm or a loop back-edge), and nothing jumps into its middle.
-///
-/// `&&` chains — several `beqz` to the same false-target, each guarding the
-/// next clause — are folded into **one** site whose guard region runs from
-/// the first clause's evaluation through the *last* branch; the trailing
-/// clauses are the MLAC operator's territory, not extra if-sites.
-fn if_sites(func: &FuncView) -> Vec<IfSite> {
-    let mut sites = Vec::new();
-    let mut consumed = vec![false; func.len()];
-    let beqz: Vec<usize> = func
-        .instrs
-        .iter()
-        .enumerate()
-        .filter(|(_, i)| i.op == Opcode::Beqz)
-        .map(|(i, _)| i)
-        .collect();
-    for &i in &beqz {
-        if consumed[i] {
-            continue;
-        }
-        let Some(end) = target_rel(func, &func.instrs[i]) else {
-            continue;
-        };
-        // Extend through the && chain: same target, contiguous clause evals.
-        let mut last = i;
-        loop {
-            let next = beqz.iter().copied().find(|&k| {
-                k > last
-                    && k < end
-                    && target_rel(func, &func.instrs[k]) == Some(end)
-                    && func.branch_cond_reg(k).and_then(|r| func.eval_slice(r, k)) == Some(last + 1)
-                    && func.is_straight_line(last + 1, k)
-            });
-            match next {
-                Some(k) => {
-                    consumed[k] = true;
-                    last = k;
-                }
-                None => break,
-            }
-        }
-        if end <= last + 1 || end - (last + 1) > MAX_IF_BODY {
-            continue;
-        }
-        // Body must not end with a jump (else-arm or loop shape).
-        if func.instrs[end - 1].op == Opcode::Jmp {
-            continue;
-        }
-        // No branch from outside the construct may land inside the body.
-        let jumped_into = func.instrs.iter().enumerate().any(|(j, other)| {
-            if (i..end).contains(&j) || other.op == Opcode::Call {
-                return false;
-            }
-            target_rel(func, other).is_some_and(|t| t > last && t < end)
-        });
-        if jumped_into {
-            continue;
-        }
-        let Some(cond_start) = func.branch_cond_reg(i).and_then(|r| func.eval_slice(r, i)) else {
-            continue;
-        };
-        sites.push(IfSite {
-            cond_start,
-            branch: last,
-            end,
-        });
-    }
-    sites
-}
-
-/// `ldi rT, imm; st [fp-k], rT` / `st [r0+addr], rT` pairs (literal
-/// assignment); returns `(ldi_idx, store_idx)` pairs.
-fn literal_assignments(func: &FuncView) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    for i in 0..func.len().saturating_sub(1) {
-        let a = func.instrs[i];
-        let b = func.instrs[i + 1];
-        let pair = a.op == Opcode::Ldi
-            && is_temp(a.rd)
-            && b.op == Opcode::St
-            && b.rs2 == a.rd
-            && (b.rs1 == Reg::FP || b.rs1 == Reg::ZERO)
-            && !func.is_branch_target(func.abs(i + 1));
-        if pair {
-            out.push((i, i + 1));
-        }
-    }
-    out
-}
-
-/// Relative end (exclusive) of the declaration region: everything from the
-/// end of the prologue up to the first control-flow instruction or branch
-/// target.
-fn decl_region_end(func: &FuncView) -> usize {
-    let start = func.after_prologue();
-    let mut i = start;
-    while i < func.len() {
-        if func.instrs[i].op.is_control() || func.is_branch_target(func.abs(i)) {
-            break;
-        }
-        i += 1;
-    }
-    i
-}
-
-/// Walks forward from a `call` to decide whether its return value (`r1`) is
-/// consumed. A `jmp`/`ret`/function-end counts as "used" (conservative); an
-/// overwrite of `r1` (including another call) confirms "unused".
-/// Conditional branches and join points are scanned through on the
-/// fall-through path — in the canonical statement layout of the target
-/// compiler a consumed result is copied out of `r1` immediately, so the
-/// fall-through path is decisive.
-fn call_result_unused(func: &FuncView, call_idx: usize) -> bool {
-    let mut j = call_idx + 1;
-    while j < func.len() {
-        let instr = func.instrs[j];
-        match instr.op {
-            Opcode::Ret => return false, // r1 is the return value
-            Opcode::Jmp => return false,
-            Opcode::Call | Opcode::Hcall => return true, // r1 clobbered
-            Opcode::Beqz | Opcode::Bnez => {
-                // reads only its condition register; continue fall-through
-                if instr.rs1 == Reg::RV {
-                    return false;
-                }
-            }
-            _ => {
-                if instr.reads().contains(&Reg::RV) {
-                    return false;
-                }
-                if instr.writes() == Some(Reg::RV) {
-                    return true;
-                }
-            }
-        }
-        j += 1;
-    }
-    false
-}
-
-/// The contiguous run of `mov rArg, rTmp` marshalling instructions directly
-/// before a call; returns `(first_marshal_idx, moves)` where each move is
-/// `(idx, arg_reg, src_reg)`.
-fn arg_marshal(func: &FuncView, call_idx: usize) -> (usize, Vec<(usize, Reg, Reg)>) {
-    let mut moves = Vec::new();
-    let mut j = call_idx;
-    while j > 0 {
-        let instr = func.instrs[j - 1];
-        if instr.op == Opcode::Mov && instr.rd.is_arg() && is_temp(instr.rs1) {
-            moves.push((j - 1, instr.rd, instr.rs1));
-            j -= 1;
-        } else {
-            break;
-        }
-    }
-    moves.reverse();
-    (j, moves)
-}
-
-/// Finds the defining instruction of `reg` scanning backwards from `before`
-/// within a straight-line region.
-fn def_of(func: &FuncView, reg: Reg, before: usize) -> Option<usize> {
-    let mut j = before;
-    while j > 0 {
-        let idx = j - 1;
-        let instr = func.instrs[idx];
-        if instr.op.is_control() {
-            return None;
-        }
-        if instr.writes() == Some(reg) {
-            return Some(idx);
-        }
-        if func.is_branch_target(func.abs(idx)) {
-            return None;
-        }
-        j = idx;
-    }
-    None
-}
-
-// --------------------------------------------------------------------------
 // the 12 operators
 // --------------------------------------------------------------------------
 
@@ -292,7 +91,7 @@ impl MutationOperator for MifsOp {
     }
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
-        if_sites(func)
+        patterns::if_sites(func, MAX_IF_BODY)
             .into_iter()
             .map(|s| Mutation {
                 site: func.abs(s.branch),
@@ -316,7 +115,7 @@ impl MutationOperator for MiaOp {
     }
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
-        if_sites(func)
+        patterns::if_sites(func, MAX_IF_BODY)
             .into_iter()
             .map(|s| Mutation {
                 site: func.abs(s.branch),
@@ -337,35 +136,17 @@ impl MutationOperator for MlacOp {
     }
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
-        let mut out = Vec::new();
-        let branches: Vec<usize> = func
-            .instrs
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| i.op == Opcode::Beqz)
-            .map(|(i, _)| i)
-            .collect();
-        for w in branches.windows(2) {
-            let (b1, b2) = (w[0], w[1]);
-            if func.instrs[b1].target() != func.instrs[b2].target() {
-                continue;
-            }
-            // Clause region between the branches must be exactly the second
-            // clause's evaluation.
-            let Some(reg) = func.branch_cond_reg(b2) else {
-                continue;
-            };
-            match func.eval_slice(reg, b2) {
-                Some(s) if s == b1 + 1 && func.is_straight_line(s, b2) => {}
-                _ => continue,
-            }
-            out.push(Mutation {
-                site: func.abs(b2),
-                patches: nop_range(func, b1 + 1, b2 + 1),
-                note: format!("remove trailing && clause ({} instrs)", b2 - b1),
-            });
-        }
-        out
+        patterns::and_chain_clauses(func)
+            .into_iter()
+            .map(|c| Mutation {
+                site: func.abs(c.branch),
+                patches: nop_range(func, c.prev_branch + 1, c.branch + 1),
+                note: format!(
+                    "remove trailing && clause ({} instrs)",
+                    c.branch - c.prev_branch
+                ),
+            })
+            .collect()
     }
 }
 
@@ -379,14 +160,12 @@ impl MutationOperator for MfcOp {
     }
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
-        func.instrs
-            .iter()
-            .enumerate()
-            .filter(|(i, instr)| instr.op == Opcode::Call && call_result_unused(func, *i))
-            .map(|(i, instr)| Mutation {
+        patterns::unused_calls(func)
+            .into_iter()
+            .map(|i| Mutation {
                 site: func.abs(i),
                 patches: nop_range(func, i, i + 1),
-                note: format!("remove call to {}", instr.target().unwrap_or(0)),
+                note: format!("remove call to {}", func.instrs[i].target().unwrap_or(0)),
             })
             .collect()
     }
@@ -403,8 +182,8 @@ impl MutationOperator for MviOp {
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
         let decl_start = func.after_prologue();
-        let decl_end = decl_region_end(func);
-        literal_assignments(func)
+        let decl_end = patterns::decl_region_end(func);
+        patterns::literal_assignments(func)
             .into_iter()
             .filter(|&(i, j)| i >= decl_start && j < decl_end)
             .map(|(i, j)| Mutation {
@@ -426,8 +205,8 @@ impl MutationOperator for MvavOp {
     }
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
-        let decl_end = decl_region_end(func);
-        literal_assignments(func)
+        let decl_end = patterns::decl_region_end(func);
+        patterns::literal_assignments(func)
             .into_iter()
             .filter(|&(i, _)| i >= decl_end)
             .map(|(i, j)| Mutation {
@@ -449,28 +228,14 @@ impl MutationOperator for MvaeOp {
     }
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
-        let mut out = Vec::new();
-        for (j, instr) in func.instrs.iter().enumerate() {
-            let is_var_store = instr.op == Opcode::St
-                && is_temp(instr.rs2)
-                && (instr.rs1 == Reg::FP || instr.rs1 == Reg::ZERO);
-            if !is_var_store {
-                continue;
-            }
-            let Some(s) = func.eval_slice(instr.rs2, j) else {
-                continue;
-            };
-            // Expression (>= 2 instructions), not a bare literal/copy.
-            if j - s < 2 || !func.is_straight_line(s, j + 1) {
-                continue;
-            }
-            out.push(Mutation {
+        patterns::expression_assignments(func, 2)
+            .into_iter()
+            .map(|(s, j)| Mutation {
                 site: func.abs(j),
                 patches: nop_range(func, s, j + 1),
                 note: format!("remove expression assignment ({} instrs)", j + 1 - s),
-            });
-        }
-        out
+            })
+            .collect()
     }
 }
 
@@ -478,45 +243,24 @@ impl MutationOperator for MvaeOp {
 /// window from the middle of a long straight-line run.
 pub struct MlpcOp;
 
-/// MLPC window length (instructions).
-const MLPC_WINDOW: usize = 3;
-/// Minimum straight-line run length to host an MLPC window.
-const MLPC_MIN_RUN: usize = 6;
-
 impl MutationOperator for MlpcOp {
     fn fault_type(&self) -> FaultType {
         FaultType::Mlpc
     }
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
-        let mut out = Vec::new();
-        let mut run_start = func.after_prologue();
-        let mut i = run_start;
-        let flush = |start: usize, end: usize, out: &mut Vec<Mutation>| {
-            if end - start >= MLPC_MIN_RUN {
+        patterns::straight_runs(func)
+            .into_iter()
+            .filter(|&(start, end)| end - start >= MLPC_MIN_RUN)
+            .map(|(start, end)| {
                 let w = start + (end - start - MLPC_WINDOW) / 2;
-                out.push(Mutation {
+                Mutation {
                     site: func.abs(w),
                     patches: nop_range(func, w, w + MLPC_WINDOW),
                     note: "remove localized algorithm fragment".into(),
-                });
-            }
-        };
-        while i < func.len() {
-            let instr = func.instrs[i];
-            // Runs break at control flow, stack discipline and labels.
-            let breaks = instr.op.is_control()
-                || matches!(instr.op, Opcode::Push | Opcode::Pop | Opcode::Hcall)
-                || instr.writes() == Some(Reg::SP)
-                || (i > run_start && func.is_branch_target(func.abs(i)));
-            if breaks {
-                flush(run_start, i, &mut out);
-                run_start = i + 1;
-            }
-            i += 1;
-        }
-        flush(run_start, func.len(), &mut out);
-        out
+                }
+            })
+            .collect()
     }
 }
 
@@ -530,7 +274,7 @@ impl MutationOperator for WvavOp {
     }
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
-        literal_assignments(func)
+        patterns::literal_assignments(func)
             .into_iter()
             .map(|(i, _)| {
                 let ldi = func.instrs[i];
@@ -562,14 +306,8 @@ impl MutationOperator for WlecOp {
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
         let mut out = Vec::new();
-        for (i, instr) in func.instrs.iter().enumerate() {
-            if !matches!(instr.op, Opcode::Beqz | Opcode::Bnez) || i == 0 {
-                continue;
-            }
+        for i in patterns::cond_branch_defs(func) {
             let prev = func.instrs[i - 1];
-            if prev.writes() != Some(instr.rs1) {
-                continue;
-            }
             let flipped = match prev.op {
                 Opcode::Cmpeq => Opcode::Cmpne,
                 Opcode::Cmpne => Opcode::Cmpeq,
@@ -606,36 +344,27 @@ impl MutationOperator for WaepOp {
 
     fn scan(&self, func: &FuncView) -> Vec<Mutation> {
         let mut out = Vec::new();
-        for (c, instr) in func.instrs.iter().enumerate() {
-            if instr.op != Opcode::Call {
-                continue;
-            }
-            let (first_marshal, moves) = arg_marshal(func, c);
-            for (_, _, src) in moves {
-                let Some(d) = def_of(func, src, first_marshal) else {
-                    continue;
-                };
-                let def = func.instrs[d];
-                let wrong = match def.op {
-                    Opcode::Add => Some(Instr::alu3(Opcode::Sub, def.rd, def.rs1, def.rs2)),
-                    Opcode::Sub => Some(Instr::alu3(Opcode::Add, def.rd, def.rs1, def.rs2)),
-                    Opcode::Mul => Some(Instr::alu3(Opcode::Add, def.rd, def.rs1, def.rs2)),
-                    Opcode::Div => Some(Instr::alu3(Opcode::Mul, def.rd, def.rs1, def.rs2)),
-                    Opcode::Mod => Some(Instr::alu3(Opcode::Div, def.rd, def.rs1, def.rs2)),
-                    Opcode::Addi => Some(Instr::addi(def.rd, def.rs1, def.imm.wrapping_add(1))),
-                    Opcode::Muli => Some(Instr::muli(def.rd, def.rs1, def.imm.wrapping_add(1))),
-                    _ => None,
-                };
-                if let Some(w) = wrong {
-                    out.push(Mutation {
-                        site: func.abs(d),
-                        patches: vec![Patch {
-                            addr: func.abs(d),
-                            new_word: w.encode(),
-                        }],
-                        note: "wrong arithmetic in call parameter".into(),
-                    });
-                }
+        for d in patterns::call_arg_value_defs(func) {
+            let def = func.instrs[d];
+            let wrong = match def.op {
+                Opcode::Add => Some(Instr::alu3(Opcode::Sub, def.rd, def.rs1, def.rs2)),
+                Opcode::Sub => Some(Instr::alu3(Opcode::Add, def.rd, def.rs1, def.rs2)),
+                Opcode::Mul => Some(Instr::alu3(Opcode::Add, def.rd, def.rs1, def.rs2)),
+                Opcode::Div => Some(Instr::alu3(Opcode::Mul, def.rd, def.rs1, def.rs2)),
+                Opcode::Mod => Some(Instr::alu3(Opcode::Div, def.rd, def.rs1, def.rs2)),
+                Opcode::Addi => Some(Instr::addi(def.rd, def.rs1, def.imm.wrapping_add(1))),
+                Opcode::Muli => Some(Instr::muli(def.rd, def.rs1, def.imm.wrapping_add(1))),
+                _ => None,
+            };
+            if let Some(w) = wrong {
+                out.push(Mutation {
+                    site: func.abs(d),
+                    patches: vec![Patch {
+                        addr: func.abs(d),
+                        new_word: w.encode(),
+                    }],
+                    note: "wrong arithmetic in call parameter".into(),
+                });
             }
         }
         out
@@ -656,34 +385,25 @@ impl MutationOperator for WpfvOp {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for (c, instr) in func.instrs.iter().enumerate() {
-            if instr.op != Opcode::Call {
+        for d in patterns::call_arg_value_defs(func) {
+            let def = func.instrs[d];
+            if def.op != Opcode::Ld || def.rs1 != Reg::FP || def.imm >= 0 {
                 continue;
             }
-            let (first_marshal, moves) = arg_marshal(func, c);
-            for (_, _, src) in moves {
-                let Some(d) = def_of(func, src, first_marshal) else {
-                    continue;
-                };
-                let def = func.instrs[d];
-                if def.op != Opcode::Ld || def.rs1 != Reg::FP || def.imm >= 0 {
-                    continue;
-                }
-                let k = (-def.imm) as u32;
-                if k > frame {
-                    continue;
-                }
-                let wrong_k = if k == frame { 1 } else { k + 1 };
-                let wrong = Instr::ld(def.rd, Reg::FP, -(wrong_k as i32));
-                out.push(Mutation {
-                    site: func.abs(d),
-                    patches: vec![Patch {
-                        addr: func.abs(d),
-                        new_word: wrong.encode(),
-                    }],
-                    note: format!("pass frame slot {wrong_k} instead of {k}"),
-                });
+            let k = (-def.imm) as u32;
+            if k > frame {
+                continue;
             }
+            let wrong_k = if k == frame { 1 } else { k + 1 };
+            let wrong = Instr::ld(def.rd, Reg::FP, -(wrong_k as i32));
+            out.push(Mutation {
+                site: func.abs(d),
+                patches: vec![Patch {
+                    addr: func.abs(d),
+                    new_word: wrong.encode(),
+                }],
+                note: format!("pass frame slot {wrong_k} instead of {k}"),
+            });
         }
         out
     }
@@ -914,6 +634,14 @@ mod tests {
         let types: std::collections::BTreeSet<FaultType> =
             ops.iter().map(|o| o.fault_type()).collect();
         assert_eq!(types.len(), 12);
+    }
+
+    #[test]
+    fn default_name_and_content_key_are_the_acronym() {
+        for op in standard_operators() {
+            assert_eq!(op.name(), op.fault_type().acronym());
+            assert_eq!(op.content_key(), op.name());
+        }
     }
 
     /// Applying MIFS actually changes behaviour the way a missing `if`

@@ -1,0 +1,468 @@
+//! The structural pattern library shared by every mutation operator.
+//!
+//! Each function here recognizes one *code construct* in a decoded function
+//! ([`FuncView`]) — an `if` without `else`, a literal assignment, an unused
+//! call result, a straight-line run — exactly the "search pattern" half of
+//! the paper's operator contract (§2.2). The hard-coded operator library
+//! ([`crate::operators`]) and the declarative `faultpack` DSL both compile
+//! down to these matchers, which is what makes a pack-built scanner
+//! byte-identical to the built-in one: there is only one implementation of
+//! every pattern.
+//!
+//! Matchers are deliberately conservative: when a shape is ambiguous
+//! (non-contiguous evaluation slice, jumps into a candidate region, missing
+//! canonical prologue) they refuse to match — a missed location only shrinks
+//! the faultload, while a bad mutation would break the "the mutation must
+//! correspond to code the compiler could have generated" premise.
+
+use mvm::{Instr, Opcode, Patch, Reg};
+
+use crate::funcview::FuncView;
+
+/// Maximum `if`-body size (instructions) for if-construct matches; bodies
+/// larger than this are "not a small localized construct" and are skipped.
+pub const MAX_IF_BODY: usize = 24;
+
+/// Default straight-line-run window length (instructions) for MLPC-style
+/// "missing localized part" mutations.
+pub const MLPC_WINDOW: usize = 3;
+
+/// Default minimum straight-line run length to host an MLPC-style window.
+pub const MLPC_MIN_RUN: usize = 6;
+
+/// NOP overwrites for the relative range `[start, end)`.
+pub fn nop_range(func: &FuncView, start: usize, end: usize) -> Vec<Patch> {
+    (start..end)
+        .map(|i| Patch {
+            addr: func.abs(i),
+            new_word: Instr::nop().encode(),
+        })
+        .collect()
+}
+
+/// True for the caller-saved temporaries the target compiler evaluates
+/// expressions in.
+pub fn is_temp(r: Reg) -> bool {
+    (Reg::T0.index()..Reg::T0.index() + 16).contains(&r.index())
+}
+
+/// A recognized `if (cond) { body }` shape (no `else`).
+#[derive(Clone, Copy, Debug)]
+pub struct IfSite {
+    /// Relative index of the first condition-evaluation instruction.
+    pub cond_start: usize,
+    /// Relative index of the `beqz`.
+    pub branch: usize,
+    /// Relative index one past the body (the branch target).
+    pub end: usize,
+}
+
+/// Resolves a branch target to a relative body-end index (the target may be
+/// exactly one past the function end).
+fn target_rel(func: &FuncView, instr: &Instr) -> Option<usize> {
+    let t = instr.target()?;
+    func.rel(t)
+        .or((t == func.entry + func.len() as u32).then_some(func.len()))
+}
+
+/// Finds every `if`-without-`else` pattern: `eval cond; beqz over body`,
+/// where the body is at most `max_body` instructions, ends without a `jmp`
+/// (which would indicate an `else` arm or a loop back-edge), and nothing
+/// jumps into its middle.
+///
+/// `&&` chains — several `beqz` to the same false-target, each guarding the
+/// next clause — are folded into **one** site whose guard region runs from
+/// the first clause's evaluation through the *last* branch; the trailing
+/// clauses are [`and_chain_clauses`]' territory, not extra if-sites.
+pub fn if_sites(func: &FuncView, max_body: usize) -> Vec<IfSite> {
+    let mut sites = Vec::new();
+    let mut consumed = vec![false; func.len()];
+    let beqz: Vec<usize> = func
+        .instrs
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.op == Opcode::Beqz)
+        .map(|(i, _)| i)
+        .collect();
+    for &i in &beqz {
+        if consumed[i] {
+            continue;
+        }
+        let Some(end) = target_rel(func, &func.instrs[i]) else {
+            continue;
+        };
+        // Extend through the && chain: same target, contiguous clause evals.
+        let mut last = i;
+        loop {
+            let next = beqz.iter().copied().find(|&k| {
+                k > last
+                    && k < end
+                    && target_rel(func, &func.instrs[k]) == Some(end)
+                    && func.branch_cond_reg(k).and_then(|r| func.eval_slice(r, k)) == Some(last + 1)
+                    && func.is_straight_line(last + 1, k)
+            });
+            match next {
+                Some(k) => {
+                    consumed[k] = true;
+                    last = k;
+                }
+                None => break,
+            }
+        }
+        if end <= last + 1 || end - (last + 1) > max_body {
+            continue;
+        }
+        // Body must not end with a jump (else-arm or loop shape).
+        if func.instrs[end - 1].op == Opcode::Jmp {
+            continue;
+        }
+        // No branch from outside the construct may land inside the body.
+        let jumped_into = func.instrs.iter().enumerate().any(|(j, other)| {
+            if (i..end).contains(&j) || other.op == Opcode::Call {
+                return false;
+            }
+            target_rel(func, other).is_some_and(|t| t > last && t < end)
+        });
+        if jumped_into {
+            continue;
+        }
+        let Some(cond_start) = func.branch_cond_reg(i).and_then(|r| func.eval_slice(r, i)) else {
+            continue;
+        };
+        sites.push(IfSite {
+            cond_start,
+            branch: last,
+            end,
+        });
+    }
+    sites
+}
+
+/// A trailing `&& EXPR` clause inside a chain of `beqz` branches to the same
+/// false-target.
+#[derive(Clone, Copy, Debug)]
+pub struct AndClause {
+    /// Relative index of the branch guarding the preceding clause.
+    pub prev_branch: usize,
+    /// Relative index of this clause's own branch (the pattern's key
+    /// instruction).
+    pub branch: usize,
+}
+
+/// Finds every removable trailing `&&` clause: consecutive `beqz` pairs
+/// sharing a false-target where the region between them is exactly the
+/// second clause's straight-line evaluation.
+pub fn and_chain_clauses(func: &FuncView) -> Vec<AndClause> {
+    let mut out = Vec::new();
+    let branches: Vec<usize> = func
+        .instrs
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.op == Opcode::Beqz)
+        .map(|(i, _)| i)
+        .collect();
+    for w in branches.windows(2) {
+        let (b1, b2) = (w[0], w[1]);
+        if func.instrs[b1].target() != func.instrs[b2].target() {
+            continue;
+        }
+        // Clause region between the branches must be exactly the second
+        // clause's evaluation.
+        let Some(reg) = func.branch_cond_reg(b2) else {
+            continue;
+        };
+        match func.eval_slice(reg, b2) {
+            Some(s) if s == b1 + 1 && func.is_straight_line(s, b2) => {}
+            _ => continue,
+        }
+        out.push(AndClause {
+            prev_branch: b1,
+            branch: b2,
+        });
+    }
+    out
+}
+
+/// `ldi rT, imm; st [fp-k], rT` / `st [r0+addr], rT` pairs (literal
+/// assignment); returns `(ldi_idx, store_idx)` pairs.
+pub fn literal_assignments(func: &FuncView) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..func.len().saturating_sub(1) {
+        let a = func.instrs[i];
+        let b = func.instrs[i + 1];
+        let pair = a.op == Opcode::Ldi
+            && is_temp(a.rd)
+            && b.op == Opcode::St
+            && b.rs2 == a.rd
+            && (b.rs1 == Reg::FP || b.rs1 == Reg::ZERO)
+            && !func.is_branch_target(func.abs(i + 1));
+        if pair {
+            out.push((i, i + 1));
+        }
+    }
+    out
+}
+
+/// Relative end (exclusive) of the declaration region: everything from the
+/// end of the prologue up to the first control-flow instruction or branch
+/// target.
+pub fn decl_region_end(func: &FuncView) -> usize {
+    let start = func.after_prologue();
+    let mut i = start;
+    while i < func.len() {
+        if func.instrs[i].op.is_control() || func.is_branch_target(func.abs(i)) {
+            break;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Walks forward from a `call` to decide whether its return value (`r1`) is
+/// consumed. A `jmp`/`ret`/function-end counts as "used" (conservative); an
+/// overwrite of `r1` (including another call) confirms "unused".
+/// Conditional branches and join points are scanned through on the
+/// fall-through path — in the canonical statement layout of the target
+/// compiler a consumed result is copied out of `r1` immediately, so the
+/// fall-through path is decisive.
+pub fn call_result_unused(func: &FuncView, call_idx: usize) -> bool {
+    let mut j = call_idx + 1;
+    while j < func.len() {
+        let instr = func.instrs[j];
+        match instr.op {
+            Opcode::Ret => return false, // r1 is the return value
+            Opcode::Jmp => return false,
+            Opcode::Call | Opcode::Hcall => return true, // r1 clobbered
+            Opcode::Beqz | Opcode::Bnez => {
+                // reads only its condition register; continue fall-through
+                if instr.rs1 == Reg::RV {
+                    return false;
+                }
+            }
+            _ => {
+                if instr.reads().contains(&Reg::RV) {
+                    return false;
+                }
+                if instr.writes() == Some(Reg::RV) {
+                    return true;
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Relative indices of every `call` whose return value is not consumed, in
+/// function order.
+pub fn unused_calls(func: &FuncView) -> Vec<usize> {
+    func.instrs
+        .iter()
+        .enumerate()
+        .filter(|(i, instr)| instr.op == Opcode::Call && call_result_unused(func, *i))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `(slice_start, store_idx)` pairs for every variable store fed by a
+/// contiguous straight-line expression of at least `min_expr` instructions
+/// (a bare literal/copy is below the default threshold of 2).
+pub fn expression_assignments(func: &FuncView, min_expr: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (j, instr) in func.instrs.iter().enumerate() {
+        let is_var_store = instr.op == Opcode::St
+            && is_temp(instr.rs2)
+            && (instr.rs1 == Reg::FP || instr.rs1 == Reg::ZERO);
+        if !is_var_store {
+            continue;
+        }
+        let Some(s) = func.eval_slice(instr.rs2, j) else {
+            continue;
+        };
+        if j - s < min_expr || !func.is_straight_line(s, j + 1) {
+            continue;
+        }
+        out.push((s, j));
+    }
+    out
+}
+
+/// Maximal straight-line runs `(start, end)` after the prologue, in function
+/// order. Runs break at control flow, stack discipline (`push`/`pop`/
+/// `hcall`/`sp` writes) and branch targets; the breaking instruction belongs
+/// to no run. Runs of any length are returned — callers apply their own
+/// minimum-length threshold.
+pub fn straight_runs(func: &FuncView) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut run_start = func.after_prologue();
+    let mut i = run_start;
+    while i < func.len() {
+        let instr = func.instrs[i];
+        let breaks = instr.op.is_control()
+            || matches!(instr.op, Opcode::Push | Opcode::Pop | Opcode::Hcall)
+            || instr.writes() == Some(Reg::SP)
+            || (i > run_start && func.is_branch_target(func.abs(i)));
+        if breaks {
+            out.push((run_start, i));
+            run_start = i + 1;
+        }
+        i += 1;
+    }
+    out.push((run_start, func.len()));
+    out
+}
+
+/// Relative indices of every conditional branch (`beqz`/`bnez`) whose
+/// condition register is written by the directly preceding instruction —
+/// the shape a "wrong logical expression" mutation can perturb.
+pub fn cond_branch_defs(func: &FuncView) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, instr) in func.instrs.iter().enumerate() {
+        if !matches!(instr.op, Opcode::Beqz | Opcode::Bnez) || i == 0 {
+            continue;
+        }
+        if func.instrs[i - 1].writes() != Some(instr.rs1) {
+            continue;
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// The contiguous run of `mov rArg, rTmp` marshalling instructions directly
+/// before a call; returns `(first_marshal_idx, moves)` where each move is
+/// `(idx, arg_reg, src_reg)`.
+pub fn arg_marshal(func: &FuncView, call_idx: usize) -> (usize, Vec<(usize, Reg, Reg)>) {
+    let mut moves = Vec::new();
+    let mut j = call_idx;
+    while j > 0 {
+        let instr = func.instrs[j - 1];
+        if instr.op == Opcode::Mov && instr.rd.is_arg() && is_temp(instr.rs1) {
+            moves.push((j - 1, instr.rd, instr.rs1));
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    moves.reverse();
+    (j, moves)
+}
+
+/// Finds the defining instruction of `reg` scanning backwards from `before`
+/// within a straight-line region.
+pub fn def_of(func: &FuncView, reg: Reg, before: usize) -> Option<usize> {
+    let mut j = before;
+    while j > 0 {
+        let idx = j - 1;
+        let instr = func.instrs[idx];
+        if instr.op.is_control() {
+            return None;
+        }
+        if instr.writes() == Some(reg) {
+            return Some(idx);
+        }
+        if func.is_branch_target(func.abs(idx)) {
+            return None;
+        }
+        j = idx;
+    }
+    None
+}
+
+/// Relative indices of the instruction *defining* each marshalled call
+/// argument, in `(call, argument)` order. Duplicates are preserved: two
+/// arguments marshalled from the same temporary resolve to the same def and
+/// produce two entries, exactly as the per-argument operator loops do.
+pub fn call_arg_value_defs(func: &FuncView) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (c, instr) in func.instrs.iter().enumerate() {
+        if instr.op != Opcode::Call {
+            continue;
+        }
+        let (first_marshal, moves) = arg_marshal(func, c);
+        for (_, _, src) in moves {
+            if let Some(d) = def_of(func, src, first_marshal) {
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::compile;
+
+    fn view_of(src: &str, func: &str) -> FuncView {
+        let p = compile("t", src).unwrap();
+        FuncView::all_of(p.image())
+            .into_iter()
+            .find(|v| v.name == func)
+            .expect("function present")
+    }
+
+    #[test]
+    fn if_sites_respect_max_body() {
+        let src = r#"
+            fn f(a) {
+                var r = 0;
+                if (a > 0) { r = 1; }
+                return r;
+            }
+        "#;
+        let v = view_of(src, "f");
+        assert_eq!(if_sites(&v, MAX_IF_BODY).len(), 1);
+        // The two-instruction body does not fit a one-instruction cap.
+        assert!(if_sites(&v, 1).is_empty());
+    }
+
+    #[test]
+    fn straight_runs_cover_function_order() {
+        let v = view_of(
+            "fn f(a) { var x = a + 1; var y = a * 2; return x + y; }",
+            "f",
+        );
+        let runs = straight_runs(&v);
+        assert!(!runs.is_empty());
+        // Runs are ordered and non-overlapping.
+        for w in runs.windows(2) {
+            assert!(w[0].1 <= w[1].0, "{runs:?}");
+        }
+    }
+
+    #[test]
+    fn expression_assignments_threshold() {
+        let src = r#"
+            fn f(a, b) {
+                var x = 0;
+                x = a + b * 2;
+                return x;
+            }
+        "#;
+        let v = view_of(src, "f");
+        assert_eq!(expression_assignments(&v, 2).len(), 1);
+        // A very high threshold excludes the 5-instruction expression.
+        assert!(expression_assignments(&v, 50).is_empty());
+    }
+
+    #[test]
+    fn cond_branch_defs_find_comparison_fed_branches() {
+        let v = view_of("fn f(a, b) { if (a > b) { return 1; } return 0; }", "f");
+        let ds = cond_branch_defs(&v);
+        assert_eq!(ds.len(), 1);
+        assert!(v.instrs[ds[0] - 1].op.is_alu3());
+    }
+
+    #[test]
+    fn call_arg_value_defs_in_call_order() {
+        let src = r#"
+            fn g(x, y) { return x + y; }
+            fn f(a, b) { return g(a + 1, b * 2); }
+        "#;
+        let v = view_of(src, "f");
+        let defs = call_arg_value_defs(&v);
+        assert_eq!(defs.len(), 2);
+        assert!(defs[0] < defs[1], "defs follow argument order");
+    }
+}

@@ -7,11 +7,36 @@
 //! scan happens once, before experimentation; injection later replays the
 //! pre-computed patches.
 
+use std::collections::BTreeSet;
+use std::fmt;
+
 use mvm::CodeImage;
 
 use crate::faultload::{FaultDef, Faultload};
 use crate::funcview::FuncView;
 use crate::operators::{standard_operators, MutationOperator};
+
+/// Two operators in one library share a name — rejected up front because a
+/// duplicate would silently double-count in [`Scanner::operator_set_hash`]
+/// and in per-operator accuracy rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DuplicateOperator {
+    /// The offending operator name.
+    pub name: String,
+}
+
+impl fmt::Display for DuplicateOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "duplicate operator name {:?}: every operator in a scanner's library \
+             must have a unique name (rename one of them, or drop the duplicate)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for DuplicateOperator {}
 
 /// The faultload generator: an operator library bound to a scan routine.
 pub struct Scanner {
@@ -27,9 +52,19 @@ impl Scanner {
     }
 
     /// A scanner with a custom operator library (e.g. a single operator for
-    /// an ablation).
-    pub fn with_operators(operators: Vec<Box<dyn MutationOperator>>) -> Scanner {
-        Scanner { operators }
+    /// an ablation, or a compiled fault pack). Rejects libraries holding two
+    /// operators with the same [`MutationOperator::name`].
+    pub fn with_operators(
+        operators: Vec<Box<dyn MutationOperator>>,
+    ) -> Result<Scanner, DuplicateOperator> {
+        let mut seen = BTreeSet::new();
+        for op in &operators {
+            let name = op.name();
+            if !seen.insert(name.clone()) {
+                return Err(DuplicateOperator { name });
+            }
+        }
+        Ok(Scanner { operators })
     }
 
     /// Number of operators in the library.
@@ -37,18 +72,22 @@ impl Scanner {
         self.operators.len()
     }
 
+    /// The operator library, in scan order.
+    pub fn operators(&self) -> &[Box<dyn MutationOperator>] {
+        &self.operators
+    }
+
     /// Stable hash of the operator library — one third of the persistent
     /// fault-map cache key `(image fingerprint, operator-set hash, function
-    /// filter hash)`. Two scanners produce the same hash exactly when they
-    /// hold the same operators in the same order, so dropping or reordering
-    /// an operator invalidates cached faultloads.
+    /// filter hash)`. Hashes every operator's
+    /// [`content_key`](MutationOperator::content_key) in order, so dropping
+    /// or reordering an operator — or editing a fault pack's patterns, which
+    /// changes the pack hash embedded in its compiled operators' keys —
+    /// invalidates cached faultloads.
     pub fn operator_set_hash(&self) -> u64 {
-        let acronyms: Vec<&str> = self
-            .operators
-            .iter()
-            .map(|op| op.fault_type().acronym())
-            .collect();
-        simkit::hash::fnv1a_strs(&acronyms)
+        let keys: Vec<String> = self.operators.iter().map(|op| op.content_key()).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        simkit::hash::fnv1a_strs(&refs)
     }
 
     /// Scans every function of `image`.
@@ -151,10 +190,19 @@ mod tests {
     #[test]
     fn custom_operator_library() {
         let p = compile("os", SRC).unwrap();
-        let s = Scanner::with_operators(vec![Box::new(MifsOp)]);
+        let s = Scanner::with_operators(vec![Box::new(MifsOp)]).unwrap();
         assert_eq!(s.operator_count(), 1);
         let fl = s.scan_image(p.image());
         assert!(fl.faults.iter().all(|f| f.fault_type == FaultType::Mifs));
+    }
+
+    #[test]
+    fn duplicate_operator_names_are_rejected() {
+        let err = Scanner::with_operators(vec![Box::new(MifsOp), Box::new(MifsOp)])
+            .err()
+            .expect("duplicate must be rejected");
+        assert_eq!(err.name, "MIFS");
+        assert!(err.to_string().contains("duplicate operator name"));
     }
 
     #[test]
@@ -175,11 +223,28 @@ mod tests {
             Scanner::standard().operator_set_hash(),
             "hash is deterministic"
         );
-        let single = Scanner::with_operators(vec![Box::new(MifsOp)]).operator_set_hash();
+        let single = Scanner::with_operators(vec![Box::new(MifsOp)])
+            .unwrap()
+            .operator_set_hash();
         assert_ne!(standard, single);
-        let ab = Scanner::with_operators(vec![Box::new(MviOp), Box::new(MfcOp)]);
-        let ba = Scanner::with_operators(vec![Box::new(MfcOp), Box::new(MviOp)]);
+        let ab = Scanner::with_operators(vec![Box::new(MviOp), Box::new(MfcOp)]).unwrap();
+        let ba = Scanner::with_operators(vec![Box::new(MfcOp), Box::new(MviOp)]).unwrap();
         assert_ne!(ab.operator_set_hash(), ba.operator_set_hash());
+    }
+
+    #[test]
+    fn operator_set_hash_matches_acronym_hash_for_builtin_library() {
+        // The standard library's content keys are the plain acronyms, so the
+        // hash — and with it every pre-pack faultstore cache key — is
+        // unchanged by the pack-aware `content_key` plumbing.
+        let acronyms: Vec<&str> = standard_operators()
+            .iter()
+            .map(|op| op.fault_type().acronym())
+            .collect();
+        assert_eq!(
+            Scanner::standard().operator_set_hash(),
+            simkit::hash::fnv1a_strs(&acronyms)
+        );
     }
 
     #[test]

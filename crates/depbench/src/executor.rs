@@ -37,10 +37,6 @@
 //!   instead of killing the campaign,
 //! * `tracer` — a lightweight [`ExecEvent`] stream for progress reporting,
 //!   emitted from worker threads as slots start and finish.
-//!
-//! The previous generation of entry points (`run_slots`,
-//! `run_slots_observed`, `run_slots_quarantined`) survive as thin
-//! deprecated shims over [`Executor::run`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -350,120 +346,86 @@ impl Executor {
     }
 }
 
-/// Unwraps a no-quarantine run, where every slot is [`SlotRun::Done`].
-fn all_done<R>(runs: Vec<SlotRun<R>>) -> Vec<R> {
-    runs.into_iter()
-        .map(|r| match r {
-            SlotRun::Done(v) => v,
-            SlotRun::Panicked(m) => unreachable!("panic escaped quarantine-off run: {m}"),
-        })
-        .collect()
-}
-
-/// Runs `slots` independent slots on up to `parallelism` worker threads and
-/// returns the per-slot outputs in slot order.
-#[deprecated(note = "use Executor::run with ExecOptions::default()")]
-pub fn run_slots<T, R, MW, RS>(
-    parallelism: usize,
-    slots: usize,
-    make_worker: MW,
-    run_slot: RS,
-) -> Vec<R>
-where
-    MW: Fn() -> T + Sync,
-    RS: Fn(&mut T, usize) -> R + Sync,
-    R: Send,
-{
-    all_done(Executor::new(parallelism).run(
-        ExecPlan::Range {
-            start: 0,
-            end: slots,
-        },
-        make_worker,
-        run_slot,
-        ExecOptions::default(),
-    ))
-}
-
-/// [`run_slots`] with a start offset and an ordered completion observer.
-#[deprecated(note = "use Executor::run with ExecOptions { observer, .. }")]
-pub fn run_slots_observed<T, R, MW, RS, OB>(
-    parallelism: usize,
-    start: usize,
-    slots: usize,
-    make_worker: MW,
-    run_slot: RS,
-    observe: OB,
-) -> Vec<R>
-where
-    MW: Fn() -> T + Sync,
-    RS: Fn(&mut T, usize) -> R + Sync,
-    OB: Fn(usize, &R) + Sync,
-    R: Send,
-{
-    let mut adapter = |slot: usize, r: &SlotRun<R>| {
-        if let SlotRun::Done(v) = r {
-            observe(slot, v);
-        }
-    };
-    all_done(Executor::new(parallelism).run(
-        ExecPlan::Range { start, end: slots },
-        make_worker,
-        run_slot,
-        ExecOptions {
-            observer: Some(&mut adapter),
-            ..ExecOptions::default()
-        },
-    ))
-}
-
-/// [`run_slots_observed`] hardened for pathological slots, over an explicit
-/// worklist: one panicking slot is recorded as [`SlotRun::Panicked`]
-/// instead of killing the whole campaign.
-#[deprecated(note = "use Executor::run with ExecOptions { quarantine: true, .. }")]
-pub fn run_slots_quarantined<T, R, MW, RS, OB>(
-    parallelism: usize,
-    worklist: &[usize],
-    make_worker: MW,
-    run_slot: RS,
-    observe: OB,
-) -> Vec<SlotRun<R>>
-where
-    MW: Fn() -> T + Sync,
-    RS: Fn(&mut T, usize) -> R + Sync,
-    OB: Fn(usize, &SlotRun<R>) + Sync,
-    R: Send,
-{
-    let mut adapter = |slot: usize, r: &SlotRun<R>| observe(slot, r);
-    Executor::new(parallelism).run(
-        ExecPlan::Worklist(worklist),
-        make_worker,
-        run_slot,
-        ExecOptions {
-            observer: Some(&mut adapter),
-            quarantine: true,
-            ..ExecOptions::default()
-        },
-    )
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::sync::Mutex;
 
+    /// [`Executor::run`] over a plain `0..slots` range with no options,
+    /// unwrapped — the common shape most tests drive.
+    fn run_range<T, R, MW, RS>(
+        parallelism: usize,
+        slots: usize,
+        make_worker: MW,
+        run_slot: RS,
+    ) -> Vec<R>
+    where
+        MW: Fn() -> T + Sync,
+        RS: Fn(&mut T, usize) -> R + Sync,
+        R: Send,
+    {
+        Executor::new(parallelism)
+            .run(
+                ExecPlan::Range {
+                    start: 0,
+                    end: slots,
+                },
+                make_worker,
+                run_slot,
+                ExecOptions::default(),
+            )
+            .into_iter()
+            .filter_map(SlotRun::done)
+            .collect()
+    }
+
+    /// [`Executor::run`] over `start..slots` with an ordered observer on
+    /// completed slots, unwrapped.
+    fn run_observed<T, R, MW, RS, OB>(
+        parallelism: usize,
+        start: usize,
+        slots: usize,
+        make_worker: MW,
+        run_slot: RS,
+        observe: OB,
+    ) -> Vec<R>
+    where
+        MW: Fn() -> T + Sync,
+        RS: Fn(&mut T, usize) -> R + Sync,
+        OB: Fn(usize, &R) + Sync,
+        R: Send,
+    {
+        let mut adapter = |slot: usize, r: &SlotRun<R>| {
+            if let SlotRun::Done(v) = r {
+                observe(slot, v);
+            }
+        };
+        Executor::new(parallelism)
+            .run(
+                ExecPlan::Range { start, end: slots },
+                make_worker,
+                run_slot,
+                ExecOptions {
+                    observer: Some(&mut adapter),
+                    ..ExecOptions::default()
+                },
+            )
+            .into_iter()
+            .filter_map(SlotRun::done)
+            .collect()
+    }
+
     #[test]
     fn outputs_come_back_in_slot_order() {
         for parallelism in [1, 2, 4, 9] {
-            let out = run_slots(parallelism, 23, || (), |(), i| i * 3);
+            let out = run_range(parallelism, 23, || (), |(), i| i * 3);
             assert_eq!(out, (0..23).map(|i| i * 3).collect::<Vec<_>>());
         }
     }
 
     #[test]
     fn zero_slots_is_fine() {
-        let out: Vec<usize> = run_slots(4, 0, || (), |(), i| i);
+        let out: Vec<usize> = run_range(4, 0, || (), |(), i| i);
         assert!(out.is_empty());
     }
 
@@ -472,7 +434,7 @@ mod tests {
         // Each worker counts its own slots; totals must cover every slot
         // exactly once regardless of how the stealing interleaves.
         let totals = Mutex::new(Vec::new());
-        let out = run_slots(
+        let out = run_range(
             3,
             50,
             || 0usize,
@@ -493,7 +455,7 @@ mod tests {
         // The determinism contract at executor level: slot output depends
         // only on the slot index (here via derive), not on worker identity.
         let run = |parallelism| {
-            run_slots(
+            run_range(
                 parallelism,
                 16,
                 || (),
@@ -507,7 +469,7 @@ mod tests {
     fn observer_sees_every_slot_in_order() {
         for parallelism in [1, 2, 4, 7] {
             let seen = Mutex::new(Vec::new());
-            let out = run_slots_observed(
+            let out = run_observed(
                 parallelism,
                 0,
                 31,
@@ -529,7 +491,7 @@ mod tests {
     fn start_offset_skips_completed_prefix() {
         for parallelism in [1, 3] {
             let seen = Mutex::new(Vec::new());
-            let out = run_slots_observed(
+            let out = run_observed(
                 parallelism,
                 5,
                 12,
@@ -547,11 +509,9 @@ mod tests {
 
     #[test]
     fn start_at_or_past_the_end_runs_nothing() {
-        let out: Vec<usize> =
-            run_slots_observed(4, 9, 9, || (), |(), i| i, |_, _| panic!("no slots"));
+        let out: Vec<usize> = run_observed(4, 9, 9, || (), |(), i| i, |_, _| panic!("no slots"));
         assert!(out.is_empty());
-        let out: Vec<usize> =
-            run_slots_observed(4, 12, 9, || (), |(), i| i, |_, _| panic!("no slots"));
+        let out: Vec<usize> = run_observed(4, 12, 9, || (), |(), i| i, |_, _| panic!("no slots"));
         assert!(out.is_empty());
     }
 

@@ -1,0 +1,377 @@
+//! Compiling validated operator specs into live `MutationOperator`s.
+//!
+//! A [`CompiledOperator`] binds a [`PatternSpec`] to a resolved action: the
+//! mnemonic maps are parsed to [`Opcode`]s and every default is filled in at
+//! compile time, so `scan` is pure pattern matching with no string work
+//! beyond note rendering. The scan logic calls the same
+//! `swfit_core::patterns` matchers as the hard-coded library — byte-for-byte
+//! identical behaviour is a structural property, not a testing accident.
+
+use mvm::{Instr, Opcode, Patch, Reg};
+use swfit_core::funcview::FuncView;
+use swfit_core::patterns;
+use swfit_core::{FaultType, Mutation, MutationOperator};
+
+use crate::spec::{ActionSpec, OperatorSpec, PatternSpec, Region};
+
+/// The comparison opcodes a `SwapComparison` map may mention.
+pub fn parse_comparison(mnemonic: &str) -> Option<Opcode> {
+    match mnemonic {
+        "cmpeq" => Some(Opcode::Cmpeq),
+        "cmpne" => Some(Opcode::Cmpne),
+        "cmplt" => Some(Opcode::Cmplt),
+        "cmple" => Some(Opcode::Cmple),
+        _ => None,
+    }
+}
+
+/// The 3-register ALU opcodes a `SwapArithmetic` map may mention.
+pub fn parse_alu3(mnemonic: &str) -> Option<Opcode> {
+    let op = match mnemonic {
+        "add" => Opcode::Add,
+        "sub" => Opcode::Sub,
+        "mul" => Opcode::Mul,
+        "div" => Opcode::Div,
+        "mod" => Opcode::Mod,
+        "and" => Opcode::And,
+        "or" => Opcode::Or,
+        "xor" => Opcode::Xor,
+        "shl" => Opcode::Shl,
+        "shr" => Opcode::Shr,
+        _ => return parse_comparison(mnemonic),
+    };
+    Some(op)
+}
+
+/// The immediate-form opcodes `imm_ops` may list.
+pub fn parse_imm_op(mnemonic: &str) -> Option<Opcode> {
+    match mnemonic {
+        "addi" => Some(Opcode::Addi),
+        "muli" => Some(Opcode::Muli),
+        _ => None,
+    }
+}
+
+/// An [`ActionSpec`] with mnemonics resolved and defaults filled in.
+#[derive(Clone, Debug)]
+enum CompiledAction {
+    NopConstruct,
+    NopGuard,
+    PerturbLiteral {
+        delta: i32,
+    },
+    SwapComparison {
+        swap: Vec<(Opcode, Opcode)>,
+    },
+    SwapArithmetic {
+        swap: Vec<(Opcode, Opcode)>,
+        imm_ops: Vec<Opcode>,
+        imm_delta: i32,
+    },
+    RedirectFrameSlot,
+}
+
+/// A pack operator compiled into the trait the scanner consumes.
+pub struct CompiledOperator {
+    name: String,
+    fault_type: FaultType,
+    content_key: String,
+    pattern: PatternSpec,
+    action: CompiledAction,
+    note: String,
+}
+
+impl CompiledOperator {
+    /// Compiles one *validated* spec (callers run
+    /// [`crate::validate_operator`] first; unvalidated combinations panic).
+    pub(crate) fn new(spec: &OperatorSpec, content_key: String) -> CompiledOperator {
+        let action = match &spec.action {
+            ActionSpec::NopConstruct => CompiledAction::NopConstruct,
+            ActionSpec::NopGuard => CompiledAction::NopGuard,
+            ActionSpec::PerturbLiteral { delta } => CompiledAction::PerturbLiteral {
+                delta: delta.unwrap_or(1),
+            },
+            ActionSpec::SwapComparison { swap } => CompiledAction::SwapComparison {
+                swap: swap
+                    .iter()
+                    .map(|(from, to)| {
+                        (
+                            parse_comparison(from).expect("validated mnemonic"),
+                            parse_comparison(to).expect("validated mnemonic"),
+                        )
+                    })
+                    .collect(),
+            },
+            ActionSpec::SwapArithmetic {
+                swap,
+                imm_ops,
+                imm_delta,
+            } => CompiledAction::SwapArithmetic {
+                swap: swap
+                    .iter()
+                    .map(|(from, to)| {
+                        (
+                            parse_alu3(from).expect("validated mnemonic"),
+                            parse_alu3(to).expect("validated mnemonic"),
+                        )
+                    })
+                    .collect(),
+                imm_ops: imm_ops
+                    .iter()
+                    .map(|m| parse_imm_op(m).expect("validated mnemonic"))
+                    .collect(),
+                imm_delta: imm_delta.unwrap_or(1),
+            },
+            ActionSpec::RedirectFrameSlot => CompiledAction::RedirectFrameSlot,
+        };
+        CompiledOperator {
+            name: spec.name.clone(),
+            fault_type: spec.fault_type,
+            content_key,
+            pattern: spec.pattern.clone(),
+            action,
+            note: spec.note.clone(),
+        }
+    }
+
+    /// Renders the note template for one match.
+    fn render(&self, fills: &[(&str, String)]) -> String {
+        let mut out = self.note.clone();
+        for (key, value) in fills {
+            out = out.replace(key, value);
+        }
+        out
+    }
+
+    /// A whole-span NOP mutation with `{n}` = span length.
+    fn nop_span(&self, func: &FuncView, start: usize, end: usize, site: usize) -> Mutation {
+        Mutation {
+            site: func.abs(site),
+            patches: patterns::nop_range(func, start, end),
+            note: self.render(&[("{n}", (end - start).to_string())]),
+        }
+    }
+
+    /// A single-word replacement mutation.
+    fn replace_word(&self, func: &FuncView, idx: usize, wrong: Instr, note: String) -> Mutation {
+        Mutation {
+            site: func.abs(idx),
+            patches: vec![Patch {
+                addr: func.abs(idx),
+                new_word: wrong.encode(),
+            }],
+            note,
+        }
+    }
+
+    fn scan_if_construct(&self, func: &FuncView) -> Vec<Mutation> {
+        patterns::if_sites(func, self.pattern.max_body())
+            .into_iter()
+            .map(|s| match self.action {
+                CompiledAction::NopConstruct => self.nop_span(func, s.cond_start, s.end, s.branch),
+                CompiledAction::NopGuard => {
+                    self.nop_span(func, s.cond_start, s.branch + 1, s.branch)
+                }
+                _ => unreachable!("validated action for IfConstruct"),
+            })
+            .collect()
+    }
+
+    fn scan_and_chain(&self, func: &FuncView) -> Vec<Mutation> {
+        patterns::and_chain_clauses(func)
+            .into_iter()
+            .map(|c| self.nop_span(func, c.prev_branch + 1, c.branch + 1, c.branch))
+            .collect()
+    }
+
+    fn scan_unused_call(&self, func: &FuncView) -> Vec<Mutation> {
+        patterns::unused_calls(func)
+            .into_iter()
+            .map(|i| Mutation {
+                site: func.abs(i),
+                patches: patterns::nop_range(func, i, i + 1),
+                note: self.render(&[
+                    ("{n}", "1".to_string()),
+                    ("{target}", func.instrs[i].target().unwrap_or(0).to_string()),
+                ]),
+            })
+            .collect()
+    }
+
+    fn scan_literal_assignment(&self, func: &FuncView, region: Region) -> Vec<Mutation> {
+        let decl_start = func.after_prologue();
+        let decl_end = patterns::decl_region_end(func);
+        patterns::literal_assignments(func)
+            .into_iter()
+            .filter(|&(i, j)| match region {
+                Region::Decl => i >= decl_start && j < decl_end,
+                Region::Body => i >= decl_end,
+                Region::Any => true,
+            })
+            .map(|(i, j)| match self.action {
+                CompiledAction::NopConstruct => self.nop_span(func, i, j + 1, i),
+                CompiledAction::PerturbLiteral { delta } => {
+                    let ldi = func.instrs[i];
+                    let new = ldi.imm.wrapping_add(delta);
+                    let note = self.render(&[
+                        ("{n}", "1".to_string()),
+                        ("{old}", ldi.imm.to_string()),
+                        ("{new}", new.to_string()),
+                    ]);
+                    self.replace_word(func, i, Instr::ldi(ldi.rd, new), note)
+                }
+                _ => unreachable!("validated action for LiteralAssignment"),
+            })
+            .collect()
+    }
+
+    fn scan_expression_assignment(&self, func: &FuncView, min_expr: usize) -> Vec<Mutation> {
+        patterns::expression_assignments(func, min_expr)
+            .into_iter()
+            .map(|(s, j)| self.nop_span(func, s, j + 1, j))
+            .collect()
+    }
+
+    fn scan_straight_run(&self, func: &FuncView) -> Vec<Mutation> {
+        let (min_run, window) = self.pattern.run_params();
+        patterns::straight_runs(func)
+            .into_iter()
+            .filter(|&(start, end)| end - start >= min_run)
+            .map(|(start, end)| {
+                let w = start + (end - start - window) / 2;
+                self.nop_span(func, w, w + window, w)
+            })
+            .collect()
+    }
+
+    fn scan_comparison_branch(&self, func: &FuncView) -> Vec<Mutation> {
+        let CompiledAction::SwapComparison { swap } = &self.action else {
+            unreachable!("validated action for ComparisonBranch");
+        };
+        let mut out = Vec::new();
+        for i in patterns::cond_branch_defs(func) {
+            let prev = func.instrs[i - 1];
+            let Some(&(_, to)) = swap.iter().find(|(from, _)| *from == prev.op) else {
+                continue;
+            };
+            let note = self.render(&[
+                ("{n}", "1".to_string()),
+                ("{old}", prev.op.mnemonic().to_string()),
+                ("{new}", to.mnemonic().to_string()),
+            ]);
+            out.push(self.replace_word(
+                func,
+                i - 1,
+                Instr::alu3(to, prev.rd, prev.rs1, prev.rs2),
+                note,
+            ));
+        }
+        out
+    }
+
+    fn scan_call_arg_arithmetic(&self, func: &FuncView) -> Vec<Mutation> {
+        let CompiledAction::SwapArithmetic {
+            swap,
+            imm_ops,
+            imm_delta,
+        } = &self.action
+        else {
+            unreachable!("validated action for CallArgArithmetic");
+        };
+        let mut out = Vec::new();
+        for d in patterns::call_arg_value_defs(func) {
+            let def = func.instrs[d];
+            if let Some(&(_, to)) = swap.iter().find(|(from, _)| *from == def.op) {
+                let note = self.render(&[
+                    ("{n}", "1".to_string()),
+                    ("{old}", def.op.mnemonic().to_string()),
+                    ("{new}", to.mnemonic().to_string()),
+                ]);
+                out.push(self.replace_word(
+                    func,
+                    d,
+                    Instr::alu3(to, def.rd, def.rs1, def.rs2),
+                    note,
+                ));
+            } else if imm_ops.contains(&def.op) {
+                let new_imm = def.imm.wrapping_add(*imm_delta);
+                let wrong = match def.op {
+                    Opcode::Addi => Instr::addi(def.rd, def.rs1, new_imm),
+                    Opcode::Muli => Instr::muli(def.rd, def.rs1, new_imm),
+                    _ => unreachable!("validated imm_ops entry"),
+                };
+                let note = self.render(&[
+                    ("{n}", "1".to_string()),
+                    ("{old}", def.imm.to_string()),
+                    ("{new}", new_imm.to_string()),
+                ]);
+                out.push(self.replace_word(func, d, wrong, note));
+            }
+        }
+        out
+    }
+
+    fn scan_call_arg_frame_load(&self, func: &FuncView, min_frame: u32) -> Vec<Mutation> {
+        let Some(frame) = func.frame_size().filter(|&n| n >= min_frame) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for d in patterns::call_arg_value_defs(func) {
+            let def = func.instrs[d];
+            if def.op != Opcode::Ld || def.rs1 != Reg::FP || def.imm >= 0 {
+                continue;
+            }
+            let k = (-def.imm) as u32;
+            if k > frame {
+                continue;
+            }
+            let wrong_k = if k == frame { 1 } else { k + 1 };
+            let note = self.render(&[
+                ("{n}", "1".to_string()),
+                ("{old}", k.to_string()),
+                ("{new}", wrong_k.to_string()),
+            ]);
+            out.push(self.replace_word(
+                func,
+                d,
+                Instr::ld(def.rd, Reg::FP, -(wrong_k as i32)),
+                note,
+            ));
+        }
+        out
+    }
+}
+
+impl MutationOperator for CompiledOperator {
+    fn fault_type(&self) -> FaultType {
+        self.fault_type
+    }
+
+    fn scan(&self, func: &FuncView) -> Vec<Mutation> {
+        match &self.pattern {
+            PatternSpec::IfConstruct { .. } => self.scan_if_construct(func),
+            PatternSpec::AndChainClause => self.scan_and_chain(func),
+            PatternSpec::UnusedCall => self.scan_unused_call(func),
+            PatternSpec::LiteralAssignment { region } => {
+                self.scan_literal_assignment(func, region.unwrap_or_default())
+            }
+            PatternSpec::ExpressionAssignment { min_expr } => {
+                self.scan_expression_assignment(func, min_expr.unwrap_or(2))
+            }
+            PatternSpec::StraightLineRun { .. } => self.scan_straight_run(func),
+            PatternSpec::ComparisonBranch => self.scan_comparison_branch(func),
+            PatternSpec::CallArgArithmetic => self.scan_call_arg_arithmetic(func),
+            PatternSpec::CallArgFrameLoad { min_frame } => {
+                self.scan_call_arg_frame_load(func, min_frame.unwrap_or(2))
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn content_key(&self) -> String {
+        self.content_key.clone()
+    }
+}

@@ -1,0 +1,620 @@
+//! `faultpack` — declarative fault-operator packs for G-SWFIT.
+//!
+//! The paper's faultload rests on 12 hard-coded mutation operators; growing
+//! scenario diversity should be a *content* problem, not a Rust problem.
+//! This crate makes each operator data: a [`spec::PackSpec`] (serde-loadable
+//! JSON) pairs structural search patterns with mutation actions, and
+//! [`Pack::compile`] turns them into the same `Box<dyn MutationOperator>`
+//! the scanner, injector and campaigns already consume — those layers never
+//! learn packs exist.
+//!
+//! Three properties make packs safe to swap in:
+//!
+//! 1. **Byte-identity** — pack patterns compile onto the *same*
+//!    `swfit_core::patterns` matchers the hard-coded library uses; the
+//!    bundled [`odc-classic`](bundled) pack reproduces the built-in 12
+//!    operators exactly (same faultload JSON, same counts, same accuracy).
+//! 2. **Content hashing** — every pack hashes its canonical JSON, and the
+//!    hash is embedded in each compiled operator's
+//!    [`content_key`](swfit_core::MutationOperator::content_key), so
+//!    `Scanner::operator_set_hash` — and with it `faultstore` cache keys and
+//!    stored-run identity — distinguishes pack versions.
+//! 3. **Validation up front** — [`Pack::from_json_str`] rejects malformed
+//!    packs (unknown mnemonics, incompatible pattern/action pairs, bad
+//!    placeholders, duplicate operator names) with actionable messages
+//!    before anything compiles.
+//!
+//! TOML is part of the DSL's design surface (the spec types are plain serde
+//! data), but this offline build vendors only a JSON serde front end, so
+//! `.toml` pack files are rejected with a pointer to re-encode as JSON.
+
+use std::fmt;
+use std::path::Path;
+
+use swfit_core::{MutationOperator, Scanner};
+
+pub mod compile;
+pub mod spec;
+
+use compile::{parse_alu3, parse_comparison, parse_imm_op, CompiledOperator};
+use spec::{ActionSpec, OperatorSpec, PackSpec, PatternSpec};
+
+/// The bundled pack reproducing the built-in 12-operator library.
+pub const ODC_CLASSIC: &str = include_str!("../packs/odc-classic.json");
+/// A bundled extension pack (idiom variants) proving user-authored packs
+/// need no Rust changes.
+pub const ODC_EXTENDED: &str = include_str!("../packs/odc-extended.json");
+
+/// Why a pack failed to load, validate or combine.
+#[derive(Clone, Debug)]
+pub enum PackError {
+    /// Filesystem failure.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        msg: String,
+    },
+    /// The file is not valid JSON for the pack grammar.
+    Parse {
+        /// Where the pack came from (path or "inline").
+        source: String,
+        /// The parser/shape error.
+        msg: String,
+    },
+    /// The pack parsed but violates a DSL rule.
+    Invalid {
+        /// Pack name (or source when the name itself is bad).
+        pack: String,
+        /// The offending operator, when the problem is operator-local.
+        operator: Option<String>,
+        /// What is wrong and how to fix it.
+        msg: String,
+    },
+    /// The path's extension is not a supported pack format.
+    UnsupportedFormat {
+        /// The offending path.
+        path: String,
+        /// Why, and what to do instead.
+        msg: String,
+    },
+    /// `--packs` named a pack that is neither bundled nor a path.
+    UnknownPack {
+        /// The unresolved name.
+        name: String,
+    },
+    /// Two operators (possibly from different packs) share a name.
+    DuplicateOperator {
+        /// The clashing operator name.
+        name: String,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::Io { path, msg } => write!(f, "cannot read pack {path}: {msg}"),
+            PackError::Parse { source, msg } => {
+                write!(f, "pack {source} does not parse: {msg}")
+            }
+            PackError::Invalid {
+                pack,
+                operator: Some(op),
+                msg,
+            } => write!(f, "pack {pack}, operator {op:?}: {msg}"),
+            PackError::Invalid {
+                pack,
+                operator: None,
+                msg,
+            } => write!(f, "pack {pack}: {msg}"),
+            PackError::UnsupportedFormat { path, msg } => {
+                write!(f, "unsupported pack format {path}: {msg}")
+            }
+            PackError::UnknownPack { name } => {
+                let names: Vec<String> = bundled().iter().map(|p| p.name().to_string()).collect();
+                write!(
+                    f,
+                    "unknown pack {name:?}: not a bundled pack ({}) and not an existing \
+                     .json file or directory",
+                    names.join(", ")
+                )
+            }
+            PackError::DuplicateOperator { name } => write!(
+                f,
+                "duplicate operator name {:?} across the selected packs: every operator \
+                 must be unique in the combined library (rename it in one pack)",
+                name
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// A validated, content-hashed fault-model pack ready to compile.
+#[derive(Clone, Debug)]
+pub struct Pack {
+    spec: PackSpec,
+    hash: u64,
+    source: String,
+}
+
+impl Pack {
+    /// Parses, validates and hashes a pack from JSON text. `source` labels
+    /// error messages (a path, or "bundled").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError::Parse`] for syntax/shape problems and
+    /// [`PackError::Invalid`] for DSL violations.
+    pub fn from_json_str(json: &str, source: &str) -> Result<Pack, PackError> {
+        let spec: PackSpec = serde_json::from_str(json).map_err(|e| PackError::Parse {
+            source: source.to_string(),
+            msg: e.to_string(),
+        })?;
+        validate_pack(&spec)?;
+        // Round-trip guarantee: what we loaded is exactly what re-serializing
+        // would persist (the canonical form the content hash covers).
+        let canonical = serde_json::to_string(&spec).map_err(|e| PackError::Parse {
+            source: source.to_string(),
+            msg: format!("cannot canonicalize: {e}"),
+        })?;
+        let reparsed: PackSpec =
+            serde_json::from_str(&canonical).map_err(|e| PackError::Parse {
+                source: source.to_string(),
+                msg: format!("canonical form does not re-parse: {e}"),
+            })?;
+        if reparsed != spec {
+            return Err(PackError::Parse {
+                source: source.to_string(),
+                msg: "pack does not round-trip through serde".to_string(),
+            });
+        }
+        Ok(Pack {
+            hash: simkit::hash::fnv1a(canonical.as_bytes()),
+            spec,
+            source: source.to_string(),
+        })
+    }
+
+    /// Loads one `.json` pack file (`.toml` is recognized but gated).
+    ///
+    /// # Errors
+    ///
+    /// [`PackError::Io`] / [`PackError::UnsupportedFormat`] /
+    /// [`PackError::Parse`] / [`PackError::Invalid`].
+    pub fn load_file(path: &Path) -> Result<Pack, PackError> {
+        let shown = path.display().to_string();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => {
+                let json = std::fs::read_to_string(path).map_err(|e| PackError::Io {
+                    path: shown.clone(),
+                    msg: e.to_string(),
+                })?;
+                Pack::from_json_str(&json, &shown)
+            }
+            Some("toml") => Err(PackError::UnsupportedFormat {
+                path: shown,
+                msg: "TOML packs need the `toml` crate, which is not vendored in this \
+                      offline build; re-encode the pack as JSON (same grammar)"
+                    .to_string(),
+            }),
+            _ => Err(PackError::UnsupportedFormat {
+                path: shown,
+                msg: "expected a .json pack file".to_string(),
+            }),
+        }
+    }
+
+    /// The validated specification.
+    pub fn spec(&self) -> &PackSpec {
+        &self.spec
+    }
+
+    /// Pack name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Content hash of the canonical JSON form — changes whenever any part
+    /// of the pack (version, patterns, actions, notes) changes.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Where the pack was loaded from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Compiles every operator into the scanner's trait object form.
+    pub fn compile(&self) -> Vec<Box<dyn MutationOperator>> {
+        self.spec
+            .operators
+            .iter()
+            .map(|op| {
+                let key = format!("{}@{:016x}:{}", self.spec.name, self.hash, op.name);
+                Box::new(CompiledOperator::new(op, key)) as Box<dyn MutationOperator>
+            })
+            .collect()
+    }
+}
+
+/// The packs shipped inside the binary, in listing order.
+pub fn bundled() -> Vec<Pack> {
+    vec![
+        Pack::from_json_str(ODC_CLASSIC, "bundled").expect("bundled odc-classic pack is valid"),
+        Pack::from_json_str(ODC_EXTENDED, "bundled").expect("bundled odc-extended pack is valid"),
+    ]
+}
+
+/// Looks up one bundled pack by name.
+pub fn bundled_pack(name: &str) -> Option<Pack> {
+    bundled().into_iter().find(|p| p.name() == name)
+}
+
+/// Resolves a `--packs` specification: comma-separated entries, each either
+/// a bundled pack name, a `.json`/`.toml` file path, or a directory whose
+/// `*.json` files are loaded in filename order.
+///
+/// # Errors
+///
+/// Any [`PackError`] from resolution, parsing or validation.
+pub fn load_spec(spec: &str) -> Result<Vec<Pack>, PackError> {
+    let mut packs = Vec::new();
+    for entry in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if let Some(pack) = bundled_pack(entry) {
+            packs.push(pack);
+            continue;
+        }
+        let path = Path::new(entry);
+        if path.is_dir() {
+            let mut files: Vec<_> = std::fs::read_dir(path)
+                .map_err(|e| PackError::Io {
+                    path: entry.to_string(),
+                    msg: e.to_string(),
+                })?
+                .filter_map(|r| r.ok().map(|d| d.path()))
+                .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+                .collect();
+            files.sort();
+            for file in files {
+                packs.push(Pack::load_file(&file)?);
+            }
+        } else if path.is_file() {
+            packs.push(Pack::load_file(path)?);
+        } else {
+            return Err(PackError::UnknownPack {
+                name: entry.to_string(),
+            });
+        }
+    }
+    Ok(packs)
+}
+
+/// Builds a scanner from the combined operator libraries of `packs`, in
+/// order.
+///
+/// # Errors
+///
+/// [`PackError::DuplicateOperator`] when two packs (or one pack twice)
+/// contribute the same operator name.
+pub fn scanner_for(packs: &[Pack]) -> Result<Scanner, PackError> {
+    let operators: Vec<Box<dyn MutationOperator>> =
+        packs.iter().flat_map(|p| p.compile()).collect();
+    Scanner::with_operators(operators).map_err(|e| PackError::DuplicateOperator { name: e.name })
+}
+
+// --------------------------------------------------------------------------
+// validation
+// --------------------------------------------------------------------------
+
+fn validate_pack(spec: &PackSpec) -> Result<(), PackError> {
+    let pack_err = |msg: String| PackError::Invalid {
+        pack: spec.name.clone(),
+        operator: None,
+        msg,
+    };
+    let mut chars = spec.name.chars();
+    let head_ok = chars.next().is_some_and(|c| c.is_ascii_lowercase());
+    if !head_ok
+        || !spec
+            .name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        || spec.name.ends_with('-')
+    {
+        return Err(pack_err(format!(
+            "pack name {:?} must be kebab-case: lowercase letters, digits and '-', \
+             starting with a letter",
+            spec.name
+        )));
+    }
+    if spec.version.trim().is_empty() {
+        return Err(pack_err("pack version must be non-empty".to_string()));
+    }
+    if spec.operators.is_empty() {
+        return Err(pack_err(
+            "pack defines no operators; a pack must contain at least one".to_string(),
+        ));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for op in &spec.operators {
+        if op.name.trim().is_empty() {
+            return Err(pack_err("operator names must be non-empty".to_string()));
+        }
+        if !seen.insert(op.name.clone()) {
+            return Err(pack_err(format!(
+                "duplicate operator name {:?}: operator names must be unique within a \
+                 pack (a duplicate would double-count in the operator-set hash and in \
+                 per-operator accuracy rows)",
+                op.name
+            )));
+        }
+        validate_operator(op).map_err(|msg| PackError::Invalid {
+            pack: spec.name.clone(),
+            operator: Some(op.name.clone()),
+            msg,
+        })?;
+    }
+    Ok(())
+}
+
+/// Checks one operator spec: pattern/action compatibility, parameter
+/// ranges, mnemonic tables and note placeholders.
+fn validate_operator(op: &OperatorSpec) -> Result<(), String> {
+    validate_pattern(&op.pattern)?;
+    validate_action_combo(op)?;
+    validate_note(op)
+}
+
+fn validate_pattern(pattern: &PatternSpec) -> Result<(), String> {
+    match pattern {
+        PatternSpec::IfConstruct {
+            max_body: Some(0), ..
+        } => Err(
+            "IfConstruct max_body must be >= 1 (an if-body has at least one \
+                  instruction)"
+                .to_string(),
+        ),
+        PatternSpec::ExpressionAssignment {
+            min_expr: Some(0), ..
+        } => Err("ExpressionAssignment min_expr must be >= 1".to_string()),
+        PatternSpec::StraightLineRun { min_run, window } => {
+            let (min_run, window) = (
+                min_run.unwrap_or(swfit_core::patterns::MLPC_MIN_RUN),
+                window.unwrap_or(swfit_core::patterns::MLPC_WINDOW),
+            );
+            if window == 0 {
+                return Err("StraightLineRun window must be >= 1 (a zero-length window \
+                            mutates nothing)"
+                    .to_string());
+            }
+            if min_run < window {
+                return Err(format!(
+                    "StraightLineRun min_run ({min_run}) must be >= window ({window}); \
+                     a run must be able to contain the window it hosts"
+                ));
+            }
+            Ok(())
+        }
+        PatternSpec::CallArgFrameLoad {
+            min_frame: Some(n), ..
+        } if *n < 2 => Err(format!(
+            "CallArgFrameLoad min_frame ({n}) must be >= 2: with a single frame slot \
+             there is no *different* variable to redirect to"
+        )),
+        _ => Ok(()),
+    }
+}
+
+fn validate_action_combo(op: &OperatorSpec) -> Result<(), String> {
+    let construct = op.pattern.construct();
+    let compatible: &[&str] = match &op.action {
+        ActionSpec::NopConstruct => &[
+            "IfConstruct",
+            "AndChainClause",
+            "UnusedCall",
+            "LiteralAssignment",
+            "ExpressionAssignment",
+            "StraightLineRun",
+        ],
+        ActionSpec::NopGuard => &["IfConstruct"],
+        ActionSpec::PerturbLiteral { delta } => {
+            if *delta == Some(0) {
+                return Err("PerturbLiteral delta must be nonzero: a zero delta leaves \
+                            the literal unchanged and emulates no fault"
+                    .to_string());
+            }
+            &["LiteralAssignment"]
+        }
+        ActionSpec::SwapComparison { swap } => {
+            if swap.is_empty() {
+                return Err("SwapComparison swap map must be non-empty".to_string());
+            }
+            for (from, to) in swap {
+                for m in [from, to] {
+                    if parse_comparison(m).is_none() {
+                        return Err(format!(
+                            "unknown comparison mnemonic {m:?} in swap map; valid \
+                             comparisons are cmpeq, cmpne, cmplt, cmple"
+                        ));
+                    }
+                }
+                if from == to {
+                    return Err(format!(
+                        "swap map sends {from:?} to itself, which emulates no fault"
+                    ));
+                }
+            }
+            &["ComparisonBranch"]
+        }
+        ActionSpec::SwapArithmetic {
+            swap,
+            imm_ops,
+            imm_delta,
+        } => {
+            if swap.is_empty() && imm_ops.is_empty() {
+                return Err("SwapArithmetic needs a swap map and/or imm_ops; with both \
+                            empty it can never match"
+                    .to_string());
+            }
+            if *imm_delta == Some(0) {
+                return Err("SwapArithmetic imm_delta must be nonzero".to_string());
+            }
+            for (from, to) in swap {
+                for m in [from, to] {
+                    if parse_alu3(m).is_none() {
+                        return Err(format!(
+                            "unknown arithmetic mnemonic {m:?} in swap map; valid ops \
+                             are the 3-register ALU forms (add, sub, mul, div, mod, \
+                             and, or, xor, shl, shr, cmpeq, cmpne, cmplt, cmple)"
+                        ));
+                    }
+                }
+                if from == to {
+                    return Err(format!(
+                        "swap map sends {from:?} to itself, which emulates no fault"
+                    ));
+                }
+            }
+            for m in imm_ops {
+                if parse_imm_op(m).is_none() {
+                    return Err(format!(
+                        "unknown immediate opcode {m:?} in imm_ops; valid entries are \
+                         addi and muli"
+                    ));
+                }
+            }
+            &["CallArgArithmetic"]
+        }
+        ActionSpec::RedirectFrameSlot => &["CallArgFrameLoad"],
+    };
+    if !compatible.contains(&construct) {
+        return Err(format!(
+            "action {} cannot apply to pattern {construct}; it supports: {}",
+            op.action.kind(),
+            compatible.join(", ")
+        ));
+    }
+    Ok(())
+}
+
+fn validate_note(op: &OperatorSpec) -> Result<(), String> {
+    if op.note.trim().is_empty() {
+        return Err(
+            "note template must be non-empty (it is the report text for every \
+                    injected fault)"
+                .to_string(),
+        );
+    }
+    let allowed: &[&str] = match &op.action {
+        ActionSpec::NopConstruct if matches!(op.pattern, PatternSpec::UnusedCall) => {
+            &["{n}", "{target}"]
+        }
+        ActionSpec::NopConstruct | ActionSpec::NopGuard => &["{n}"],
+        _ => &["{n}", "{old}", "{new}"],
+    };
+    for ph in note_placeholders(&op.note)? {
+        if !allowed.contains(&ph.as_str()) {
+            return Err(format!(
+                "unknown placeholder {ph} in note template; this action exposes: {}",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `{...}` placeholder tokens, rejecting unbalanced braces.
+fn note_placeholders(note: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut rest = note;
+    while let Some(open) = rest.find(['{', '}']) {
+        if rest[open..].starts_with('}') {
+            return Err("unbalanced '}' in note template".to_string());
+        }
+        let Some(close) = rest[open..].find('}') else {
+            return Err("unbalanced '{' in note template".to_string());
+        };
+        out.push(rest[open..=open + close].to_string());
+        rest = &rest[open + close + 1..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_packs_parse_and_compile() {
+        let packs = bundled();
+        assert_eq!(packs.len(), 2);
+        assert_eq!(packs[0].name(), "odc-classic");
+        assert_eq!(packs[0].compile().len(), 12);
+        assert_eq!(packs[1].name(), "odc-extended");
+        assert!(!packs[1].compile().is_empty());
+    }
+
+    #[test]
+    fn pack_hash_tracks_content() {
+        let base = bundled_pack("odc-classic").unwrap();
+        let mut bumped_spec = base.spec().clone();
+        bumped_spec.version = "99".to_string();
+        let bumped =
+            Pack::from_json_str(&serde_json::to_string(&bumped_spec).unwrap(), "inline").unwrap();
+        assert_ne!(base.hash(), bumped.hash(), "version bump changes the hash");
+        let reparsed =
+            Pack::from_json_str(&serde_json::to_string(base.spec()).unwrap(), "inline").unwrap();
+        assert_eq!(base.hash(), reparsed.hash(), "hash is content-addressed");
+    }
+
+    #[test]
+    fn content_keys_embed_pack_identity() {
+        let pack = bundled_pack("odc-classic").unwrap();
+        for op in pack.compile() {
+            let key = op.content_key();
+            assert!(key.starts_with("odc-classic@"), "{key}");
+            assert!(key.contains(&format!("{:016x}", pack.hash())), "{key}");
+        }
+    }
+
+    #[test]
+    fn scanner_hash_differs_between_pack_versions() {
+        let base = bundled_pack("odc-classic").unwrap();
+        let mut edited_spec = base.spec().clone();
+        edited_spec.operators[0].note = "edited".to_string();
+        let edited =
+            Pack::from_json_str(&serde_json::to_string(&edited_spec).unwrap(), "inline").unwrap();
+        let a = scanner_for(&[base]).unwrap().operator_set_hash();
+        let b = scanner_for(&[edited]).unwrap().operator_set_hash();
+        assert_ne!(a, b, "editing a pack must invalidate cache keys");
+    }
+
+    #[test]
+    fn cross_pack_duplicates_are_rejected() {
+        let pack = bundled_pack("odc-classic").unwrap();
+        let err = scanner_for(&[pack.clone(), pack]).err().expect("duplicate");
+        assert!(matches!(err, PackError::DuplicateOperator { .. }), "{err}");
+    }
+
+    #[test]
+    fn toml_is_gated_with_a_pointer_to_json() {
+        let dir = std::env::temp_dir().join(format!("faultpack-toml-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pack.toml");
+        std::fs::write(&path, "name = 'x'\n").unwrap();
+        let err = Pack::load_file(&path).expect_err("gated");
+        assert!(err.to_string().contains("JSON"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_spec_resolves_bundled_names() {
+        let packs = load_spec("odc-classic, odc-extended").unwrap();
+        assert_eq!(packs.len(), 2);
+        let err = load_spec("no-such-pack").expect_err("unknown");
+        assert!(err.to_string().contains("no-such-pack"), "{err}");
+    }
+}

@@ -1,0 +1,281 @@
+//! The declarative operator grammar: serde-loadable pack specifications.
+//!
+//! A pack is data — a name, a version, and a list of operators, each pairing
+//! one structural [`PatternSpec`] (what code shape to look for, matched by
+//! `swfit_core::patterns`) with one [`ActionSpec`] (how to mutate a match)
+//! and a note template for reports. The grammar deliberately mirrors the
+//! paper's operator contract (§2.2): *search pattern* + *low-level mutation
+//! definition*, nothing else.
+//!
+//! Enums use serde's externally-tagged representation, so pack files spell a
+//! parameterless pattern as a bare string and a parameterized one as a
+//! one-key object:
+//!
+//! ```json
+//! { "pattern": "AndChainClause", "action": "NopConstruct" }
+//! { "pattern": { "IfConstruct": { "max_body": 24 } }, "action": "NopGuard" }
+//! ```
+//!
+//! Every tunable knob is optional and falls back to the hard-coded
+//! operators' constant (`max_body` → 24, `window` → 3, `min_run` → 6,
+//! `min_expr` → 2, `min_frame` → 2, `delta` → 1), so the bundled
+//! `odc-classic` pack and the built-in library cannot drift apart.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use swfit_core::patterns::{MAX_IF_BODY, MLPC_MIN_RUN, MLPC_WINDOW};
+use swfit_core::FaultType;
+
+/// A whole fault-model pack: the unit of loading, hashing and distribution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PackSpec {
+    /// Pack name (kebab-case), e.g. `"odc-classic"`.
+    pub name: String,
+    /// Free-form version string; part of the pack content hash.
+    pub version: String,
+    /// What the pack models, for `faultbench pack list`.
+    #[serde(default)]
+    pub description: String,
+    /// The operator library, in scan order.
+    pub operators: Vec<OperatorSpec>,
+}
+
+/// One declarative operator: pattern + action + note template.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    /// Operator name, unique within the pack (e.g. the fault acronym).
+    pub name: String,
+    /// The ODC fault type this operator emulates (`"Mifs"`, `"Wvav"`, …).
+    pub fault_type: FaultType,
+    /// Optional human description.
+    #[serde(default)]
+    pub description: String,
+    /// The structural search pattern.
+    pub pattern: PatternSpec,
+    /// The mutation applied to every match.
+    pub action: ActionSpec,
+    /// Report-note template; may use the placeholders its action exposes
+    /// (`{n}`, `{target}`, `{old}`, `{new}` — see [`ActionSpec`]).
+    pub note: String,
+}
+
+/// Which part of a function literal assignments are matched in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Region {
+    /// Only the declaration region (prologue to first control flow).
+    Decl,
+    /// Only after the declaration region.
+    Body,
+    /// Anywhere in the function.
+    #[default]
+    Any,
+}
+
+/// A structural search pattern over `swfit_core::FuncView` constructs.
+///
+/// Each variant compiles onto one matcher in `swfit_core::patterns`, so a
+/// pack-defined pattern recognizes exactly the same code shapes as its
+/// hard-coded twin.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PatternSpec {
+    /// `if (cond) { body }` without `else`; `max_body` caps the body length
+    /// (default 24).
+    IfConstruct {
+        /// Maximum body size in instructions.
+        #[serde(default)]
+        max_body: Option<usize>,
+    },
+    /// A removable trailing `&& EXPR` clause in a `beqz` chain.
+    AndChainClause,
+    /// A `call` whose return value is not consumed.
+    UnusedCall,
+    /// `ldi rT, imm; st` literal-assignment pair, optionally restricted to a
+    /// function [`Region`].
+    LiteralAssignment {
+        /// Which part of the function to match in (default `Any`).
+        #[serde(default)]
+        region: Option<Region>,
+    },
+    /// A variable store fed by a contiguous expression of at least
+    /// `min_expr` instructions (default 2).
+    ExpressionAssignment {
+        /// Minimum expression length in instructions.
+        #[serde(default)]
+        min_expr: Option<usize>,
+    },
+    /// A `window`-instruction slice centred in a straight-line run of at
+    /// least `min_run` instructions (defaults 3 and 6).
+    StraightLineRun {
+        /// Minimum run length hosting a window.
+        #[serde(default)]
+        min_run: Option<usize>,
+        /// Mutated window length.
+        #[serde(default)]
+        window: Option<usize>,
+    },
+    /// A conditional branch fed directly by a comparison instruction.
+    ComparisonBranch,
+    /// The arithmetic instruction computing a marshalled call argument.
+    CallArgArithmetic,
+    /// A frame-slot load feeding a marshalled call argument; requires a
+    /// recovered frame of at least `min_frame` slots (default 2).
+    CallArgFrameLoad {
+        /// Minimum frame size in slots.
+        #[serde(default)]
+        min_frame: Option<u32>,
+    },
+}
+
+impl PatternSpec {
+    /// The pattern's construct name, for error messages.
+    pub fn construct(&self) -> &'static str {
+        match self {
+            PatternSpec::IfConstruct { .. } => "IfConstruct",
+            PatternSpec::AndChainClause => "AndChainClause",
+            PatternSpec::UnusedCall => "UnusedCall",
+            PatternSpec::LiteralAssignment { .. } => "LiteralAssignment",
+            PatternSpec::ExpressionAssignment { .. } => "ExpressionAssignment",
+            PatternSpec::StraightLineRun { .. } => "StraightLineRun",
+            PatternSpec::ComparisonBranch => "ComparisonBranch",
+            PatternSpec::CallArgArithmetic => "CallArgArithmetic",
+            PatternSpec::CallArgFrameLoad { .. } => "CallArgFrameLoad",
+        }
+    }
+
+    /// Effective `max_body` for if-constructs.
+    pub fn max_body(&self) -> usize {
+        match self {
+            PatternSpec::IfConstruct { max_body } => max_body.unwrap_or(MAX_IF_BODY),
+            _ => MAX_IF_BODY,
+        }
+    }
+
+    /// Effective `(min_run, window)` for straight-line runs.
+    pub fn run_params(&self) -> (usize, usize) {
+        match self {
+            PatternSpec::StraightLineRun { min_run, window } => (
+                min_run.unwrap_or(MLPC_MIN_RUN),
+                window.unwrap_or(MLPC_WINDOW),
+            ),
+            _ => (MLPC_MIN_RUN, MLPC_WINDOW),
+        }
+    }
+}
+
+/// The low-level mutation applied to every pattern match.
+///
+/// Placeholders available to the note template:
+///
+/// | action | placeholders |
+/// |---|---|
+/// | `NopConstruct` | `{n}` (overwritten instructions); `{target}` on `UnusedCall` |
+/// | `NopGuard` | `{n}` |
+/// | `PerturbLiteral` | `{old}`, `{new}` (literal values), `{n}` |
+/// | `SwapComparison` | `{old}`, `{new}` (mnemonics), `{n}` |
+/// | `SwapArithmetic` | `{old}`, `{new}` (mnemonics or immediates), `{n}` |
+/// | `RedirectFrameSlot` | `{old}`, `{new}` (slot numbers), `{n}` |
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ActionSpec {
+    /// Overwrite the whole matched construct with NOPs (a *missing
+    /// construct* fault).
+    NopConstruct,
+    /// Overwrite only the guard (condition evaluation + branch) of an
+    /// `IfConstruct`, making the body unconditional.
+    NopGuard,
+    /// Replace the matched literal with `literal + delta` (default 1,
+    /// wrapping; must be nonzero).
+    PerturbLiteral {
+        /// Offset added to the literal.
+        #[serde(default)]
+        delta: Option<i32>,
+    },
+    /// Replace the comparison feeding the branch according to `swap`
+    /// (mnemonic → mnemonic, e.g. `"cmplt": "cmple"`).
+    SwapComparison {
+        /// Comparison substitution map.
+        swap: BTreeMap<String, String>,
+    },
+    /// Replace the arithmetic computing a call argument: 3-register ops via
+    /// `swap` (mnemonic → mnemonic), immediate ops listed in `imm_ops` get
+    /// `imm + imm_delta` (default 1, must be nonzero).
+    SwapArithmetic {
+        /// 3-register substitution map (e.g. `"add": "sub"`).
+        #[serde(default)]
+        swap: BTreeMap<String, String>,
+        /// Immediate-form opcodes to perturb (`"addi"`, `"muli"`).
+        #[serde(default)]
+        imm_ops: Vec<String>,
+        /// Offset added to immediate operands.
+        #[serde(default)]
+        imm_delta: Option<i32>,
+    },
+    /// Redirect the matched frame-slot load to the *next* slot (wrapping to
+    /// slot 1 at the frame edge) — a *wrong variable* fault.
+    RedirectFrameSlot,
+}
+
+impl ActionSpec {
+    /// The action's kind name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ActionSpec::NopConstruct => "NopConstruct",
+            ActionSpec::NopGuard => "NopGuard",
+            ActionSpec::PerturbLiteral { .. } => "PerturbLiteral",
+            ActionSpec::SwapComparison { .. } => "SwapComparison",
+            ActionSpec::SwapArithmetic { .. } => "SwapArithmetic",
+            ActionSpec::RedirectFrameSlot => "RedirectFrameSlot",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_serde() {
+        let spec = PackSpec {
+            name: "demo".into(),
+            version: "1".into(),
+            description: "roundtrip".into(),
+            operators: vec![OperatorSpec {
+                name: "MIFS".into(),
+                fault_type: FaultType::Mifs,
+                description: String::new(),
+                pattern: PatternSpec::IfConstruct { max_body: Some(8) },
+                action: ActionSpec::NopConstruct,
+                note: "remove ({n} instrs)".into(),
+            }],
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: PackSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn unit_patterns_parse_from_bare_strings() {
+        let json = r#"
+        {
+          "name": "p", "version": "1",
+          "operators": [
+            { "name": "MLAC", "fault_type": "Mlac",
+              "pattern": "AndChainClause", "action": "NopConstruct",
+              "note": "remove clause" }
+          ]
+        }"#;
+        let spec: PackSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.operators[0].pattern, PatternSpec::AndChainClause);
+    }
+
+    #[test]
+    fn defaults_fall_back_to_builtin_constants() {
+        let p = PatternSpec::IfConstruct { max_body: None };
+        assert_eq!(p.max_body(), MAX_IF_BODY);
+        let r = PatternSpec::StraightLineRun {
+            min_run: None,
+            window: None,
+        };
+        assert_eq!(r.run_params(), (MLPC_MIN_RUN, MLPC_WINDOW));
+    }
+}

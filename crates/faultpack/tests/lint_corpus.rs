@@ -1,0 +1,60 @@
+//! The malformed-pack corpus: every file under `tests/corpus/` must be
+//! rejected at load time with an actionable message.
+//!
+//! The same corpus backs the CI `faultbench pack lint` smoke step, so the
+//! messages asserted here are exactly what pack authors see.
+
+use std::path::PathBuf;
+
+use faultpack::Pack;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn lint(file: &str) -> String {
+    let path = corpus_dir().join(file);
+    let err = Pack::load_file(&path)
+        .err()
+        .unwrap_or_else(|| panic!("{file} must be rejected"));
+    err.to_string()
+}
+
+#[test]
+fn every_corpus_file_is_rejected() {
+    let mut files: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory present")
+        .filter_map(|r| r.ok().map(|d| d.path()))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 8, "corpus unexpectedly small: {files:?}");
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let err = Pack::load_file(&path)
+            .err()
+            .unwrap_or_else(|| panic!("{name} parsed but should be malformed"));
+        // Every rejection names its source so authors can find the file.
+        assert!(!err.to_string().is_empty(), "{name}: empty error message");
+    }
+}
+
+#[test]
+fn messages_are_actionable() {
+    assert!(lint("not-json.json").contains("does not parse"));
+    assert!(lint("empty-operators.json").contains("at least one"));
+    assert!(lint("dup-operator.json").contains("double-count"));
+    assert!(lint("bad-action-combo.json").contains("it supports: LiteralAssignment"));
+    assert!(lint("unknown-placeholder.json").contains("this action exposes: {n}, {target}"));
+    assert!(lint("unknown-mnemonic.json").contains("cmpeq, cmpne, cmplt, cmple"));
+    assert!(lint("zero-window.json").contains("window must be >= 1"));
+    assert!(lint("bad-name.json").contains("kebab-case"));
+    assert!(lint("unbalanced-note.json").contains("unbalanced '{'"));
+}
+
+#[test]
+fn errors_carry_the_operator_name_when_local() {
+    let msg = lint("bad-action-combo.json");
+    assert!(msg.contains("CONFUSED"), "{msg}");
+    let msg = lint("unknown-mnemonic.json");
+    assert!(msg.contains("WLEC"), "{msg}");
+}

@@ -1,0 +1,138 @@
+//! Byte-identity of the bundled `odc-classic` pack against the hard-coded
+//! operator library.
+//!
+//! The pack is only trustworthy if loading it produces *exactly* the
+//! faultloads the built-in `Scanner::standard()` produces — same sites, same
+//! patches, same notes, same serialized JSON. These tests prove that on a
+//! minic corpus dense enough to activate all 12 operators.
+
+use faultpack::{bundled_pack, scanner_for};
+use minic::compile;
+use swfit_core::{FaultType, Scanner};
+
+/// A program shaped to trigger every one of the 12 ODC operators at least
+/// once: declarations with literal initializers, body re-assignments,
+/// expression assignments, if-constructs, && chains, unused calls, long
+/// straight-line runs, comparison-fed branches, and calls taking both
+/// computed arguments and frame-slot variables.
+const CORPUS: &str = r#"
+    fn helper(a, b) {
+        var t = a + b;
+        return t;
+    }
+
+    fn busy(n) {
+        var a = 1;
+        var b = 2;
+        var c = 0;
+        a = n + 1;
+        b = a * 2 + n;
+        c = a + b * 3 - n;
+        a = a + b;
+        b = b + c;
+        c = c + a;
+        a = a * 2;
+        b = b - 1;
+        return a + b + c;
+    }
+
+    fn guards(x, y) {
+        var r = 0;
+        if (x > 0) { r = 1; }
+        if (x > 0 && y > 0) { r = 2; }
+        if (x < y) { r = r + 1; }
+        return r;
+    }
+
+    fn caller(p, q) {
+        var u = 3;
+        var v = 4;
+        helper(p + 1, q * 2);
+        var w = helper(u, v);
+        return w + busy(p - q);
+    }
+
+    fn main() {
+        var s = caller(5, 7);
+        return s + guards(1, 2);
+    }
+"#;
+
+fn image() -> mvm::CodeImage {
+    compile("parity", CORPUS)
+        .expect("corpus compiles")
+        .image()
+        .clone()
+}
+
+#[test]
+fn corpus_activates_every_fault_type() {
+    let img = image();
+    let fl = Scanner::standard().scan_image(&img);
+    let counts = fl.counts_by_type();
+    for t in FaultType::ALL {
+        assert!(
+            counts.get(&t).copied().unwrap_or(0) > 0,
+            "corpus never activates {}; parity would be vacuous for it",
+            t.acronym()
+        );
+    }
+}
+
+#[test]
+fn odc_classic_faultload_is_byte_identical_to_builtin() {
+    let img = image();
+    let builtin = Scanner::standard().scan_image(&img);
+
+    let pack = bundled_pack("odc-classic").expect("bundled pack loads");
+    let packed = scanner_for(std::slice::from_ref(&pack))
+        .expect("pack compiles to a scanner")
+        .scan_image(&img);
+
+    assert_eq!(
+        packed.to_json().unwrap(),
+        builtin.to_json().unwrap(),
+        "odc-classic must reproduce the hard-coded faultload byte for byte"
+    );
+}
+
+#[test]
+fn odc_classic_per_operator_counts_match_builtin() {
+    let img = image();
+    let builtin = Scanner::standard().scan_image(&img);
+    let pack = bundled_pack("odc-classic").unwrap();
+    let packed = scanner_for(std::slice::from_ref(&pack))
+        .unwrap()
+        .scan_image(&img);
+    assert_eq!(packed.counts_by_type(), builtin.counts_by_type());
+    assert_eq!(packed.per_function_counts(), builtin.per_function_counts());
+}
+
+#[test]
+fn odc_extended_differs_but_stays_well_formed() {
+    let img = image();
+    let pack = bundled_pack("odc-extended").unwrap();
+    let fl = scanner_for(std::slice::from_ref(&pack))
+        .unwrap()
+        .scan_image(&img);
+    // The variant operators find faults of their declared types...
+    assert!(fl.count_of(FaultType::Wvav) > 0);
+    assert!(fl.count_of(FaultType::Wlec) > 0);
+    // ...and the -1 perturbation is genuinely different from the builtin +1.
+    let builtin = Scanner::standard().scan_image(&img);
+    assert_ne!(
+        fl.to_json().unwrap(),
+        builtin.to_json().unwrap(),
+        "an extension pack must not be mistaken for the classic library"
+    );
+}
+
+#[test]
+fn combined_packs_scan_with_distinct_operator_names() {
+    let img = image();
+    let packs = faultpack::bundled();
+    let scanner = scanner_for(&packs).expect("bundled packs have disjoint operator names");
+    assert_eq!(scanner.operators().len(), 12 + 5);
+    let fl = scanner.scan_image(&img);
+    assert!(!fl.is_empty());
+}

@@ -243,7 +243,7 @@ mod tests {
         let p = compile("os", SRC).unwrap();
         let before = scan_count();
         cache.scan_image(&Scanner::standard(), p.image()).unwrap();
-        let single = Scanner::with_operators(vec![Box::new(MifsOp)]);
+        let single = Scanner::with_operators(vec![Box::new(MifsOp)]).unwrap();
         let narrowed = cache.scan_image(&single, p.image()).unwrap();
         assert_eq!(
             scan_count(),

@@ -1,0 +1,122 @@
+//! Fault-map cache versioning for pack-built scanners.
+//!
+//! A pack's content hash is embedded in every compiled operator's
+//! `content_key`, so `Scanner::operator_set_hash` — one third of the cache
+//! key — tracks pack *content*, not just pack name. Editing a pattern body
+//! while keeping the pack name must therefore miss the cache and re-scan;
+//! a byte-identical reload must hit.
+//!
+//! Everything runs in one test function: `faultstore::scan_count()` is a
+//! process-global counter, and concurrent test threads would race the
+//! `before`/`after` bookkeeping.
+
+use faultpack::Pack;
+use faultstore::{scan_count, FaultMapCache};
+use minic::compile;
+use swfit_core::Scanner;
+
+const SRC: &str = r#"
+    fn helper(x) { return x * 2; }
+    fn alpha(a, b) {
+        var r = 0;
+        if (a > 0 && b > 0) { r = a + b; }
+        helper(r);
+        return r;
+    }
+"#;
+
+/// A one-operator pack with a tunable pattern body, as JSON.
+fn pack_json(max_body: usize) -> String {
+    format!(
+        r#"{{
+            "name": "versioned",
+            "version": "1.0.0",
+            "operators": [
+                {{ "name": "MIFS",
+                   "fault_type": "Mifs",
+                   "pattern": {{ "IfConstruct": {{ "max_body": {max_body} }} }},
+                   "action": "NopConstruct",
+                   "note": "remove if-construct ({{n}} instrs)" }}
+            ]
+        }}"#
+    )
+}
+
+fn scanner_of(json: &str) -> Scanner {
+    let pack = Pack::from_json_str(json, "inline").expect("pack is valid");
+    faultpack::scanner_for(std::slice::from_ref(&pack)).expect("pack compiles")
+}
+
+#[test]
+fn editing_a_pack_misses_the_cache_and_rescans() {
+    let dir = std::env::temp_dir().join(format!("faultstore-packver-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = FaultMapCache::open(&dir).unwrap();
+    let p = compile("os", SRC).unwrap();
+
+    // v1: first scan misses, identical reload hits.
+    let v1 = scanner_of(&pack_json(24));
+    let before = scan_count();
+    let first = cache.scan_image(&v1, p.image()).unwrap();
+    assert_eq!(scan_count(), before + 1, "first pack scan is a miss");
+    let again = cache
+        .scan_image(&scanner_of(&pack_json(24)), p.image())
+        .unwrap();
+    assert_eq!(
+        scan_count(),
+        before + 1,
+        "reloading the byte-identical pack must hit the cache"
+    );
+    assert_eq!(first, again);
+
+    // v2: same pack name, edited pattern body — a different operator-set
+    // hash, hence a different cache entry.
+    let v2 = scanner_of(&pack_json(1));
+    assert_ne!(
+        v1.operator_set_hash(),
+        v2.operator_set_hash(),
+        "editing a pattern body must change the operator-set hash"
+    );
+    let narrowed = cache.scan_image(&v2, p.image()).unwrap();
+    assert_eq!(
+        scan_count(),
+        before + 2,
+        "an edited pack (same name) must miss the cache and re-scan"
+    );
+    assert!(
+        narrowed.len() < first.len(),
+        "the tighter max_body really changes what the scan finds"
+    );
+    // Both versions now coexist as separate entries.
+    cache.scan_image(&v1, p.image()).unwrap();
+    cache.scan_image(&v2, p.image()).unwrap();
+    assert_eq!(
+        scan_count(),
+        before + 2,
+        "both versions hit their own entry"
+    );
+
+    // Fingerprint-mismatch self-healing (the PR 6 warning path): tamper the
+    // v1 entry so its embedded fingerprint no longer matches the booted
+    // image. Every subsequent lookup must warn and re-scan — a mismatched
+    // entry is never served, and the rewrite (same file name, same stale
+    // story next time the image changes) keeps the cache self-healing.
+    let key = faultstore::CacheKey::new(p.image(), &v1, None);
+    let path = dir.join(key.file_name());
+    let mut tampered =
+        swfit_core::Faultload::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    tampered.fingerprint = tampered.fingerprint.map(|fp| fp ^ 1);
+    std::fs::write(&path, tampered.to_json().unwrap()).unwrap();
+    let healed = cache.scan_image(&v1, p.image()).unwrap();
+    assert_eq!(
+        scan_count(),
+        before + 3,
+        "a fingerprint-mismatched entry must re-scan, not be served"
+    );
+    assert_eq!(healed, first, "the re-scan reproduces the original map");
+    // The rewrite carries the right fingerprint again, so the entry serves.
+    cache.scan_image(&v1, p.image()).unwrap();
+    assert_eq!(scan_count(), before + 3);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

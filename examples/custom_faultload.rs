@@ -23,7 +23,8 @@ fn main() {
     // 1. Checking-class operators only (MIA, MLAC, WLEC) — the ODC class
     //    that models missing/wrong validation.
     let scanner =
-        Scanner::with_operators(vec![Box::new(MiaOp), Box::new(MlacOp), Box::new(WlecOp)]);
+        Scanner::with_operators(vec![Box::new(MiaOp), Box::new(MlacOp), Box::new(WlecOp)])
+            .expect("unique operator names");
     println!("custom library: {} operators", scanner.operator_count());
 
     // 2. Restrict the FIT to the file-handling services.

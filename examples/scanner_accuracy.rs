@@ -7,43 +7,76 @@
 //! landed; the scanner never sees that map, so we can score it — per fault
 //! type, on both OS editions.
 //!
+//! The same ground truth scores every fault-model pack: the built-in
+//! library first, then each bundled pack compiled from its declarative
+//! spec. The `odc-classic` rows must match the built-in rows exactly — the
+//! pack is the same 12 operators expressed as data.
+//!
 //! Run with: `cargo run -p examples --bin scanner_accuracy`
 
 use simos::{Edition, Os};
-use swfit_core::{accuracy, Scanner};
+use swfit_core::{accuracy, Faultload, Scanner};
+
+fn print_report(program: &minic::Program, faultload: &Faultload) {
+    let report = accuracy::measure(faultload, program.constructs());
+    println!(
+        "{:6} {:>9} {:>6} {:>8} {:>10} {:>8}",
+        "type", "expected", "found", "matched", "precision", "recall"
+    );
+    for (t, pr) in &report.per_type {
+        println!(
+            "{:6} {:>9} {:>6} {:>8} {:>9.1}% {:>7.1}%",
+            t.acronym(),
+            pr.expected,
+            pr.found,
+            pr.matched,
+            pr.precision() * 100.0,
+            pr.recall() * 100.0
+        );
+    }
+    println!(
+        "overall: precision {:.1} %, recall {:.1} %\n",
+        report.overall_precision() * 100.0,
+        report.overall_recall() * 100.0
+    );
+}
 
 fn main() {
     for edition in Edition::ALL {
         let os = Os::boot(edition).expect("OS boots");
         let program = os.program();
-        let faultload = Scanner::standard().scan_image(program.image());
-        let report = accuracy::measure(&faultload, program.constructs());
+        let builtin = Scanner::standard().scan_image(program.image());
 
         println!(
             "=== {edition} ({} instructions, {} faults found) ===",
             program.image().len(),
-            faultload.len()
+            builtin.len()
         );
-        println!(
-            "{:6} {:>9} {:>6} {:>8} {:>10} {:>8}",
-            "type", "expected", "found", "matched", "precision", "recall"
-        );
-        for (t, pr) in &report.per_type {
+        println!("--- built-in operator library ---");
+        print_report(program, &builtin);
+
+        // Every bundled pack is scored against the same ground truth.
+        for pack in faultpack::bundled() {
+            let scanner =
+                faultpack::scanner_for(std::slice::from_ref(&pack)).expect("bundled packs compile");
+            let faultload = scanner.scan_image(program.image());
             println!(
-                "{:6} {:>9} {:>6} {:>8} {:>9.1}% {:>7.1}%",
-                t.acronym(),
-                pr.expected,
-                pr.found,
-                pr.matched,
-                pr.precision() * 100.0,
-                pr.recall() * 100.0
+                "--- pack {} v{} ({} operators, {} faults) ---",
+                pack.name(),
+                pack.spec().version,
+                scanner.operators().len(),
+                faultload.len()
             );
+            print_report(program, &faultload);
+            if pack.name() == "odc-classic" {
+                assert_eq!(
+                    faultload.to_json().unwrap(),
+                    builtin.to_json().unwrap(),
+                    "odc-classic must be byte-identical to the built-in library"
+                );
+                println!("(odc-classic faultload verified byte-identical to the built-in scan)\n");
+            }
         }
-        println!(
-            "overall: precision {:.1} %, recall {:.1} %\n",
-            report.overall_precision() * 100.0,
-            report.overall_recall() * 100.0
-        );
     }
     println!("(MLPC/WAEP/WPFV have no single-construct ground truth and are not scored.)");
 }
